@@ -1,0 +1,12 @@
+//! # hcs-apps
+//!
+//! Carrier crate for the workspace's runnable examples (`examples/` at
+//! the repository root) and cross-crate integration tests (`tests/` at
+//! the repository root). It re-exports nothing; see the individual
+//! examples:
+//!
+//! * `quickstart` — build two storage systems, run IOR, compare.
+//! * `ior_sweep` — scalability sweep with CLI-selectable machine and workload.
+//! * `dlio_training` — ResNet-50/Cosmoflow pipeline simulation with I/O-time analysis.
+//! * `trace_analysis` — chrome-trace export and re-analysis.
+//! * `deployment_advisor` — the §VII takeaways turned into a what-should-I-use tool.

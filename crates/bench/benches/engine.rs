@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the simulation engine: max-min rate
+//! allocation at increasing flow counts, full IOR runs, and a DLIO
+//! pipeline run. These guard the simulator's own performance — a
+//! 128-node, 5,632-rank IOR phase must stay trivially cheap for the
+//! figure sweeps to be practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hcs_dlio::{resnet50, run_dlio};
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_simkit::{FlowNet, FlowSpec, ResourceSpec};
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+fn bench_flownet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flownet");
+    for &flows in &[16u32, 128, 1024] {
+        g.bench_with_input(BenchmarkId::new("allocate", flows), &flows, |b, &n| {
+            b.iter(|| {
+                let mut net = FlowNet::new();
+                let shared = net.add_resource(ResourceSpec::new("pool", 1e10));
+                for i in 0..n {
+                    let mount =
+                        net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
+                    net.add_flow(FlowSpec::new(vec![mount, shared], 1e9));
+                }
+                black_box(net.aggregate_rate())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("run_to_completion", flows), &flows, |b, &n| {
+            b.iter(|| {
+                let mut net = FlowNet::new();
+                let shared = net.add_resource(ResourceSpec::new("pool", 1e10));
+                for i in 0..n {
+                    let mount =
+                        net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
+                    net.add_flow(
+                        FlowSpec::new(vec![mount, shared], 1e8 + i as f64 * 1e6),
+                    );
+                }
+                black_box(net.run_to_completion(|_, _| {}))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ior(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ior");
+    let vast = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    for &nodes in &[1u32, 32, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("vast_scalability", nodes),
+            &nodes,
+            |b, &n| {
+                let mut cfg =
+                    IorConfig::paper_scalability(WorkloadClass::Scientific, n, 44);
+                cfg.reps = 1;
+                b.iter(|| black_box(run_ior(&vast, &cfg)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gpfs_scalability", nodes),
+            &nodes,
+            |b, &n| {
+                let mut cfg =
+                    IorConfig::paper_scalability(WorkloadClass::MachineLearning, n, 44);
+                cfg.reps = 1;
+                b.iter(|| black_box(run_ior(&gpfs, &cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dlio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlio");
+    g.sample_size(10);
+    let vast = vast_on_wombat();
+    let cfg = resnet50().smoke();
+    g.bench_function("resnet50_smoke_4nodes", |b| {
+        b.iter(|| black_box(run_dlio(&vast, &cfg, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flownet, bench_ior, bench_dlio);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper and reports how long each took. Uses the reduced (smoke)
+//! geometry by default so `cargo bench --workspace` stays fast; set
+//! `HCS_BENCH_SCALE=paper` for the full geometry.
+
+use std::time::Instant;
+
+use hcs_experiments::figures;
+use hcs_experiments::output::write_figures;
+use hcs_experiments::Scale;
+
+fn main() {
+    let scale = match std::env::var("HCS_BENCH_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Smoke,
+    };
+    println!("regenerating all paper artifacts at {scale:?} scale\n");
+
+    let t0 = Instant::now();
+    print!("{}", figures::table1::render());
+    println!("[table1 in {:?}]\n", t0.elapsed());
+
+    type FigGen = fn(Scale) -> Vec<hcs_experiments::Figure>;
+    let mut all = Vec::new();
+    let steps: [(&str, FigGen); 5] = [
+        ("fig2", figures::fig2::generate),
+        ("fig3", figures::fig3::generate),
+        ("fig4", figures::fig4::generate),
+        ("fig5", figures::fig5::generate),
+        ("fig6", figures::fig6::generate),
+    ];
+    for (name, gen) in steps {
+        let t = Instant::now();
+        let figs = gen(scale);
+        println!("[{name}: {} panels in {:?}]", figs.len(), t.elapsed());
+        all.extend(figs);
+    }
+
+    let t = Instant::now();
+    let report = figures::takeaways::measure(scale);
+    println!("[takeaways in {:?}]\n", t.elapsed());
+    print!("{}", figures::takeaways::render(&report));
+
+    let t = Instant::now();
+    let abl = figures::ablations::generate(scale);
+    println!("[ablations: {} figures in {:?}]", abl.len(), t.elapsed());
+    all.extend(abl);
+
+    let dir = std::env::var_os("HCS_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    match write_figures(&all, &dir) {
+        Ok(n) => println!("\n[wrote {n} figures to {}]", dir.display()),
+        Err(e) => eprintln!("\n[warning: could not write results: {e}]"),
+    }
+    println!("total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Runs the ablation sweeps (gateway width, nconnect, similarity
+//! reduction, GPFS cache, DLIO thread count).
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    hcs_bench::emit(&hcs_experiments::figures::ablations::generate(scale));
+}

@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    print!("{}", hcs_experiments::figures::table1::render());
+    println!();
+    println!("{}", hcs_experiments::figures::fig1::render());
+    hcs_bench::emit(&hcs_experiments::figures::all_figures(scale));
+    let report = hcs_experiments::figures::takeaways::measure(scale);
+    print!("{}", hcs_experiments::figures::takeaways::render(&report));
+}

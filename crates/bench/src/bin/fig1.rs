@@ -1,0 +1,4 @@
+//! Regenerates Fig 1 (architecture panels) from the deployment configs.
+fn main() {
+    print!("{}", hcs_experiments::figures::fig1::render());
+}

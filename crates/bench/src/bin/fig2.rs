@@ -1,0 +1,5 @@
+//! Regenerates Fig 2 (scalability on Lassen and Wombat, three workloads).
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    hcs_bench::emit(&hcs_experiments::figures::fig2::generate(scale));
+}

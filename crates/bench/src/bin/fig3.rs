@@ -1,0 +1,5 @@
+//! Regenerates Fig 3 (single-node fsync tests on all four machines).
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    hcs_bench::emit(&hcs_experiments::figures::fig3::generate(scale));
+}

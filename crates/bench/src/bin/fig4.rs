@@ -1,0 +1,5 @@
+//! Regenerates Fig 4 (DLIO I/O-time decomposition).
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    hcs_bench::emit(&hcs_experiments::figures::fig4::generate(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 5 (ResNet-50 application and system throughput).
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    hcs_bench::emit(&hcs_experiments::figures::fig5::generate(scale));
+}

@@ -1,0 +1,42 @@
+//! MDTest-equivalent metadata-rate comparison across every deployment
+//! (an extension beyond the paper; see hcs-mdtest).
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_lustre::LustreConfig;
+use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (nodes, ppn) = if smoke { (2, 8) } else { (8, 32) };
+    let cfg = MdtestConfig::new(nodes, ppn);
+
+    let systems: Vec<Box<dyn StorageSystem>> = vec![
+        Box::new(vast_on_lassen()),
+        Box::new(vast_on_wombat()),
+        Box::new(GpfsConfig::on_lassen()),
+        Box::new(LustreConfig::on_ruby()),
+        Box::new(LocalNvmeConfig::on_wombat()),
+    ];
+
+    println!(
+        "# MDTest-equivalent: {} nodes x {} tasks, {} files/proc, {} reps\n",
+        cfg.nodes, cfg.tasks_per_node, cfg.files_per_proc, cfg.reps
+    );
+    println!(
+        "{:<52} {:>12} {:>12} {:>12}",
+        "system", "create/s", "stat/s", "unlink/s"
+    );
+    for sys in &systems {
+        let r = run_mdtest(sys.as_ref(), &cfg);
+        println!(
+            "{:<52} {:>12.0} {:>12.0} {:>12.0}",
+            r.system,
+            r.rate(MetaOp::Create).mean,
+            r.rate(MetaOp::Stat).mean,
+            r.rate(MetaOp::Unlink).mean
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Calibration sensitivity study: the §VII claims under ±25 %
+//! perturbations of every load-bearing constant.
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    let cases = hcs_experiments::figures::sensitivity::analyze(scale);
+    print!("{}", hcs_experiments::figures::sensitivity::render(&cases));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    print!("{}", hcs_experiments::figures::table1::render());
+}

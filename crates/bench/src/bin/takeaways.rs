@@ -1,0 +1,6 @@
+//! Re-derives the §VII takeaways and prints paper-vs-measured.
+fn main() {
+    let scale = hcs_bench::scale_from_args();
+    let report = hcs_experiments::figures::takeaways::measure(scale);
+    print!("{}", hcs_experiments::figures::takeaways::render(&report));
+}

@@ -1,0 +1,67 @@
+//! # hcs-bench
+//!
+//! Benchmark and figure-regeneration harness. Each paper artifact has a
+//! binary (`table1`, `fig2` … `fig6`, `takeaways`, `ablations`,
+//! `all_figures`); running it prints the artifact's data as ASCII
+//! tables and writes CSV/JSON under `results/`. Every binary accepts
+//! `--smoke` to run the reduced geometry.
+//!
+//! `cargo bench -p hcs-bench` runs two targets: `engine` (criterion
+//! micro-benchmarks of the simulation engine itself) and `figures`
+//! (regenerates every figure at a reduced scale and reports timing).
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use hcs_experiments::output::write_figures;
+use hcs_experiments::render::to_table;
+use hcs_experiments::series::Figure;
+use hcs_experiments::Scale;
+
+/// Parses the common CLI convention: `--smoke` selects the reduced
+/// geometry, anything else (or nothing) the paper geometry.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    }
+}
+
+/// The output directory for figure data (`results/` at the workspace
+/// root, overridable with `HCS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("HCS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints each figure as an ASCII table and persists CSV/JSON.
+pub fn emit(figs: &[Figure]) {
+    for f in figs {
+        println!("{}", to_table(f));
+    }
+    let dir = results_dir();
+    match write_figures(figs, &dir) {
+        Ok(n) => println!("[wrote {n} figures to {}]", dir.display()),
+        Err(e) => eprintln!("[warning: could not write results: {e}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // Cargo test passes no --smoke flag.
+        assert_eq!(scale_from_args(), Scale::Paper);
+    }
+
+    #[test]
+    fn results_dir_env_override() {
+        // Can't mutate env safely in parallel tests; just check default.
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The `hcs` command: one front door for the suite.
+//!
+//! ```text
+//! hcs systems                               list deployments
+//! hcs ior   <system> <workload> [nodes] [ppn]   run IOR
+//! hcs dlio  <system> <resnet50|cosmoflow> [nodes]   run DLIO
+//! hcs mdtest <system> [nodes] [ppn]         run the metadata benchmark
+//! hcs replay <trace.json> <system>          what-if replay of a trace
+//! hcs figures [--smoke]                     regenerate every figure
+//! hcs takeaways [--smoke]                   §VII paper-vs-measured
+//! ```
+
+use hcs_core::StorageSystem;
+use hcs_dlio::{cosmoflow, resnet50, run_dlio};
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_lustre::LustreConfig;
+use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_replay::{replay, ReplayConfig};
+use hcs_unifyfs::UnifyFsConfig;
+use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+
+const USAGE: &str = "\
+usage: hcs <command> [args]
+
+commands:
+  systems                                list storage deployments
+  ior <system> <workload> [nodes] [ppn]  run the IOR-equivalent benchmark
+  dlio <system> <workload> [nodes]       run the DLIO-equivalent (resnet50|cosmoflow)
+  mdtest <system> [nodes] [ppn]          run the MDTest-equivalent
+  explain <system> <workload> [nodes] [ppn]  show resources, utilization and the bottleneck
+  replay <trace.json> <system>           what-if replay of a chrome trace
+  figures [--smoke]                      regenerate every paper figure
+  takeaways [--smoke]                    print §VII paper-vs-measured
+  table1                                 print Table I
+
+systems: vast-lassen vast-ruby vast-quartz vast-wombat gpfs lustre-ruby
+         lustre-quartz nvme unifyfs
+workloads (ior): scientific | analytics | ml";
+
+/// Resolves a system name to a deployment and its machine's full-node
+/// process count.
+fn system(name: &str) -> Option<(Box<dyn StorageSystem>, u32)> {
+    Some(match name {
+        "vast-lassen" => (Box::new(vast_on_lassen()) as Box<dyn StorageSystem>, 44),
+        "vast-ruby" => (Box::new(vast_on_ruby()), 56),
+        "vast-quartz" => (Box::new(vast_on_quartz()), 36),
+        "vast-wombat" => (Box::new(vast_on_wombat()), 48),
+        "gpfs" => (Box::new(GpfsConfig::on_lassen()), 44),
+        "lustre-ruby" => (Box::new(LustreConfig::on_ruby()), 56),
+        "lustre-quartz" => (Box::new(LustreConfig::on_quartz()), 36),
+        "nvme" => (Box::new(LocalNvmeConfig::on_wombat()), 48),
+        "unifyfs" => (Box::new(UnifyFsConfig::on_wombat()), 48),
+        _ => return None,
+    })
+}
+
+fn all_system_names() -> [&'static str; 9] {
+    [
+        "vast-lassen",
+        "vast-ruby",
+        "vast-quartz",
+        "vast-wombat",
+        "gpfs",
+        "lustre-ruby",
+        "lustre-quartz",
+        "nvme",
+        "unifyfs",
+    ]
+}
+
+fn workload(name: &str) -> Option<WorkloadClass> {
+    Some(match name {
+        "scientific" | "sci" | "write" => WorkloadClass::Scientific,
+        "analytics" | "da" | "read" => WorkloadClass::DataAnalytics,
+        "ml" | "random" => WorkloadClass::MachineLearning,
+        _ => return None,
+    })
+}
+
+fn scale_flag(args: &[String]) -> hcs_experiments::Scale {
+    if args.iter().any(|a| a == "--smoke") {
+        hcs_experiments::Scale::Smoke
+    } else {
+        hcs_experiments::Scale::Paper
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "systems" => {
+            for name in all_system_names() {
+                let (sys, ppn) = system(name).expect("listed name resolves");
+                println!("{name:<16} {:<56} (full node: {ppn} ppn)", sys.description());
+            }
+        }
+        "table1" => print!("{}", hcs_experiments::figures::table1::render()),
+        "ior" => {
+            let (sys, full_ppn) = args
+                .get(1)
+                .and_then(|s| system(s))
+                .unwrap_or_else(|| die("ior: unknown system"));
+            let w = args
+                .get(2)
+                .and_then(|s| workload(s))
+                .unwrap_or_else(|| die("ior: unknown workload"));
+            let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let ppn: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
+            let cfg = IorConfig::paper_scalability(w, nodes, ppn);
+            let rep = run_ior(sys.as_ref(), &cfg);
+            println!(
+                "{} — {} @ {} nodes x {} ppn:\n  {:.2} GB/s aggregate ({:.2} GB/s per node, ±{:.2} over {} reps)",
+                rep.system,
+                w.label(),
+                nodes,
+                ppn,
+                rep.mean_bandwidth() / 1e9,
+                rep.per_node_bandwidth() / 1e9,
+                rep.outcome.summary.std_dev / 1e9,
+                cfg.reps
+            );
+        }
+        "dlio" => {
+            let (sys, _) = args
+                .get(1)
+                .and_then(|s| system(s))
+                .unwrap_or_else(|| die("dlio: unknown system"));
+            let cfg = match args.get(2).map(String::as_str) {
+                Some("resnet50") | Some("resnet") => resnet50(),
+                Some("cosmoflow") | Some("cosmo") => cosmoflow(),
+                _ => die("dlio: workload must be resnet50 or cosmoflow"),
+            };
+            let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let r = run_dlio(sys.as_ref(), &cfg, nodes);
+            println!(
+                "{} on {} @ {} nodes:\n  io {:.2}s/node (overlap {:.2}s, stall {:.3}s)  compute {:.2}s\n  app {:.1} samples/s   system {:.1} samples/s",
+                r.workload,
+                r.system,
+                nodes,
+                r.mean_per_node.io_total,
+                r.mean_per_node.overlapping_io,
+                r.mean_per_node.non_overlapping_io,
+                r.mean_per_node.compute_total,
+                r.app_throughput,
+                r.system_throughput
+            );
+        }
+        "explain" => {
+            let (sys, full_ppn) = args
+                .get(1)
+                .and_then(|s| system(s))
+                .unwrap_or_else(|| die("explain: unknown system"));
+            let w = args
+                .get(2)
+                .and_then(|s| workload(s))
+                .unwrap_or_else(|| die("explain: unknown workload"));
+            let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let ppn: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
+            let cfg = IorConfig::paper_scalability(w, nodes, ppn);
+            let out = hcs_core::runner::run_phase(sys.as_ref(), nodes, ppn, &cfg.phase());
+            println!(
+                "{} — {} @ {} nodes x {} ppn: {:.2} GB/s\n",
+                sys.description(),
+                w.label(),
+                nodes,
+                ppn,
+                out.agg_bandwidth / 1e9
+            );
+            println!("{:<20} {:>14} {:>14} {:>8}", "resource", "allocated", "capacity", "util");
+            let mut rows = out.utilization.clone();
+            rows.sort_by(|a, b| {
+                (b.1 / b.2.max(1e-12))
+                    .partial_cmp(&(a.1 / a.2.max(1e-12)))
+                    .expect("finite")
+            });
+            for (name, alloc, cap) in rows.iter().take(12) {
+                println!(
+                    "{:<20} {:>11.2} GB {:>11.2} GB {:>7.1}%",
+                    name,
+                    alloc / 1e9,
+                    cap / 1e9,
+                    alloc / cap.max(1e-12) * 100.0
+                );
+            }
+            match &out.bottleneck {
+                Some(b) => println!("\nbottleneck: {b}"),
+                None => println!("\nbottleneck: none (per-stream latency-bound)"),
+            }
+        }
+        "mdtest" => {
+            let (sys, full_ppn) = args
+                .get(1)
+                .and_then(|s| system(s))
+                .unwrap_or_else(|| die("mdtest: unknown system"));
+            let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let ppn: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
+            let r = run_mdtest(sys.as_ref(), &MdtestConfig::new(nodes, ppn));
+            println!("{} @ {} nodes x {} ppn:", r.system, nodes, ppn);
+            for op in MetaOp::all() {
+                println!("  {:<8} {:>12.0} ops/s", op.label(), r.rate(op).mean);
+            }
+        }
+        "replay" => {
+            let path = args.get(1).unwrap_or_else(|| die("replay: missing trace path"));
+            let (sys, _) = args
+                .get(2)
+                .and_then(|s| system(s))
+                .unwrap_or_else(|| die("replay: unknown system"));
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("replay: cannot read {path}: {e}")));
+            let tracer = hcs_dftrace::chrome::from_json(&json)
+                .unwrap_or_else(|e| die(&format!("replay: bad trace: {e}")));
+            let r = replay(&tracer, sys.as_ref(), &ReplayConfig::default());
+            println!(
+                "replayed {} events against {}:\n  io {:.3}s/process (stall {:.4}s), wall {:.2}s",
+                tracer.len(),
+                r.system,
+                r.mean.io_total,
+                r.mean.non_overlapping_io,
+                r.duration
+            );
+        }
+        "figures" => {
+            let scale = scale_flag(&args);
+            let figs = hcs_experiments::figures::all_figures(scale);
+            for f in &figs {
+                println!("{}", hcs_experiments::render::to_table(f));
+            }
+            let dir = std::path::PathBuf::from("results");
+            if let Ok(n) = hcs_experiments::output::write_figures(&figs, &dir) {
+                println!("[wrote {n} figures to {}]", dir.display());
+            }
+        }
+        "takeaways" => {
+            let scale = scale_flag(&args);
+            let r = hcs_experiments::figures::takeaways::measure(scale);
+            print!("{}", hcs_experiments::figures::takeaways::render(&r));
+        }
+        "" | "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => die(&format!("unknown command '{other}'")),
+    }
+}

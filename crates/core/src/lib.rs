@@ -1,0 +1,48 @@
+//! # hcs-core
+//!
+//! Core public API of the `hcs` (Highly Configurable Storage) suite — a
+//! from-scratch, simulation-based reproduction of *"Understanding Highly
+//! Configurable Storage for Diverse Workloads"* (IEEE CLUSTER 2024).
+//!
+//! The suite separates three concerns:
+//!
+//! 1. **What the application does** — a [`PhaseSpec`]: direction,
+//!    access pattern, transfer size, bytes per rank, synchronization.
+//! 2. **What the storage system is** — an implementation of
+//!    [`StorageSystem`] (see the `hcs-vast`, `hcs-gpfs`, `hcs-lustre`
+//!    and `hcs-nvme` crates) that *provisions* a
+//!    [`hcs_simkit::FlowNet`] with the resources an I/O path crosses:
+//!    mount connections, gateway funnels, server pools, fabric links,
+//!    media arrays.
+//! 3. **How they meet** — the [`runner`], which places one flow group
+//!    per client node into the provisioned network, lets the flow engine
+//!    divide bandwidth max-min fairly, and reports IOR-style aggregate
+//!    bandwidth (total bytes over the slowest rank's completion).
+//!
+//! ```
+//! use hcs_core::{PhaseSpec, runner::run_phase};
+//! use hcs_core::testing::UniformSystem;
+//! use hcs_simkit::units::{GIB, MIB};
+//!
+//! // A toy storage system with a 10 GiB/s shared pool.
+//! let system = UniformSystem::new("toy", 10.0 * GIB);
+//! let phase = PhaseSpec::seq_write(MIB, GIB).with_fsync(false);
+//! let outcome = run_phase(&system, 4, 8, &phase);
+//! assert!(outcome.agg_bandwidth <= 10.0 * GIB * 1.000001);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod campaign;
+pub mod outcome;
+pub mod phase;
+pub mod runner;
+pub mod system;
+pub mod testing;
+
+pub use hcs_devices::{AccessPattern, IoOp};
+pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
+pub use outcome::PhaseOutcome;
+pub use phase::PhaseSpec;
+pub use system::{MetadataProfile, Provisioned, StorageSystem};

@@ -1,0 +1,104 @@
+//! Phase outcomes and repeated-run reports.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_simkit::Summary;
+
+/// The result of running one phase at one scale.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseOutcome {
+    /// Client nodes in the run.
+    pub nodes: u32,
+    /// Ranks per node.
+    pub ppn: u32,
+    /// Total bytes moved.
+    pub total_bytes: f64,
+    /// Wall time of the slowest rank, seconds (IOR accounting: the
+    /// benchmark's bandwidth is total data over the last finisher).
+    pub duration: f64,
+    /// Aggregate bandwidth, bytes/s.
+    pub agg_bandwidth: f64,
+    /// Per-node completion times, seconds.
+    pub per_node_duration: Vec<f64>,
+    /// Resource utilization at the start of the phase (steady state
+    /// with every rank active): `(name, allocated, capacity)`.
+    #[serde(default)]
+    pub utilization: Vec<(String, f64, f64)>,
+    /// The binding constraint: the most-utilized resource at steady
+    /// state, when any resource is ≥99 % allocated.
+    #[serde(default)]
+    pub bottleneck: Option<String>,
+}
+
+impl PhaseOutcome {
+    /// Bandwidth seen per node, bytes/s.
+    pub fn per_node_bandwidth(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.agg_bandwidth / self.nodes as f64
+        }
+    }
+}
+
+/// Bandwidths over repeated runs of the same configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RepeatedOutcome {
+    /// Scale of the run.
+    pub nodes: u32,
+    /// Ranks per node.
+    pub ppn: u32,
+    /// Aggregate bandwidth per repetition, bytes/s.
+    pub bandwidths: Vec<f64>,
+    /// Summary over repetitions.
+    pub summary: Summary,
+}
+
+impl RepeatedOutcome {
+    /// Builds a repeated outcome from raw per-rep bandwidths.
+    ///
+    /// # Panics
+    /// Panics if `bandwidths` is empty.
+    pub fn from_bandwidths(nodes: u32, ppn: u32, bandwidths: Vec<f64>) -> Self {
+        let summary = Summary::of(&bandwidths).expect("at least one repetition required");
+        RepeatedOutcome {
+            nodes,
+            ppn,
+            bandwidths,
+            summary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_bandwidth() {
+        let o = PhaseOutcome {
+            nodes: 4,
+            ppn: 8,
+            total_bytes: 4e9,
+            duration: 1.0,
+            agg_bandwidth: 4e9,
+            per_node_duration: vec![1.0; 4],
+            utilization: vec![],
+            bottleneck: None,
+        };
+        assert_eq!(o.per_node_bandwidth(), 1e9);
+    }
+
+    #[test]
+    fn repeated_outcome_summarizes() {
+        let r = RepeatedOutcome::from_bandwidths(2, 4, vec![1e9, 2e9, 3e9]);
+        assert_eq!(r.summary.count, 3);
+        assert!((r.summary.mean - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn empty_reps_rejected() {
+        RepeatedOutcome::from_bandwidths(1, 1, vec![]);
+    }
+}

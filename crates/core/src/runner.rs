@@ -1,0 +1,253 @@
+//! The flow-level phase runner.
+//!
+//! [`run_phase`] is the meeting point of a workload and a storage
+//! system: the system provisions a [`FlowNet`], the runner places one
+//! flow group per client node (multiplicity = ranks per node, rate cap =
+//! the effective per-stream bandwidth at this phase's transfer size),
+//! and the flow engine's max-min fair sharing determines who bottlenecks
+//! where. Bandwidth is accounted the way IOR reports it: total bytes
+//! over the completion time of the slowest rank.
+
+use hcs_simkit::{FlowNet, FlowSpec, SimRng};
+
+use crate::outcome::{PhaseOutcome, RepeatedOutcome};
+use crate::phase::PhaseSpec;
+use crate::system::StorageSystem;
+
+/// Runs one phase at the given scale, noise-free.
+///
+/// # Panics
+/// Panics if the phase is invalid, the system provisions a path for the
+/// wrong number of nodes, or flows stall on a zero-capacity resource.
+pub fn run_phase(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+) -> PhaseOutcome {
+    phase.validate();
+    assert!(nodes >= 1, "need at least one node");
+    assert!(ppn >= 1, "need at least one rank per node");
+
+    let mut net = FlowNet::new();
+    let prov = system.provision(&mut net, nodes, ppn, phase);
+    assert_eq!(
+        prov.node_paths.len(),
+        nodes as usize,
+        "{}: provision returned {} node paths for {} nodes",
+        system.name(),
+        prov.node_paths.len(),
+        nodes
+    );
+
+    // Per-stream ceiling with per-op latency folded in. Each rank is a
+    // blocking requester, so its peak rate is one-operation-at-a-time.
+    // Shared-file (N-1) runs additionally pay lock/consistency traffic
+    // per operation — the "contention, file locking and metadata
+    // overhead" that §IV.C.1 gives for preferring N-N. Lock hold times
+    // grow with the number of ranks contending for ranges of one file.
+    let lock_latency = shared_file_lock_latency(phase, nodes, ppn);
+    let stream_cap = {
+        let base = prov.effective_stream_bw(phase.transfer_size);
+        if lock_latency > 0.0 && base.is_finite() && base > 0.0 {
+            phase.transfer_size / (phase.transfer_size / base + lock_latency)
+        } else if lock_latency > 0.0 {
+            phase.transfer_size / lock_latency
+        } else {
+            base
+        }
+    };
+    // Metadata cost: charged once per file per rank (N-N: one file each).
+    let meta_cost = if phase.file_per_proc {
+        prov.metadata_latency
+    } else {
+        // Shared file: opens amortize across the job; charge one rank.
+        prov.metadata_latency / (nodes as f64 * ppn as f64)
+    };
+
+    for (i, path) in prov.node_paths.iter().enumerate() {
+        let mut spec = FlowSpec::new(path.clone(), phase.bytes_per_rank)
+            .with_multiplicity(ppn)
+            .with_tag(i as u64);
+        if stream_cap.is_finite() && stream_cap > 0.0 {
+            spec = spec.with_rate_cap(stream_cap);
+        }
+        net.add_flow(spec);
+    }
+
+    // Steady-state snapshot with every rank active: which resource
+    // binds? (Rate caps are per-flow constraints, not resources; if no
+    // resource saturates, the streams themselves are the limit.)
+    let utilization = net.resource_utilization();
+    let bottleneck = utilization
+        .iter()
+        .filter(|(_, alloc, cap)| *cap > 0.0 && alloc / cap >= 0.99)
+        .max_by(|a, b| {
+            (a.1 / a.2)
+                .partial_cmp(&(b.1 / b.2))
+                .expect("finite utilization")
+        })
+        .map(|(name, _, _)| name.clone());
+
+    let mut per_node_end = vec![0.0_f64; nodes as usize];
+    net.run_to_completion(|_, c| {
+        per_node_end[c.tag as usize] = c.at;
+    });
+
+    let duration: f64 = per_node_end.iter().fold(0.0_f64, |a, &b| a.max(b)) + meta_cost;
+    let total_bytes = phase.total_bytes(nodes, ppn);
+    PhaseOutcome {
+        nodes,
+        ppn,
+        total_bytes,
+        duration,
+        agg_bandwidth: total_bytes / duration,
+        per_node_duration: per_node_end.iter().map(|t| t + meta_cost).collect(),
+        utilization,
+        bottleneck,
+    }
+}
+
+/// Extra per-operation latency paid by N-1 (shared-file) access.
+///
+/// Writers take extent locks on the shared file; with `r` ranks the
+/// expected wait grows ~√r (lock queues lengthen while hold times stay
+/// constant). Readers only pay a small alignment/consistency cost.
+/// N-N runs pay nothing — which is why the paper benchmarks N-N.
+fn shared_file_lock_latency(phase: &PhaseSpec, nodes: u32, ppn: u32) -> f64 {
+    if phase.file_per_proc {
+        return 0.0;
+    }
+    let ranks = (nodes as f64) * (ppn as f64);
+    match phase.op {
+        hcs_devices::IoOp::Write => 60e-6 * ranks.sqrt(),
+        hcs_devices::IoOp::Read => 15e-6 * ranks.ln_1p(),
+    }
+}
+
+/// Runs a phase `reps` times with the system's run-to-run noise applied
+/// (shared-machine contention, §IV.C: tests are repeated 10 times).
+///
+/// Noise is a deterministic, seeded, mean-one multiplicative jitter on
+/// each repetition's duration.
+pub fn run_phase_repeated(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    reps: u32,
+    rng: &mut SimRng,
+) -> RepeatedOutcome {
+    assert!(reps >= 1, "need at least one repetition");
+    let base = run_phase(system, nodes, ppn, phase);
+    let sigma = system.noise_sigma();
+    let bandwidths: Vec<f64> = (0..reps)
+        .map(|_| {
+            let factor = rng.jitter_factor(sigma);
+            base.total_bytes / (base.duration * factor)
+        })
+        .collect();
+    RepeatedOutcome::from_bandwidths(nodes, ppn, bandwidths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::UniformSystem;
+    use hcs_simkit::units::{GIB, MIB};
+
+    #[test]
+    fn single_node_hits_stream_cap_or_pool() {
+        let sys = UniformSystem::new("toy", 100.0 * GIB).with_stream_bw(1.0 * GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let out = run_phase(&sys, 1, 1, &phase);
+        // One rank, capped by the 1 GiB/s stream.
+        assert!(out.agg_bandwidth <= 1.0 * GIB * 1.001);
+        assert!(out.agg_bandwidth > 0.9 * GIB);
+    }
+
+    #[test]
+    fn aggregate_saturates_at_pool() {
+        let sys = UniformSystem::new("toy", 10.0 * GIB).with_stream_bw(1.0 * GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let small = run_phase(&sys, 4, 1, &phase);
+        let big = run_phase(&sys, 64, 1, &phase);
+        assert!(small.agg_bandwidth < 4.2 * GIB);
+        assert!(
+            (big.agg_bandwidth - 10.0 * GIB).abs() < 0.1 * GIB,
+            "pool should saturate: {}",
+            big.agg_bandwidth / GIB
+        );
+    }
+
+    #[test]
+    fn duration_uses_slowest_rank() {
+        let sys = UniformSystem::new("toy", 10.0 * GIB);
+        let phase = PhaseSpec::seq_read(MIB, GIB);
+        let out = run_phase(&sys, 2, 2, &phase);
+        let max = out
+            .per_node_duration
+            .iter()
+            .fold(0.0_f64, |a, &b| a.max(b));
+        assert!((out.duration - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let sys = UniformSystem::new("toy", 10.0 * GIB);
+        let phase = PhaseSpec::seq_read(MIB, GIB);
+        let mut r1 = SimRng::new(7);
+        let mut r2 = SimRng::new(7);
+        let a = run_phase_repeated(&sys, 2, 4, &phase, 10, &mut r1);
+        let b = run_phase_repeated(&sys, 2, 4, &phase, 10, &mut r2);
+        assert_eq!(a.bandwidths, b.bandwidths);
+        assert_eq!(a.summary.count, 10);
+    }
+
+    #[test]
+    fn noise_is_mean_one_ish() {
+        let sys = UniformSystem::new("toy", 10.0 * GIB);
+        let phase = PhaseSpec::seq_read(MIB, GIB);
+        let mut rng = SimRng::new(42);
+        let rep = run_phase_repeated(&sys, 2, 4, &phase, 200, &mut rng);
+        let base = run_phase(&sys, 2, 4, &phase).agg_bandwidth;
+        assert!((rep.summary.mean / base - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn shared_file_slower_than_file_per_proc() {
+        // §IV.C.1: N-1 introduces contention/locking the paper avoids.
+        let sys = UniformSystem::new("toy", 10_000.0 * GIB).with_stream_bw(GIB);
+        let nn = PhaseSpec::seq_write(MIB, GIB);
+        let mut n1 = nn.clone();
+        n1.file_per_proc = false;
+        let bw_nn = run_phase(&sys, 4, 16, &nn).agg_bandwidth;
+        let bw_n1 = run_phase(&sys, 4, 16, &n1).agg_bandwidth;
+        assert!(bw_n1 < 0.8 * bw_nn, "N-1 write contention: {bw_n1} vs {bw_nn}");
+
+        // And the gap widens with scale.
+        let gap_small = run_phase(&sys, 1, 4, &n1).agg_bandwidth
+            / run_phase(&sys, 1, 4, &nn).agg_bandwidth;
+        let gap_large = run_phase(&sys, 16, 16, &n1).agg_bandwidth
+            / run_phase(&sys, 16, 16, &nn).agg_bandwidth;
+        assert!(gap_large < gap_small, "{gap_large} vs {gap_small}");
+    }
+
+    #[test]
+    fn shared_file_reads_pay_little() {
+        let sys = UniformSystem::new("toy", 10_000.0 * GIB).with_stream_bw(GIB);
+        let nn = PhaseSpec::seq_read(MIB, GIB);
+        let mut n1 = nn.clone();
+        n1.file_per_proc = false;
+        let bw_nn = run_phase(&sys, 4, 16, &nn).agg_bandwidth;
+        let bw_n1 = run_phase(&sys, 4, 16, &n1).agg_bandwidth;
+        assert!(bw_n1 > 0.85 * bw_nn, "reads barely contend: {bw_n1} vs {bw_nn}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let sys = UniformSystem::new("toy", GIB);
+        run_phase(&sys, 0, 1, &PhaseSpec::seq_read(MIB, GIB));
+    }
+}

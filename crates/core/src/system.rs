@@ -1,0 +1,143 @@
+//! The `StorageSystem` trait and provisioning contract.
+
+use hcs_simkit::{FlowNet, ResourceId};
+
+use crate::phase::PhaseSpec;
+
+/// Metadata-path performance of a storage system, consumed by
+/// metadata benchmarks (MDTest-style create/stat/unlink storms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetadataProfile {
+    /// Round-trip latency of one metadata operation from one client,
+    /// seconds (an NFS LOOKUP/CREATE over the mount's transport, a
+    /// Lustre MDS RPC...).
+    pub op_latency: f64,
+    /// Aggregate server-side metadata operation rate, ops/s.
+    pub ops_pool: f64,
+}
+
+/// What a storage system hands back after provisioning a [`FlowNet`]
+/// for a run.
+#[derive(Clone, Debug)]
+pub struct Provisioned {
+    /// For each client node `i`, the resource path its flows traverse
+    /// (mount connection, gateway, server pool, fabric, media...). The
+    /// first entry is conventionally the node's own mount/NIC resource.
+    pub node_paths: Vec<Vec<ResourceId>>,
+    /// Peak bandwidth of a single client stream (one thread issuing
+    /// blocking I/O), bytes/s. `f64::INFINITY` when unconstrained.
+    pub per_stream_bw: f64,
+    /// Fixed latency per operation beyond bandwidth (protocol + media),
+    /// seconds.
+    pub per_op_latency: f64,
+    /// Fixed latency per file open (metadata round trips), seconds.
+    pub metadata_latency: f64,
+}
+
+impl Provisioned {
+    /// The effective per-stream bandwidth for back-to-back operations of
+    /// `transfer_size` bytes, folding [`Self::per_op_latency`] into
+    /// [`Self::per_stream_bw`].
+    pub fn effective_stream_bw(&self, transfer_size: f64) -> f64 {
+        assert!(transfer_size > 0.0, "transfer size must be positive");
+        if self.per_op_latency <= 0.0 {
+            return self.per_stream_bw;
+        }
+        if !self.per_stream_bw.is_finite() {
+            return transfer_size / self.per_op_latency;
+        }
+        if self.per_stream_bw <= 0.0 {
+            return 0.0;
+        }
+        transfer_size / (transfer_size / self.per_stream_bw + self.per_op_latency)
+    }
+}
+
+/// A storage system deployment, bound to a specific machine.
+///
+/// Implementations translate a [`PhaseSpec`] into flow-network
+/// resources: which links and pools a request crosses, and how much
+/// capacity each has *for that phase's op/pattern/transfer/fsync
+/// combination*. Capacities are phase-dependent because media and cache
+/// behaviour are pattern-dependent (an HDD array is 15× slower for
+/// random 1 MiB reads; fsync collapses consumer NVMe writes).
+/// Systems are plain calibration data, so they are required to be
+/// thread-safe — experiment sweeps run configurations in parallel.
+pub trait StorageSystem: Send + Sync {
+    /// Short name ("VAST", "GPFS", ...). Used in figure legends.
+    fn name(&self) -> &str;
+
+    /// One-line deployment description for reports.
+    fn description(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Builds the resources for a run with `nodes` client nodes of
+    /// `ppn` ranks each, returning the per-node paths and stream
+    /// parameters.
+    fn provision(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        ppn: u32,
+        phase: &PhaseSpec,
+    ) -> Provisioned;
+
+    /// Run-to-run variability (multiplicative sigma) observed on this
+    /// deployment — shared parallel file systems wobble more than
+    /// dedicated appliances (§IV.C: "all file systems, including VAST,
+    /// are shared").
+    fn noise_sigma(&self) -> f64 {
+        0.03
+    }
+
+    /// Metadata-path performance (for MDTest-style benchmarks). The
+    /// default is a fast, uncontended path; real systems override it
+    /// from their transport latency and operation-rate pool.
+    fn metadata_profile(&self) -> MetadataProfile {
+        MetadataProfile {
+            op_latency: 100e-6,
+            ops_pool: 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_stream_bw_folds_latency() {
+        let p = Provisioned {
+            node_paths: vec![],
+            per_stream_bw: 1e9,
+            per_op_latency: 1e-3,
+            metadata_latency: 0.0,
+        };
+        // 1 MB ops: 1e6 / (1e-3 + 1e-3) = 500 MB/s.
+        let eff = p.effective_stream_bw(1e6);
+        assert!((eff - 5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn infinite_stream_is_latency_bound() {
+        let p = Provisioned {
+            node_paths: vec![],
+            per_stream_bw: f64::INFINITY,
+            per_op_latency: 1e-3,
+            metadata_latency: 0.0,
+        };
+        assert!((p.effective_stream_bw(1e6) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_latency_passthrough() {
+        let p = Provisioned {
+            node_paths: vec![],
+            per_stream_bw: 2e9,
+            per_op_latency: 0.0,
+            metadata_latency: 0.0,
+        };
+        assert_eq!(p.effective_stream_bw(4096.0), 2e9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Test doubles for the `StorageSystem` trait.
+//!
+//! [`UniformSystem`] is a minimal storage system — one shared pool, one
+//! mount resource per node — used by unit tests, doctests and
+//! benchmarks of the runner itself. Real systems live in the
+//! `hcs-vast`/`hcs-gpfs`/`hcs-lustre`/`hcs-nvme` crates.
+
+use hcs_simkit::{FlowNet, ResourceSpec};
+
+use crate::phase::PhaseSpec;
+use crate::system::{Provisioned, StorageSystem};
+
+/// A storage system with a single shared pool of fixed capacity and an
+/// optional per-node mount limit and per-stream ceiling.
+#[derive(Clone, Debug)]
+pub struct UniformSystem {
+    name: String,
+    pool_bw: f64,
+    node_bw: f64,
+    stream_bw: f64,
+    per_op_latency: f64,
+}
+
+impl UniformSystem {
+    /// A pool of `pool_bw` bytes/s with unconstrained nodes and streams.
+    pub fn new(name: impl Into<String>, pool_bw: f64) -> Self {
+        UniformSystem {
+            name: name.into(),
+            pool_bw,
+            node_bw: f64::INFINITY,
+            stream_bw: f64::INFINITY,
+            per_op_latency: 0.0,
+        }
+    }
+
+    /// Limits each node's mount connection.
+    pub fn with_node_bw(mut self, bw: f64) -> Self {
+        self.node_bw = bw;
+        self
+    }
+
+    /// Limits each stream (rank).
+    pub fn with_stream_bw(mut self, bw: f64) -> Self {
+        self.stream_bw = bw;
+        self
+    }
+
+    /// Adds fixed per-operation latency.
+    pub fn with_per_op_latency(mut self, lat: f64) -> Self {
+        self.per_op_latency = lat;
+        self
+    }
+}
+
+impl StorageSystem for UniformSystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provision(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        _ppn: u32,
+        _phase: &PhaseSpec,
+    ) -> Provisioned {
+        let pool = net.add_resource(ResourceSpec::new(format!("{}:pool", self.name), self.pool_bw));
+        let node_paths = (0..nodes)
+            .map(|i| {
+                if self.node_bw.is_finite() {
+                    let mount = net.add_resource(ResourceSpec::new(
+                        format!("{}:mount{}", self.name, i),
+                        self.node_bw,
+                    ));
+                    vec![mount, pool]
+                } else {
+                    vec![pool]
+                }
+            })
+            .collect();
+        Provisioned {
+            node_paths,
+            per_stream_bw: self.stream_bw,
+            per_op_latency: self.per_op_latency,
+            metadata_latency: 0.0,
+        }
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_phase;
+    use hcs_simkit::units::{GIB, MIB};
+
+    #[test]
+    fn node_bw_limits_per_node() {
+        let sys = UniformSystem::new("toy", 100.0 * GIB).with_node_bw(2.0 * GIB);
+        let out = run_phase(&sys, 2, 8, &PhaseSpec::seq_read(MIB, GIB));
+        assert!(out.agg_bandwidth <= 4.0 * GIB * 1.001);
+        assert!(out.agg_bandwidth > 3.9 * GIB);
+    }
+
+    #[test]
+    fn per_op_latency_reduces_stream_bw() {
+        let fast = UniformSystem::new("a", GIB).with_stream_bw(GIB);
+        let slow = UniformSystem::new("b", GIB)
+            .with_stream_bw(GIB)
+            .with_per_op_latency(1e-3);
+        let phase = PhaseSpec::seq_read(MIB, 100.0 * MIB);
+        let f = run_phase(&fast, 1, 1, &phase).agg_bandwidth;
+        let s = run_phase(&slow, 1, 1, &phase).agg_bandwidth;
+        assert!(s < f * 0.6, "latency should halve 1 MiB streams: {s} vs {f}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared I/O vocabulary: operation direction and access pattern.
+//!
+//! The paper's three workload classes map onto these (§IV.C.1):
+//! scientific simulations → sequential writes, data analytics →
+//! sequential reads, ML → random reads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of an I/O operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// Data flows from storage to the client.
+    Read,
+    /// Data flows from the client to storage.
+    Write,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "read"),
+            IoOp::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Spatial access pattern of a request stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Consecutive offsets — checkpoint streams, bulk scans.
+    Sequential,
+    /// Uniformly random offsets — ML sample fetching, database probes.
+    Random,
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Sequential => write!(f, "sequential"),
+            AccessPattern::Random => write!(f, "random"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(IoOp::Read.to_string(), "read");
+        assert_eq!(IoOp::Write.to_string(), "write");
+        assert_eq!(AccessPattern::Sequential.to_string(), "sequential");
+        assert_eq!(AccessPattern::Random.to_string(), "random");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let op: IoOp = serde_json::from_str(&serde_json::to_string(&IoOp::Write).unwrap()).unwrap();
+        assert_eq!(op, IoOp::Write);
+        let p: AccessPattern =
+            serde_json::from_str(&serde_json::to_string(&AccessPattern::Random).unwrap()).unwrap();
+        assert_eq!(p, AccessPattern::Random);
+    }
+}

@@ -1,0 +1,167 @@
+//! Device arrays: enclosures and raid groups.
+//!
+//! Storage servers expose *arrays* of devices: a VAST DBox holds 22 QLC
+//! and 6 SCM SSDs (§IV.B), a Lustre OSS drives 80-HDD raidz2 groups, a
+//! Wombat compute node has 3 NVMe drives. A [`DeviceArray`] aggregates a
+//! [`DeviceProfile`] across `count` devices under a [`RaidLayout`] that
+//! determines how much of the raw bandwidth survives redundancy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{AccessPattern, IoOp};
+use crate::profile::DeviceProfile;
+
+/// Redundancy layout of an array.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RaidLayout {
+    /// Striping, no redundancy: full aggregate bandwidth.
+    Stripe,
+    /// N-way mirror: writes are multiplied, reads can fan out.
+    Mirror {
+        /// Number of copies (≥ 2).
+        ways: u32,
+    },
+    /// Parity raid with `parity` parity devices per `group` total
+    /// (e.g. raidz2: `group = 10, parity = 2`). Writes pay the parity
+    /// overhead; reads come from data devices.
+    Parity {
+        /// Devices per parity group.
+        group: u32,
+        /// Parity devices per group.
+        parity: u32,
+    },
+}
+
+/// An array of identical devices behind one server or enclosure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceArray {
+    /// Per-device profile.
+    pub profile: DeviceProfile,
+    /// Number of devices.
+    pub count: u32,
+    /// Redundancy layout.
+    pub layout: RaidLayout,
+}
+
+impl DeviceArray {
+    /// A striped array of `count` devices.
+    pub fn stripe(profile: DeviceProfile, count: u32) -> Self {
+        DeviceArray {
+            profile,
+            count,
+            layout: RaidLayout::Stripe,
+        }
+    }
+
+    /// Fraction of raw bandwidth usable for an op under the layout.
+    fn layout_factor(&self, op: IoOp) -> f64 {
+        match (self.layout, op) {
+            (RaidLayout::Stripe, _) => 1.0,
+            (RaidLayout::Mirror { ways }, IoOp::Write) => 1.0 / ways.max(1) as f64,
+            (RaidLayout::Mirror { .. }, IoOp::Read) => 1.0,
+            (RaidLayout::Parity { group, parity }, IoOp::Write) => {
+                let g = group.max(1) as f64;
+                ((group.saturating_sub(parity)).max(1) as f64) / g
+            }
+            (RaidLayout::Parity { group, parity }, IoOp::Read) => {
+                let g = group.max(1) as f64;
+                ((group.saturating_sub(parity)).max(1) as f64) / g
+            }
+        }
+    }
+
+    /// Aggregate effective bandwidth of the whole array for a uniform
+    /// request stream, in bytes/s.
+    pub fn effective_bandwidth(
+        &self,
+        op: IoOp,
+        pattern: AccessPattern,
+        transfer_size: f64,
+        fsync: bool,
+    ) -> f64 {
+        let per_dev = self
+            .profile
+            .effective_bandwidth(op, pattern, transfer_size, fsync);
+        per_dev * self.count as f64 * self.layout_factor(op)
+    }
+
+    /// Usable capacity in bytes (after redundancy).
+    pub fn usable_capacity(&self) -> f64 {
+        let raw = self.profile.capacity * self.count as f64;
+        match self.layout {
+            RaidLayout::Stripe => raw,
+            RaidLayout::Mirror { ways } => raw / ways.max(1) as f64,
+            RaidLayout::Parity { group, parity } => {
+                let g = group.max(1) as f64;
+                raw * ((group.saturating_sub(parity)).max(1) as f64) / g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_simkit::units::MIB;
+
+    #[test]
+    fn stripe_scales_linearly() {
+        let one = DeviceArray::stripe(DeviceProfile::qlc_ssd(), 1);
+        let many = DeviceArray::stripe(DeviceProfile::qlc_ssd(), 22);
+        let b1 = one.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
+        let b22 = many.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
+        assert!((b22 / b1 - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mirror_halves_writes_not_reads() {
+        let arr = DeviceArray {
+            profile: DeviceProfile::sas_hdd(),
+            count: 6,
+            layout: RaidLayout::Mirror { ways: 2 },
+        };
+        let stripe = DeviceArray::stripe(DeviceProfile::sas_hdd(), 6);
+        let w = arr.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        let ws = stripe.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        assert!((w - ws / 2.0).abs() < 1e-6);
+        let r = arr.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
+        let rs = stripe.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
+        assert!((r - rs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn raidz2_pays_parity() {
+        let arr = DeviceArray {
+            profile: DeviceProfile::sas_hdd(),
+            count: 80,
+            layout: RaidLayout::Parity {
+                group: 10,
+                parity: 2,
+            },
+        };
+        let stripe = DeviceArray::stripe(DeviceProfile::sas_hdd(), 80);
+        let w = arr.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        let ws = stripe.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        assert!((w / ws - 0.8).abs() < 1e-9);
+        assert!((arr.usable_capacity() / stripe.usable_capacity() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usable_capacity_mirror() {
+        let arr = DeviceArray {
+            profile: DeviceProfile::scm_ssd(),
+            count: 4,
+            layout: RaidLayout::Mirror { ways: 2 },
+        };
+        assert!((arr.usable_capacity() - 2.0 * DeviceProfile::scm_ssd().capacity).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_count_array_is_dead() {
+        let arr = DeviceArray::stripe(DeviceProfile::dram(), 0);
+        assert_eq!(
+            arr.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false),
+            0.0
+        );
+    }
+}

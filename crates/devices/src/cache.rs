@@ -1,0 +1,171 @@
+//! Cache tiers and hit-ratio bandwidth blending.
+//!
+//! GPFS's advantage on sequential reads — and its collapse on random
+//! reads — is a cache phenomenon the paper calls out explicitly (§V.C):
+//! "its caching mechanisms are optimized for sequential reads where the
+//! spatial locality can be exploited, but get thrashed more in random
+//! access patterns". A [`CacheTier`] estimates a hit ratio from the
+//! access pattern and the working-set-to-capacity ratio, then blends the
+//! cache and backing bandwidths harmonically: a requester that hits with
+//! probability `h` spends `h/B_hit + (1-h)/B_miss` seconds per byte.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::AccessPattern;
+
+/// Harmonic blend of two service rates by hit ratio.
+///
+/// Returns the effective bandwidth of a stream served from a cache with
+/// hit ratio `h`, cache bandwidth `hit_bw` and backing bandwidth
+/// `miss_bw`.
+///
+/// # Panics
+/// Panics if `h` is outside `[0, 1]`.
+pub fn blend_bandwidth(h: f64, hit_bw: f64, miss_bw: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&h), "hit ratio out of range: {h}");
+    if hit_bw <= 0.0 {
+        return if h >= 1.0 { 0.0 } else { miss_bw * (1.0 - h) };
+    }
+    if miss_bw <= 0.0 {
+        // Misses never complete; only a pure-hit stream flows.
+        return if h >= 1.0 { hit_bw } else { 0.0 };
+    }
+    1.0 / (h / hit_bw + (1.0 - h) / miss_bw)
+}
+
+/// A cache tier in front of backing media.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheTier {
+    /// Name for diagnostics ("GPFS pagepool", "DNode cache").
+    pub name: String,
+    /// Aggregate cache bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Cache capacity, bytes.
+    pub capacity: f64,
+    /// Hit ratio achieved on sequential streams when read-ahead is
+    /// effective (near 1.0 for prefetching caches).
+    pub seq_hit_ratio: f64,
+    /// Hit ratio achieved on random streams over a working set larger
+    /// than the cache (near 0 — thrashing).
+    pub rand_hit_ratio: f64,
+}
+
+impl CacheTier {
+    /// Estimated hit ratio for a stream of the given pattern over a
+    /// working set of `working_set` bytes.
+    ///
+    /// * If the working set fits in the cache, everything after the cold
+    ///   pass hits regardless of pattern — capped at the pattern ceiling
+    ///   only by re-reference behaviour, so we return the *fit ratio*
+    ///   blended toward 1.
+    /// * If it does not fit, sequential streams still benefit from
+    ///   read-ahead (`seq_hit_ratio`) while random streams thrash
+    ///   (`rand_hit_ratio` scaled by the fraction of the set that is
+    ///   resident).
+    pub fn hit_ratio(&self, pattern: AccessPattern, working_set: f64) -> f64 {
+        let resident = if working_set <= 0.0 {
+            1.0
+        } else {
+            (self.capacity / working_set).min(1.0)
+        };
+        match pattern {
+            AccessPattern::Sequential => {
+                // Read-ahead hides the backing store even when the set
+                // does not fit; residency only helps further.
+                self.seq_hit_ratio.max(resident).min(1.0)
+            }
+            AccessPattern::Random => {
+                // Random hits require residency.
+                (self.rand_hit_ratio + (1.0 - self.rand_hit_ratio) * resident).min(1.0)
+            }
+        }
+    }
+
+    /// Effective bandwidth of this tier in front of `backing_bw`, for a
+    /// stream of the given pattern and working-set size.
+    pub fn effective_bandwidth(
+        &self,
+        pattern: AccessPattern,
+        working_set: f64,
+        backing_bw: f64,
+    ) -> f64 {
+        let h = self.hit_ratio(pattern, working_set);
+        blend_bandwidth(h, self.bandwidth, backing_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_simkit::units::{GIB, TIB};
+
+    fn gpfs_like() -> CacheTier {
+        CacheTier {
+            name: "server cache".into(),
+            bandwidth: 500.0 * GIB,
+            capacity: 2.0 * TIB,
+            seq_hit_ratio: 0.95,
+            rand_hit_ratio: 0.05,
+        }
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        assert_eq!(blend_bandwidth(1.0, 100.0, 1.0), 100.0);
+        assert_eq!(blend_bandwidth(0.0, 100.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn blend_is_harmonic_not_linear() {
+        // 50% hits at 100, 50% misses at 1 → ~1.98, not 50.5.
+        let b = blend_bandwidth(0.5, 100.0, 1.0);
+        assert!((b - 1.0 / (0.5 / 100.0 + 0.5)).abs() < 1e-12);
+        assert!(b < 3.0);
+    }
+
+    #[test]
+    fn blend_degenerate_rates() {
+        assert_eq!(blend_bandwidth(0.5, 0.0, 10.0), 5.0);
+        assert_eq!(blend_bandwidth(0.5, 10.0, 0.0), 0.0);
+        assert_eq!(blend_bandwidth(1.0, 10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn blend_rejects_bad_ratio() {
+        blend_bandwidth(1.5, 1.0, 1.0);
+    }
+
+    #[test]
+    fn sequential_survives_oversized_working_set() {
+        let c = gpfs_like();
+        let h = c.hit_ratio(AccessPattern::Sequential, 100.0 * TIB);
+        assert!(h >= 0.95);
+    }
+
+    #[test]
+    fn random_thrashes_on_oversized_working_set() {
+        let c = gpfs_like();
+        let h = c.hit_ratio(AccessPattern::Random, 100.0 * TIB);
+        assert!(h < 0.10, "h = {h}");
+    }
+
+    #[test]
+    fn anything_resident_hits() {
+        let c = gpfs_like();
+        let h = c.hit_ratio(AccessPattern::Random, 1.0 * TIB);
+        assert_eq!(h, 1.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_orders_patterns() {
+        let c = gpfs_like();
+        let backing = 10.0 * GIB;
+        let seq = c.effective_bandwidth(AccessPattern::Sequential, 100.0 * TIB, backing);
+        let rand = c.effective_bandwidth(AccessPattern::Random, 100.0 * TIB, backing);
+        assert!(
+            seq / rand > 5.0,
+            "sequential should dominate random through a thrashed cache: {seq} vs {rand}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # hcs-devices
+//!
+//! Storage media models for the `hcs` suite: the building blocks the
+//! paper's storage systems are assembled from (§III.A):
+//!
+//! * **Storage-Class-Memory (SCM) SSDs** — VAST's ultra-low-latency write
+//!   buffer and metadata tier ("100 nanoseconds to 30 microseconds for
+//!   random access").
+//! * **Hyperscale QLC flash** — VAST's capacity backbone "where data are
+//!   eventually persisted".
+//! * **SAS HDD raid groups** — GPFS NSD disks and Lustre OSS raidz2
+//!   groups.
+//! * **Consumer NVMe** — Wombat's node-local Samsung 970 PRO drives
+//!   (PCIe Gen3x4).
+//! * **NVRAM** — the DNode write-staging devices on Wombat.
+//! * **DRAM** — server-side caches.
+//!
+//! Each device is a [`DeviceProfile`] with pattern-dependent bandwidth
+//! and per-operation latencies; [`DeviceProfile::effective_bandwidth`]
+//! folds per-op latency (and fsync barriers) into a steady-state
+//! bandwidth for a given transfer size, which is how small transfers and
+//! write synchronization reduce throughput without simulating every
+//! operation. [`DeviceArray`] aggregates devices into enclosures/raid
+//! groups, and [`cache`] models hit-ratio-blended cache tiers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod array;
+pub mod cache;
+pub mod profile;
+
+pub use access::{AccessPattern, IoOp};
+pub use array::{DeviceArray, RaidLayout};
+pub use cache::{blend_bandwidth, CacheTier};
+pub use profile::DeviceProfile;

@@ -1,0 +1,319 @@
+//! Device performance profiles.
+//!
+//! A [`DeviceProfile`] describes one physical device with
+//! pattern-dependent streaming bandwidth plus per-operation latencies.
+//! The key method, [`DeviceProfile::effective_bandwidth`], converts those
+//! into a steady-state bandwidth for a given `(op, pattern,
+//! transfer_size, fsync)` tuple:
+//!
+//! ```text
+//! B_eff = ts / (ts / B_stream + L_op + [L_sync if fsync])
+//! ```
+//!
+//! This is the standard closed-form for a blocking requester: each
+//! operation pays the transfer time plus fixed per-op costs, so small
+//! transfers and synchronized writes are latency-bound while large
+//! streaming transfers approach the device's media bandwidth. The paper
+//! leans on exactly this effect twice: write-synchronization tests
+//! (Fig 3, "fsync flushes the file to the storage server's device after
+//! each write") and the HDD random-read collapse of GPFS (§VII, 14.5 →
+//! 1.4 GB/s).
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{AccessPattern, IoOp};
+use hcs_simkit::units::{gib_per_s, mib_per_s, MSEC, USEC};
+
+/// Performance profile of a single storage device.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Model name for diagnostics ("Samsung 970 PRO", "SCM SSD", ...).
+    pub name: String,
+    /// Streaming sequential read bandwidth, bytes/s.
+    pub seq_read_bw: f64,
+    /// Streaming sequential write bandwidth, bytes/s.
+    pub seq_write_bw: f64,
+    /// Streaming random read bandwidth at large transfers, bytes/s.
+    pub rand_read_bw: f64,
+    /// Streaming random write bandwidth at large transfers, bytes/s.
+    pub rand_write_bw: f64,
+    /// Fixed per-operation read latency, seconds (seek + firmware).
+    pub read_latency: f64,
+    /// Fixed per-operation write latency, seconds.
+    pub write_latency: f64,
+    /// Extra per-operation cost of a synchronized (fsync'd) write:
+    /// cache flush / FUA round trip, seconds.
+    pub sync_latency: f64,
+    /// Usable capacity, bytes.
+    pub capacity: f64,
+}
+
+impl DeviceProfile {
+    /// Streaming bandwidth for an op/pattern combination, before per-op
+    /// latency accounting.
+    pub fn stream_bandwidth(&self, op: IoOp, pattern: AccessPattern) -> f64 {
+        match (op, pattern) {
+            (IoOp::Read, AccessPattern::Sequential) => self.seq_read_bw,
+            (IoOp::Read, AccessPattern::Random) => self.rand_read_bw,
+            (IoOp::Write, AccessPattern::Sequential) => self.seq_write_bw,
+            (IoOp::Write, AccessPattern::Random) => self.rand_write_bw,
+        }
+    }
+
+    /// Fixed per-operation latency for an op, including the fsync
+    /// surcharge when `fsync` is set (reads never pay it).
+    pub fn op_latency(&self, op: IoOp, fsync: bool) -> f64 {
+        match op {
+            IoOp::Read => self.read_latency,
+            IoOp::Write => self.write_latency + if fsync { self.sync_latency } else { 0.0 },
+        }
+    }
+
+    /// Steady-state bandwidth achieved by a blocking requester issuing
+    /// back-to-back operations of `transfer_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if `transfer_size` is not positive.
+    pub fn effective_bandwidth(
+        &self,
+        op: IoOp,
+        pattern: AccessPattern,
+        transfer_size: f64,
+        fsync: bool,
+    ) -> f64 {
+        assert!(transfer_size > 0.0, "transfer size must be positive");
+        let stream = self.stream_bandwidth(op, pattern);
+        if stream <= 0.0 {
+            return 0.0;
+        }
+        let lat = self.op_latency(op, fsync);
+        transfer_size / (transfer_size / stream + lat)
+    }
+
+    // ---------------------------------------------------------------
+    // Catalog of the devices named by the paper.
+    // ---------------------------------------------------------------
+
+    /// Storage-Class-Memory SSD (VAST's write buffer / metadata tier).
+    ///
+    /// §III.A.4: "SCMs are known for their ultra-low latency (in the
+    /// range of 100 nanoseconds to 30 microseconds for random access)".
+    /// Bandwidths follow shipping 3D-XPoint-class U.2 parts.
+    pub fn scm_ssd() -> DeviceProfile {
+        DeviceProfile {
+            name: "SCM SSD".into(),
+            seq_read_bw: gib_per_s(2.4),
+            seq_write_bw: gib_per_s(2.2),
+            rand_read_bw: gib_per_s(2.2),
+            rand_write_bw: gib_per_s(2.0),
+            read_latency: 10.0 * USEC,
+            write_latency: 10.0 * USEC,
+            sync_latency: 5.0 * USEC, // power-fail-safe: flush is nearly free
+            capacity: 1.5e12,
+        }
+    }
+
+    /// Hyperscale QLC flash SSD (VAST's capacity backbone, §III.A.5).
+    ///
+    /// Large QLC parts stream reads well; direct small/random writes are
+    /// poor, but VAST only writes QLC in large shaped stripes staged
+    /// through SCM, so the write path here reflects full-stripe writes.
+    pub fn qlc_ssd() -> DeviceProfile {
+        DeviceProfile {
+            name: "Hyperscale QLC SSD".into(),
+            seq_read_bw: gib_per_s(3.0),
+            seq_write_bw: gib_per_s(1.2),
+            rand_read_bw: gib_per_s(2.6), // flash: random ≈ sequential for reads
+            rand_write_bw: gib_per_s(0.3),
+            read_latency: 90.0 * USEC,
+            write_latency: 800.0 * USEC,
+            sync_latency: 2.0 * MSEC,
+            capacity: 15.36e12,
+        }
+    }
+
+    /// Nearline SAS HDD as used in GPFS NSD arrays and Lustre raidz2
+    /// groups (§IV.B).
+    ///
+    /// The defining feature is the ~8 ms positioning time: random 1 MiB
+    /// reads run ~15× slower than streaming.
+    pub fn sas_hdd() -> DeviceProfile {
+        DeviceProfile {
+            name: "Nearline SAS HDD".into(),
+            seq_read_bw: mib_per_s(230.0),
+            seq_write_bw: mib_per_s(210.0),
+            rand_read_bw: mib_per_s(230.0), // stream term; randomness costs latency
+            rand_write_bw: mib_per_s(200.0),
+            read_latency: 0.0, // sequential: no positioning between ops
+            write_latency: 0.0,
+            sync_latency: 9.0 * MSEC,
+            capacity: 16e12,
+        }
+    }
+
+    /// SAS HDD profile with positioning latency applied to every
+    /// operation (the random-access behaviour of [`Self::sas_hdd`]).
+    ///
+    /// Kept as a distinct constructor because array models pick one or
+    /// the other depending on the *observed* pattern at the array, which
+    /// cache layers may have transformed (read-ahead turns client-random
+    /// into device-sequential only when it is effective).
+    pub fn sas_hdd_positioning() -> DeviceProfile {
+        DeviceProfile {
+            read_latency: 8.0 * MSEC,
+            write_latency: 8.0 * MSEC,
+            ..Self::sas_hdd()
+        }
+    }
+
+    /// Samsung 970 PRO consumer NVMe (Wombat node-local storage, §IV.B:
+    /// "three Samsung 970 PRO SSDs on each compute node, connected via
+    /// PCIe Gen3x4").
+    ///
+    /// Vendor sheet: 3.5 GB/s seq read, 2.7 GB/s seq write. Consumer
+    /// parts have no power-loss-protected cache, so a synchronized write
+    /// pays a multi-millisecond NAND flush — the effect behind the 5×
+    /// VAST-over-NVMe single-node fsync result (§V.A).
+    pub fn nvme_970_pro() -> DeviceProfile {
+        DeviceProfile {
+            name: "Samsung 970 PRO".into(),
+            seq_read_bw: 3.5e9,
+            seq_write_bw: 2.7e9,
+            rand_read_bw: 3.2e9,
+            rand_write_bw: 2.3e9,
+            read_latency: 80.0 * USEC,
+            write_latency: 30.0 * USEC,
+            sync_latency: 2.4 * MSEC, // consumer flush: no PLP capacitors
+            capacity: 1e12,
+        }
+    }
+
+    /// NVRAM staging device on Wombat's BlueField DNodes (§IV.B: "11
+    /// SSDs and four NVRAMs hosted by a pair of DPUs").
+    pub fn nvram() -> DeviceProfile {
+        DeviceProfile {
+            name: "NVRAM".into(),
+            seq_read_bw: gib_per_s(5.0),
+            seq_write_bw: gib_per_s(4.5),
+            rand_read_bw: gib_per_s(5.0),
+            rand_write_bw: gib_per_s(4.5),
+            read_latency: 3.0 * USEC,
+            write_latency: 3.0 * USEC,
+            sync_latency: 1.0 * USEC,
+            capacity: 0.1e12,
+        }
+    }
+
+    /// Server DRAM used as a cache tier (GPFS pagepool, DNode caches).
+    pub fn dram() -> DeviceProfile {
+        DeviceProfile {
+            name: "DRAM".into(),
+            seq_read_bw: gib_per_s(16.0),
+            seq_write_bw: gib_per_s(16.0),
+            rand_read_bw: gib_per_s(14.0),
+            rand_write_bw: gib_per_s(14.0),
+            read_latency: 0.2 * USEC,
+            write_latency: 0.2 * USEC,
+            sync_latency: 0.0,
+            capacity: 256e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_simkit::units::MIB;
+
+    #[test]
+    fn large_transfers_approach_stream_bandwidth() {
+        let d = DeviceProfile::nvme_970_pro();
+        let eff = d.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, 1e9, false);
+        assert!(eff > 0.97 * d.seq_read_bw, "eff = {eff}");
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        let d = DeviceProfile::nvme_970_pro();
+        let eff = d.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, 4096.0, false);
+        // 4 KiB / 80 us ≈ 51 MB/s, nowhere near 3.5 GB/s.
+        assert!(eff < 0.03 * d.seq_read_bw, "eff = {eff}");
+    }
+
+    #[test]
+    fn fsync_collapses_consumer_nvme_writes() {
+        let d = DeviceProfile::nvme_970_pro();
+        let buffered = d.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        let synced = d.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, true);
+        assert!(
+            synced < buffered / 4.0,
+            "fsync should cost >4x at 1 MiB: {synced} vs {buffered}"
+        );
+    }
+
+    #[test]
+    fn fsync_barely_affects_scm() {
+        let d = DeviceProfile::scm_ssd();
+        let buffered = d.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, false);
+        let synced = d.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, MIB, true);
+        assert!(synced > 0.98 * buffered, "{synced} vs {buffered}");
+    }
+
+    #[test]
+    fn hdd_positioning_destroys_random_reads() {
+        let hdd = DeviceProfile::sas_hdd_positioning();
+        let seq = DeviceProfile::sas_hdd().effective_bandwidth(
+            IoOp::Read,
+            AccessPattern::Sequential,
+            MIB,
+            false,
+        );
+        let rand = hdd.effective_bandwidth(IoOp::Read, AccessPattern::Random, MIB, false);
+        let ratio = seq / rand;
+        assert!(
+            (2.0..20.0).contains(&ratio),
+            "HDD seq/rand ratio at 1 MiB should be several-fold: {ratio}"
+        );
+    }
+
+    #[test]
+    fn flash_random_read_close_to_sequential() {
+        let d = DeviceProfile::qlc_ssd();
+        let seq = d.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
+        let rand = d.effective_bandwidth(IoOp::Read, AccessPattern::Random, MIB, false);
+        assert!(rand > 0.75 * seq, "flash random reads stay close: {rand} vs {seq}");
+    }
+
+    #[test]
+    fn reads_never_pay_sync_latency() {
+        let d = DeviceProfile::nvme_970_pro();
+        assert_eq!(d.op_latency(IoOp::Read, true), d.op_latency(IoOp::Read, false));
+    }
+
+    #[test]
+    fn zero_stream_bandwidth_is_zero_effective() {
+        let mut d = DeviceProfile::dram();
+        d.seq_read_bw = 0.0;
+        assert_eq!(
+            d.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_transfer_size_rejected() {
+        DeviceProfile::dram().effective_bandwidth(IoOp::Read, AccessPattern::Sequential, 0.0, false);
+    }
+
+    #[test]
+    fn effective_bandwidth_monotone_in_transfer_size() {
+        let d = DeviceProfile::qlc_ssd();
+        let mut last = 0.0;
+        for ts in [4e3, 64e3, 256e3, 1e6, 16e6, 256e6] {
+            let eff = d.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, ts, true);
+            assert!(eff >= last, "bandwidth must grow with transfer size");
+            last = eff;
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests on the device-math invariants every model rests on.
+
+use proptest::prelude::*;
+
+use hcs_devices::{blend_bandwidth, AccessPattern, DeviceArray, DeviceProfile, IoOp, RaidLayout};
+
+fn any_profile() -> impl Strategy<Value = DeviceProfile> {
+    (
+        1.0e6..1.0e10f64,  // seq read
+        1.0e6..1.0e10f64,  // seq write
+        1.0e6..1.0e10f64,  // rand read
+        1.0e6..1.0e10f64,  // rand write
+        0.0..1.0e-2f64,    // read latency
+        0.0..1.0e-2f64,    // write latency
+        0.0..1.0e-2f64,    // sync latency
+    )
+        .prop_map(|(sr, sw, rr, rw, rl, wl, sl)| DeviceProfile {
+            name: "gen".into(),
+            seq_read_bw: sr,
+            seq_write_bw: sw,
+            rand_read_bw: rr,
+            rand_write_bw: rw,
+            read_latency: rl,
+            write_latency: wl,
+            sync_latency: sl,
+            capacity: 1e12,
+        })
+}
+
+fn any_op() -> impl Strategy<Value = (IoOp, AccessPattern, bool)> {
+    (
+        prop_oneof![Just(IoOp::Read), Just(IoOp::Write)],
+        prop_oneof![Just(AccessPattern::Sequential), Just(AccessPattern::Random)],
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Effective bandwidth never exceeds the streaming rate and is
+    /// always non-negative.
+    #[test]
+    fn effective_bandwidth_bounded(
+        dev in any_profile(),
+        (op, pat, fsync) in any_op(),
+        ts in 1.0..1.0e9f64,
+    ) {
+        let eff = dev.effective_bandwidth(op, pat, ts, fsync);
+        let stream = dev.stream_bandwidth(op, pat);
+        prop_assert!(eff >= 0.0);
+        prop_assert!(eff <= stream * (1.0 + 1e-12), "{eff} > {stream}");
+    }
+
+    /// Bigger transfers never reduce effective bandwidth (latency
+    /// amortizes monotonically).
+    #[test]
+    fn effective_bandwidth_monotone_in_ts(
+        dev in any_profile(),
+        (op, pat, fsync) in any_op(),
+        ts in 1.0..1.0e8f64,
+        factor in 1.0..100.0f64,
+    ) {
+        let small = dev.effective_bandwidth(op, pat, ts, fsync);
+        let big = dev.effective_bandwidth(op, pat, ts * factor, fsync);
+        prop_assert!(big >= small * (1.0 - 1e-12));
+    }
+
+    /// fsync never speeds a write up, and never touches reads.
+    #[test]
+    fn fsync_only_hurts_writes(
+        dev in any_profile(),
+        ts in 1.0..1.0e9f64,
+    ) {
+        let w_plain = dev.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, ts, false);
+        let w_sync = dev.effective_bandwidth(IoOp::Write, AccessPattern::Sequential, ts, true);
+        prop_assert!(w_sync <= w_plain * (1.0 + 1e-12));
+        let r_plain = dev.effective_bandwidth(IoOp::Read, AccessPattern::Random, ts, false);
+        let r_sync = dev.effective_bandwidth(IoOp::Read, AccessPattern::Random, ts, true);
+        prop_assert!((r_plain - r_sync).abs() < r_plain.max(1.0) * 1e-12);
+    }
+
+    /// Array bandwidth scales linearly in device count under striping,
+    /// and redundancy never exceeds the striped rate.
+    #[test]
+    fn arrays_scale_and_redundancy_costs(
+        dev in any_profile(),
+        (op, pat, fsync) in any_op(),
+        ts in 1.0..1.0e8f64,
+        n in 1u32..64,
+    ) {
+        let one = DeviceArray::stripe(dev.clone(), 1).effective_bandwidth(op, pat, ts, fsync);
+        let many = DeviceArray::stripe(dev.clone(), n).effective_bandwidth(op, pat, ts, fsync);
+        prop_assert!((many - one * n as f64).abs() <= many.max(1.0) * 1e-9);
+
+        let mirrored = DeviceArray {
+            profile: dev.clone(),
+            count: n,
+            layout: RaidLayout::Mirror { ways: 2 },
+        }
+        .effective_bandwidth(op, pat, ts, fsync);
+        prop_assert!(mirrored <= many * (1.0 + 1e-12));
+
+        let parity = DeviceArray {
+            profile: dev,
+            count: n,
+            layout: RaidLayout::Parity { group: 10, parity: 2 },
+        }
+        .effective_bandwidth(op, pat, ts, fsync);
+        prop_assert!(parity <= many * (1.0 + 1e-12));
+    }
+
+    /// The harmonic blend always lies between its two rates.
+    #[test]
+    fn blend_between_endpoints(
+        h in 0.0..=1.0f64,
+        a in 1.0..1.0e12f64,
+        b in 1.0..1.0e12f64,
+    ) {
+        let blended = blend_bandwidth(h, a, b);
+        let lo = a.min(b);
+        let hi = a.max(b);
+        prop_assert!(blended >= lo * (1.0 - 1e-12), "{blended} < {lo}");
+        prop_assert!(blended <= hi * (1.0 + 1e-12), "{blended} > {hi}");
+    }
+
+    /// Blending is monotone in the hit ratio when the cache is faster
+    /// than the backing store.
+    #[test]
+    fn blend_monotone_in_hits(
+        h1 in 0.0..=1.0f64,
+        h2 in 0.0..=1.0f64,
+        backing in 1.0..1.0e9f64,
+        speedup in 1.0..1000.0f64,
+    ) {
+        let cache = backing * speedup;
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        prop_assert!(
+            blend_bandwidth(lo, cache, backing) <= blend_bandwidth(hi, cache, backing) * (1.0 + 1e-12)
+        );
+    }
+}

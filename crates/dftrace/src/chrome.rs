@@ -1,0 +1,148 @@
+//! Chrome-trace JSON serialization (the file format DFTracer emits).
+//!
+//! The format is the Trace Event Format's "JSON object" flavor: a
+//! top-level object with a `traceEvents` array of complete ("ph": "X")
+//! events with microsecond timestamps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventCategory, TraceEvent};
+use crate::tracer::Tracer;
+
+#[derive(Serialize, Deserialize, Default)]
+struct ChromeArgs {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    bytes: Option<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    ph: String,
+    /// Microseconds.
+    ts: f64,
+    /// Microseconds.
+    dur: f64,
+    pid: u32,
+    tid: u32,
+    #[serde(default)]
+    args: ChromeArgs,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ChromeTrace {
+    #[serde(rename = "traceEvents")]
+    trace_events: Vec<ChromeEvent>,
+    #[serde(rename = "displayTimeUnit")]
+    display_time_unit: String,
+}
+
+fn cat_to_string(cat: &EventCategory) -> String {
+    cat.to_string()
+}
+
+fn cat_from_string(s: &str) -> EventCategory {
+    match s {
+        "read" => EventCategory::Read,
+        "write" => EventCategory::Write,
+        "compute" => EventCategory::Compute,
+        "open" => EventCategory::Open,
+        other => EventCategory::Other(other.to_string()),
+    }
+}
+
+/// Serializes a tracer to chrome-trace JSON.
+pub fn to_json(tracer: &Tracer) -> String {
+    let trace = ChromeTrace {
+        trace_events: tracer
+            .events()
+            .iter()
+            .map(|e| ChromeEvent {
+                name: e.name.clone(),
+                cat: cat_to_string(&e.cat),
+                ph: "X".into(),
+                ts: e.ts * 1e6,
+                dur: e.dur * 1e6,
+                pid: e.pid,
+                tid: e.tid,
+                args: ChromeArgs { bytes: e.bytes },
+            })
+            .collect(),
+        display_time_unit: "ms".into(),
+    };
+    serde_json::to_string(&trace).expect("trace serialization cannot fail")
+}
+
+/// Parses chrome-trace JSON back into a tracer. Non-"X" phase records
+/// are skipped (DFTracer emits metadata records alongside events).
+///
+/// # Errors
+/// Returns the underlying JSON error on malformed input.
+pub fn from_json(json: &str) -> Result<Tracer, serde_json::Error> {
+    let trace: ChromeTrace = serde_json::from_str(json)?;
+    let mut tracer = Tracer::new();
+    for e in trace.trace_events {
+        if e.ph != "X" {
+            continue;
+        }
+        tracer.record(TraceEvent {
+            name: e.name,
+            cat: cat_from_string(&e.cat),
+            pid: e.pid,
+            tid: e.tid,
+            ts: e.ts / 1e6,
+            dur: e.dur / 1e6,
+            bytes: e.args.bytes,
+        });
+    }
+    Ok(tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let mut t = Tracer::new();
+        t.complete("read_sample", EventCategory::Read, 3, 1, 0.25, 0.75);
+        t.complete("train", EventCategory::Compute, 3, 0, 0.5, 1.5);
+        t.complete("ckpt", EventCategory::Other("checkpoint".into()), 4, 0, 2.0, 2.5);
+        let json = to_json(&t);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.events()[0].name, "read_sample");
+        assert_eq!(back.events()[0].cat, EventCategory::Read);
+        assert!((back.events()[0].ts - 0.25).abs() < 1e-12);
+        assert!((back.events()[0].dur - 0.5).abs() < 1e-12);
+        assert_eq!(back.events()[2].cat, EventCategory::Other("checkpoint".into()));
+    }
+
+    #[test]
+    fn json_has_chrome_shape() {
+        let mut t = Tracer::new();
+        t.complete("r", EventCategory::Read, 0, 0, 0.0, 1.0);
+        let json = to_json(&t);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Microseconds: 1 s duration = 1e6 us.
+        assert!(json.contains("1000000"));
+    }
+
+    #[test]
+    fn non_x_records_skipped() {
+        let json = r#"{"traceEvents":[
+            {"name":"meta","cat":"__metadata","ph":"M","ts":0,"dur":0,"pid":0,"tid":0},
+            {"name":"r","cat":"read","ph":"X","ts":0,"dur":1000,"pid":0,"tid":0}
+        ],"displayTimeUnit":"ms"}"#;
+        let t = from_json(json).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].name, "r");
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Trace events.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of activity an event records.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventCategory {
+    /// A storage read (sample fetch, posix read...).
+    Read,
+    /// A storage write.
+    Write,
+    /// Computation (a training step, preprocessing...).
+    Compute,
+    /// File open / metadata activity.
+    Open,
+    /// Anything else, labeled.
+    Other(String),
+}
+
+impl fmt::Display for EventCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventCategory::Read => write!(f, "read"),
+            EventCategory::Write => write!(f, "write"),
+            EventCategory::Compute => write!(f, "compute"),
+            EventCategory::Open => write!(f, "open"),
+            EventCategory::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One complete ("X"-phase, in chrome-trace terms) event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name ("read_sample", "train_step"...).
+    pub name: String,
+    /// Category.
+    pub cat: EventCategory,
+    /// Process id — the suite uses one pid per simulated node.
+    pub pid: u32,
+    /// Thread id within the process.
+    pub tid: u32,
+    /// Start time, seconds.
+    pub ts: f64,
+    /// Duration, seconds.
+    pub dur: f64,
+    /// Bytes moved by the event, when known (DFTracer records sizes in
+    /// the event args; compute events carry none).
+    #[serde(default)]
+    pub bytes: Option<f64>,
+}
+
+impl TraceEvent {
+    /// End time, seconds.
+    pub fn end(&self) -> f64 {
+        self.ts + self.dur
+    }
+
+    /// The half-open interval this event covers.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.ts, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_and_end() {
+        let e = TraceEvent {
+            name: "read".into(),
+            cat: EventCategory::Read,
+            pid: 0,
+            tid: 1,
+            ts: 2.0,
+            dur: 0.5,
+            bytes: None,
+        };
+        assert_eq!(e.end(), 2.5);
+        assert_eq!(e.interval(), (2.0, 2.5));
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(EventCategory::Read.to_string(), "read");
+        assert_eq!(EventCategory::Other("checkpoint".into()).to_string(), "checkpoint");
+    }
+}

@@ -1,0 +1,188 @@
+//! Time-binned trace analysis: activity timelines and per-category
+//! summaries.
+//!
+//! DFTracer users plot "how much I/O was in flight over time" next to
+//! compute activity to see pipeline stalls visually; [`timeline`]
+//! produces that series from a trace, and [`category_summary`] gives
+//! the per-category event statistics a trace report leads with.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventCategory;
+use crate::tracer::Tracer;
+
+/// Activity per time bin for one category.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Category measured.
+    pub category: EventCategory,
+    /// Bin width, seconds.
+    pub bin: f64,
+    /// Start time of the first bin.
+    pub start: f64,
+    /// Mean concurrency (events in flight) per bin.
+    pub concurrency: Vec<f64>,
+}
+
+impl Timeline {
+    /// Peak mean-concurrency across bins.
+    pub fn peak(&self) -> f64 {
+        self.concurrency.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average concurrency.
+    pub fn average(&self) -> f64 {
+        if self.concurrency.is_empty() {
+            0.0
+        } else {
+            self.concurrency.iter().sum::<f64>() / self.concurrency.len() as f64
+        }
+    }
+}
+
+/// Bins a trace's events of one category into mean-concurrency per
+/// `bin` seconds over the trace's span.
+///
+/// # Panics
+/// Panics if `bin` is not positive.
+pub fn timeline(tracer: &Tracer, category: &EventCategory, bin: f64) -> Timeline {
+    assert!(bin > 0.0, "bin width must be positive");
+    let Some((start, end)) = tracer.span() else {
+        return Timeline {
+            category: category.clone(),
+            bin,
+            start: 0.0,
+            concurrency: Vec::new(),
+        };
+    };
+    let n_bins = ((end - start) / bin).ceil().max(1.0) as usize;
+    let mut busy = vec![0.0_f64; n_bins];
+    for e in tracer.by_category(category) {
+        let (s, t) = e.interval();
+        if t <= s {
+            continue;
+        }
+        let first = (((s - start) / bin).floor() as usize).min(n_bins - 1);
+        let last = ((((t - start) / bin).ceil() as usize).max(first + 1)).min(n_bins);
+        for (b, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+            let b_start = start + b as f64 * bin;
+            let b_end = b_start + bin;
+            let overlap = (t.min(b_end) - s.max(b_start)).max(0.0);
+            *slot += overlap;
+        }
+    }
+    Timeline {
+        category: category.clone(),
+        bin,
+        start,
+        concurrency: busy.into_iter().map(|b| b / bin).collect(),
+    }
+}
+
+/// Per-category event statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CategorySummary {
+    /// Category.
+    pub category: EventCategory,
+    /// Number of events.
+    pub count: usize,
+    /// Sum of event durations, seconds (not de-overlapped).
+    pub total_duration: f64,
+    /// Mean event duration, seconds.
+    pub mean_duration: f64,
+    /// Longest event, seconds.
+    pub max_duration: f64,
+}
+
+/// Summarizes every category present in the trace, in a stable order.
+pub fn category_summary(tracer: &Tracer) -> Vec<CategorySummary> {
+    let mut cats: Vec<EventCategory> = Vec::new();
+    for e in tracer.events() {
+        if !cats.contains(&e.cat) {
+            cats.push(e.cat.clone());
+        }
+    }
+    cats.sort_by_key(|c| c.to_string());
+    cats.into_iter()
+        .map(|cat| {
+            let durs: Vec<f64> = tracer.by_category(&cat).map(|e| e.dur).collect();
+            let total: f64 = durs.iter().sum();
+            CategorySummary {
+                count: durs.len(),
+                total_duration: total,
+                mean_duration: total / durs.len().max(1) as f64,
+                max_duration: durs.iter().copied().fold(0.0, f64::max),
+                category: cat,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr() -> Tracer {
+        let mut t = Tracer::new();
+        // Two overlapping reads in [0,2): concurrency 2 in bin 0 and 1.
+        t.complete("r", EventCategory::Read, 0, 0, 0.0, 2.0);
+        t.complete("r", EventCategory::Read, 0, 1, 0.0, 2.0);
+        // One read in [3,4).
+        t.complete("r", EventCategory::Read, 0, 0, 3.0, 4.0);
+        t.complete("c", EventCategory::Compute, 0, 9, 0.0, 4.0);
+        t
+    }
+
+    #[test]
+    fn timeline_concurrency_per_bin() {
+        let tl = timeline(&tr(), &EventCategory::Read, 1.0);
+        assert_eq!(tl.concurrency.len(), 4);
+        assert!((tl.concurrency[0] - 2.0).abs() < 1e-9);
+        assert!((tl.concurrency[1] - 2.0).abs() < 1e-9);
+        assert!((tl.concurrency[2] - 0.0).abs() < 1e-9);
+        assert!((tl.concurrency[3] - 1.0).abs() < 1e-9);
+        assert_eq!(tl.peak(), 2.0);
+        assert!((tl.average() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bin_overlap_weighted() {
+        let mut t = Tracer::new();
+        t.complete("r", EventCategory::Read, 0, 0, 0.5, 1.5);
+        t.complete("c", EventCategory::Compute, 0, 9, 0.0, 2.0);
+        let tl = timeline(&t, &EventCategory::Read, 1.0);
+        assert!((tl.concurrency[0] - 0.5).abs() < 1e-9);
+        assert!((tl.concurrency[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_timeline() {
+        let tl = timeline(&Tracer::new(), &EventCategory::Read, 1.0);
+        assert!(tl.concurrency.is_empty());
+        assert_eq!(tl.average(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_rejected() {
+        timeline(&Tracer::new(), &EventCategory::Read, 0.0);
+    }
+
+    #[test]
+    fn category_summary_counts() {
+        let cs = category_summary(&tr());
+        assert_eq!(cs.len(), 2);
+        // Sorted by name: compute before read.
+        assert_eq!(cs[0].category, EventCategory::Compute);
+        assert_eq!(cs[1].category, EventCategory::Read);
+        assert_eq!(cs[1].count, 3);
+        assert!((cs[1].total_duration - 5.0).abs() < 1e-9);
+        assert!((cs[1].mean_duration - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cs[1].max_duration, 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty_trace_is_empty() {
+        assert!(category_summary(&Tracer::new()).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Event collection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventCategory, TraceEvent};
+
+/// Collects complete trace events during a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Tracer { events: Vec::new() }
+    }
+
+    /// Records a complete event.
+    pub fn record(&mut self, event: TraceEvent) {
+        debug_assert!(event.dur >= 0.0, "negative duration");
+        self.events.push(event);
+    }
+
+    /// Convenience: records a complete event from fields.
+    pub fn complete(
+        &mut self,
+        name: impl Into<String>,
+        cat: EventCategory,
+        pid: u32,
+        tid: u32,
+        start: f64,
+        end: f64,
+    ) {
+        assert!(end >= start, "event ends before it starts: {start}..{end}");
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts: start,
+            dur: end - start,
+            bytes: None,
+        });
+    }
+
+    /// Records a complete event that moved `bytes` bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_bytes(
+        &mut self,
+        name: impl Into<String>,
+        cat: EventCategory,
+        pid: u32,
+        tid: u32,
+        start: f64,
+        end: f64,
+        bytes: f64,
+    ) {
+        assert!(end >= start, "event ends before it starts: {start}..{end}");
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts: start,
+            dur: end - start,
+            bytes: Some(bytes),
+        });
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one category.
+    pub fn by_category<'a>(
+        &'a self,
+        cat: &'a EventCategory,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| &e.cat == cat)
+    }
+
+    /// Events of one process.
+    pub fn by_pid(&self, pid: u32) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Distinct pids, ascending.
+    pub fn pids(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.events.iter().map(|e| e.pid).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Absorbs another tracer's events.
+    pub fn merge(&mut self, other: Tracer) {
+        self.events.extend(other.events);
+    }
+
+    /// Wall-clock span covered by the trace: `(min ts, max end)`.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        let start = self
+            .events
+            .iter()
+            .map(|e| e.ts)
+            .fold(f64::INFINITY, f64::min);
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.end())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if self.events.is_empty() {
+            None
+        } else {
+            Some((start, end))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr() -> Tracer {
+        let mut t = Tracer::new();
+        t.complete("r1", EventCategory::Read, 0, 0, 0.0, 1.0);
+        t.complete("c1", EventCategory::Compute, 0, 9, 0.5, 2.0);
+        t.complete("r2", EventCategory::Read, 1, 0, 3.0, 4.0);
+        t
+    }
+
+    #[test]
+    fn filters_by_category_and_pid() {
+        let t = tr();
+        assert_eq!(t.by_category(&EventCategory::Read).count(), 2);
+        assert_eq!(t.by_category(&EventCategory::Compute).count(), 1);
+        assert_eq!(t.by_pid(0).count(), 2);
+        assert_eq!(t.pids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn span_covers_all_events() {
+        assert_eq!(tr().span(), Some((0.0, 4.0)));
+        assert_eq!(Tracer::new().span(), None);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = tr();
+        let b = tr();
+        a.merge(b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_event_rejected() {
+        Tracer::new().complete("x", EventCategory::Read, 0, 0, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,592 @@
+//! The prefetching data-loader pipeline simulation.
+//!
+//! Per node, the simulated pipeline mirrors a framework data loader
+//! (§VI.A: "Data loaders, such as TensorFlow, create a task graph to
+//! fetch these batches from storage to memory before the training
+//! begins ... AI workloads allow the input pipeline to execute
+//! asynchronously in conjunction with the compute"):
+//!
+//! * `read_threads` workers each fetch one sample at a time from the
+//!   storage system (a flow through the provisioned resource path,
+//!   rate-capped at the effective per-stream bandwidth with per-op and
+//!   per-file latencies folded in) into a bounded prefetch queue;
+//! * the trainer pops `batch_size` samples, computes for
+//!   `compute_time_per_batch`, and repeats; it stalls when the queue is
+//!   empty — that stall is exactly the *non-overlapping I/O* of §VI.A;
+//! * at an epoch boundary the pipeline drains and the dataset is
+//!   re-read.
+//!
+//! Every read and compute interval is recorded as a DFTracer event, and
+//! the result carries the per-node overlap decompositions and the
+//! application/system throughputs of Fig 4–6.
+
+use std::collections::BTreeMap;
+
+use hcs_core::StorageSystem;
+use hcs_dftrace::{decompose, EventCategory, IoDecomposition, Tracer};
+use hcs_simkit::{FlowId, FlowNet, FlowSpec, IntervalSet};
+
+use crate::config::DlioConfig;
+use crate::result::DlioResult;
+
+/// Trainer pseudo-thread id in traces.
+const TRAINER_TID: u32 = 1000;
+
+struct NodeState {
+    /// Samples still to fetch this epoch.
+    to_fetch: u64,
+    /// Fetched, unconsumed samples in the prefetch queue.
+    queued: u32,
+    /// Reads currently in flight.
+    in_flight: u32,
+    /// Worker threads not currently reading.
+    idle_threads: u32,
+    /// Samples consumed this epoch.
+    consumed: u64,
+    /// Samples this node fetches per epoch.
+    per_epoch: u64,
+    /// Completed epochs.
+    epoch: u32,
+    /// Whether the trainer is computing, and until when.
+    computing: Option<f64>,
+    /// Whether the trainer is blocked on a synchronous checkpoint.
+    checkpointing: bool,
+}
+
+impl NodeState {
+    fn done(&self, epochs: u32) -> bool {
+        self.epoch >= epochs
+    }
+}
+
+/// Runs a DLIO workload on a storage system at the given node count.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the pipeline deadlocks
+/// (which would indicate a simulator bug).
+pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> DlioResult {
+    config.validate();
+    assert!(nodes >= 1, "need at least one node");
+
+    let phase = config.phase(nodes);
+    let mut net = FlowNet::new();
+    let prov = system.provision(&mut net, nodes, 1, &phase);
+
+    // Optional checkpoint write path: a second provisioning pass adds
+    // the write-side resources to the same network, so checkpoint
+    // traffic and sample reads contend where they share components.
+    let ckpt = if config.checkpoint_every_batches > 0 {
+        let wphase = config.checkpoint_phase();
+        let wprov = system.provision(&mut net, nodes, 1, &wphase);
+        let cap = wprov.effective_stream_bw(wphase.transfer_size);
+        Some((wprov, cap))
+    } else {
+        None
+    };
+
+    // Per-sample service ceiling for one worker thread: the effective
+    // stream bandwidth at the workload's transfer size, with the
+    // per-file open cost folded in for file-per-sample datasets.
+    let eff_stream = prov.effective_stream_bw(config.transfer_size);
+    let meta = if config.file_per_sample {
+        prov.metadata_latency
+    } else {
+        0.0
+    };
+    let sample_cap = if eff_stream.is_finite() && eff_stream > 0.0 {
+        let t = config.sample_bytes / eff_stream + meta;
+        Some(config.sample_bytes / t)
+    } else if meta > 0.0 {
+        Some(config.sample_bytes / meta)
+    } else {
+        None
+    };
+
+    let mut states: Vec<NodeState> = (0..nodes)
+        .map(|n| {
+            let per_epoch = config.samples_per_node(nodes, n);
+            NodeState {
+                to_fetch: per_epoch,
+                queued: 0,
+                in_flight: 0,
+                idle_threads: config.read_threads,
+                consumed: 0,
+                per_epoch,
+                epoch: if per_epoch == 0 { config.epochs } else { 0 },
+                computing: None,
+                checkpointing: false,
+            }
+        })
+        .collect();
+
+    let mut tracer = Tracer::new();
+    let mut flows: BTreeMap<FlowId, (u32, u32, f64)> = BTreeMap::new(); // id -> (node, tid, start)
+    let mut ckpt_flows: BTreeMap<FlowId, (u32, f64)> = BTreeMap::new(); // id -> (node, start)
+    let mut next_tid: Vec<u32> = vec![0; nodes as usize];
+
+    // Kick off initial reads on every node.
+    for node in 0..nodes {
+        start_reads(
+            node,
+            &mut states[node as usize],
+            config,
+            &prov.node_paths[node as usize],
+            sample_cap,
+            &mut net,
+            &mut flows,
+            &mut next_tid,
+            0.0,
+        );
+    }
+
+    let mut guard: u64 = 0;
+    let max_events = config.total_sample_reads(nodes) * 6 + 1000;
+    loop {
+        guard += 1;
+        assert!(guard <= max_events, "DLIO pipeline exceeded its event budget");
+
+        let t_flow = net.next_completion_time();
+        let t_compute = states
+            .iter()
+            .filter_map(|s| s.computing)
+            .fold(f64::INFINITY, f64::min);
+        let t_flow_v = t_flow.unwrap_or(f64::INFINITY);
+
+        if !t_flow_v.is_finite() && !t_compute.is_finite() {
+            break; // quiescent: everything processed
+        }
+
+        if t_flow_v <= t_compute {
+            let t = t_flow_v;
+            net.advance_to(t);
+            for c in net.take_completed() {
+                if let Some((node, start)) = ckpt_flows.remove(&c.id) {
+                    // Synchronous checkpoint finished; the trainer
+                    // resumes.
+                    tracer.complete_with_bytes(
+                        "checkpoint",
+                        EventCategory::Write,
+                        node,
+                        TRAINER_TID,
+                        start,
+                        t,
+                        config.checkpoint_bytes,
+                    );
+                    states[node as usize].checkpointing = false;
+                    try_start_compute(node, &mut states[node as usize], config, &mut tracer, t);
+                    start_reads(
+                        node,
+                        &mut states[node as usize],
+                        config,
+                        &prov.node_paths[node as usize],
+                        sample_cap,
+                        &mut net,
+                        &mut flows,
+                        &mut next_tid,
+                        t,
+                    );
+                    continue;
+                }
+                let (node, tid, start) = flows.remove(&c.id).expect("unknown flow completed");
+                tracer.complete_with_bytes(
+                    "read_sample",
+                    EventCategory::Read,
+                    node,
+                    tid,
+                    start,
+                    t,
+                    config.sample_bytes,
+                );
+                let s = &mut states[node as usize];
+                s.in_flight -= 1;
+                s.idle_threads += 1;
+                s.queued += 1;
+                try_start_compute(node, &mut states[node as usize], config, &mut tracer, t);
+                start_reads(
+                    node,
+                    &mut states[node as usize],
+                    config,
+                    &prov.node_paths[node as usize],
+                    sample_cap,
+                    &mut net,
+                    &mut flows,
+                    &mut next_tid,
+                    t,
+                );
+            }
+        } else {
+            let t = t_compute;
+            // Keep the flow clock in lockstep so reads started from a
+            // compute completion begin at `t`, not in the past. No flow
+            // finishes strictly before `t` here (t < t_flow).
+            net.advance_to(t);
+            debug_assert!(net.take_completed().is_empty());
+            for node in 0..nodes {
+                let s = &mut states[node as usize];
+                if s.computing.is_some_and(|end| (end - t).abs() < 1e-12) {
+                    s.computing = None;
+                    tracer.complete(
+                        "train_step",
+                        EventCategory::Compute,
+                        node,
+                        TRAINER_TID,
+                        t - config.compute_time_per_batch,
+                        t,
+                    );
+                    s.consumed +=
+                        (s.per_epoch - s.consumed).min(config.batch_size as u64);
+                    // Synchronous checkpoint every N batches: the
+                    // trainer blocks while the model state streams to
+                    // storage over the write path.
+                    if let Some((wprov, cap)) = &ckpt {
+                        let every = config.checkpoint_every_batches as u64;
+                        if every > 0 && s.consumed % every == 0 {
+                            let mut spec = FlowSpec::new(
+                                wprov.node_paths[node as usize].clone(),
+                                config.checkpoint_bytes,
+                            );
+                            if cap.is_finite() && *cap > 0.0 {
+                                spec = spec.with_rate_cap(*cap);
+                            }
+                            let id = net.add_flow(spec);
+                            ckpt_flows.insert(id, (node, t));
+                            s.checkpointing = true;
+                        }
+                    }
+                    // Epoch boundary: drain, re-shuffle, re-read.
+                    if s.consumed >= s.per_epoch && s.to_fetch == 0 && s.queued == 0 {
+                        s.epoch += 1;
+                        if !s.done(config.epochs) {
+                            s.to_fetch = s.per_epoch;
+                            s.consumed = 0;
+                            start_reads(
+                                node,
+                                s,
+                                config,
+                                &prov.node_paths[node as usize],
+                                sample_cap,
+                                &mut net,
+                                &mut flows,
+                                &mut next_tid,
+                                t,
+                            );
+                        }
+                    }
+                    try_start_compute(node, &mut states[node as usize], config, &mut tracer, t);
+                    // Consuming freed prefetch-queue space; keep the
+                    // worker threads busy.
+                    start_reads(
+                        node,
+                        &mut states[node as usize],
+                        config,
+                        &prov.node_paths[node as usize],
+                        sample_cap,
+                        &mut net,
+                        &mut flows,
+                        &mut next_tid,
+                        t,
+                    );
+                }
+            }
+        }
+    }
+
+    for (n, s) in states.iter().enumerate() {
+        assert!(
+            s.done(config.epochs),
+            "node {n} finished only {} of {} epochs (queued={}, to_fetch={})",
+            s.epoch,
+            config.epochs,
+            s.queued,
+            s.to_fetch
+        );
+    }
+
+    let duration = tracer.span().map(|(a, b)| b - a).unwrap_or(0.0);
+    let per_node: Vec<IoDecomposition> = (0..nodes)
+        .map(|n| decompose(&tracer, Some(n)))
+        .collect();
+    let mut mean = IoDecomposition::default();
+    for d in &per_node {
+        mean.accumulate(d);
+    }
+    let mean_per_node = mean.scaled(1.0 / nodes as f64);
+
+    let checkpoint_io = {
+        let total: f64 = (0..nodes)
+            .map(|n| {
+                IntervalSet::from_intervals(
+                    tracer
+                        .by_pid(n)
+                        .filter(|e| e.cat == EventCategory::Write)
+                        .map(|e| e.interval()),
+                )
+                .total()
+            })
+            .sum();
+        total / nodes as f64
+    };
+
+    let mut app = 0.0;
+    let mut sys = 0.0;
+    for (n, d) in per_node.iter().enumerate() {
+        let samples =
+            (config.samples_per_node(nodes, n as u32) * config.epochs as u64) as f64;
+        app += d.app_throughput(samples);
+        sys += d.system_throughput(samples);
+    }
+
+    DlioResult {
+        system: system.description(),
+        workload: config.name.clone(),
+        nodes,
+        duration,
+        samples_processed: config.total_sample_reads(nodes),
+        per_node,
+        mean_per_node,
+        app_throughput: app,
+        system_throughput: sys,
+        checkpoint_io,
+        tracer,
+    }
+}
+
+/// Starts as many reads as threads and queue space allow.
+#[allow(clippy::too_many_arguments)]
+fn start_reads(
+    node: u32,
+    s: &mut NodeState,
+    config: &DlioConfig,
+    path: &[hcs_simkit::ResourceId],
+    sample_cap: Option<f64>,
+    net: &mut FlowNet,
+    flows: &mut BTreeMap<FlowId, (u32, u32, f64)>,
+    next_tid: &mut [u32],
+    now: f64,
+) {
+    while s.idle_threads > 0
+        && s.to_fetch > 0
+        && (s.queued + s.in_flight) < config.prefetch_depth
+    {
+        let tid = next_tid[node as usize] % config.read_threads;
+        next_tid[node as usize] += 1;
+        let mut spec = FlowSpec::new(path.to_vec(), config.sample_bytes);
+        if let Some(cap) = sample_cap {
+            spec = spec.with_rate_cap(cap);
+        }
+        let id = net.add_flow(spec);
+        flows.insert(id, (node, tid, now));
+        s.idle_threads -= 1;
+        s.in_flight += 1;
+        s.to_fetch -= 1;
+    }
+}
+
+/// Starts a training step if the trainer is idle and a batch is ready.
+fn try_start_compute(
+    node: u32,
+    s: &mut NodeState,
+    config: &DlioConfig,
+    _tracer: &mut Tracer,
+    now: f64,
+) {
+    let _ = node;
+    if s.computing.is_some() || s.checkpointing || s.consumed >= s.per_epoch || s.epoch >= config.epochs
+    {
+        return;
+    }
+    // The final batch of an epoch may be partial (per_epoch % batch).
+    let remaining = (s.per_epoch - s.consumed).min(config.batch_size as u64) as u32;
+    if s.queued >= remaining && remaining > 0 {
+        s.queued -= remaining;
+        s.computing = Some(now + config.compute_time_per_batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{cosmoflow, resnet50};
+    use hcs_gpfs::GpfsConfig;
+    use hcs_vast::vast_on_lassen;
+
+    #[test]
+    fn completes_all_samples_and_epochs() {
+        let sys = GpfsConfig::on_lassen();
+        let cfg = resnet50().smoke();
+        let r = run_dlio(&sys, &cfg, 2);
+        assert_eq!(r.samples_processed, cfg.samples * 2);
+        let reads = r
+            .tracer
+            .by_category(&EventCategory::Read)
+            .count() as u64;
+        assert_eq!(reads, cfg.samples * 2);
+        let steps = r.tracer.by_category(&EventCategory::Compute).count() as u64;
+        assert_eq!(steps, cfg.samples * 2);
+    }
+
+    #[test]
+    fn epochs_reread_dataset() {
+        let sys = GpfsConfig::on_lassen();
+        let cfg = cosmoflow().smoke(); // 2 epochs after smoke
+        let r = run_dlio(&sys, &cfg, 2);
+        let reads = r.tracer.by_category(&EventCategory::Read).count() as u64;
+        assert_eq!(reads, cfg.samples * cfg.epochs as u64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sys = vast_on_lassen();
+        let cfg = resnet50().smoke();
+        let a = run_dlio(&sys, &cfg, 2);
+        let b = run_dlio(&sys, &cfg, 2);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.mean_per_node, b.mean_per_node);
+    }
+
+    #[test]
+    fn decomposition_identity_holds() {
+        let sys = vast_on_lassen();
+        let r = run_dlio(&sys, &resnet50().smoke(), 1);
+        let d = &r.mean_per_node;
+        assert!((d.overlapping_io + d.non_overlapping_io - d.io_total).abs() < 1e-9);
+        assert!(d.io_total > 0.0);
+        assert!(d.compute_total > 0.0);
+    }
+
+    #[test]
+    fn compute_dominates_resnet_runtime() {
+        // §VI.A: ~97% of runtime is computation when storage keeps up.
+        let sys = GpfsConfig::on_lassen();
+        let r = run_dlio(&sys, &resnet50(), 1);
+        assert!(
+            r.compute_fraction() > 0.9,
+            "compute fraction = {}",
+            r.compute_fraction()
+        );
+    }
+
+    #[test]
+    fn vast_tcp_spends_more_io_time_than_gpfs_on_resnet() {
+        // Fig 4a: VAST I/O time exceeds GPFS's, but most overlaps.
+        let vast = vast_on_lassen();
+        let gpfs = GpfsConfig::on_lassen();
+        let rv = run_dlio(&vast, &resnet50(), 4);
+        let rg = run_dlio(&gpfs, &resnet50(), 4);
+        assert!(rv.io_total() > rg.io_total(), "{} vs {}", rv.io_total(), rg.io_total());
+        assert!(
+            rv.overlapping_io() > rv.non_overlapping_io(),
+            "most VAST I/O hides behind compute: {} vs {}",
+            rv.overlapping_io(),
+            rv.non_overlapping_io()
+        );
+    }
+
+    #[test]
+    fn app_throughput_gap_smaller_than_system_gap_on_resnet() {
+        // Fig 5: system throughput differs wildly; application
+        // throughput only slightly.
+        let vast = vast_on_lassen();
+        let gpfs = GpfsConfig::on_lassen();
+        let rv = run_dlio(&vast, &resnet50(), 4);
+        let rg = run_dlio(&gpfs, &resnet50(), 4);
+        let app_ratio = rg.app_throughput / rv.app_throughput;
+        let sys_ratio = rg.system_throughput / rv.system_throughput;
+        assert!(app_ratio < 1.3, "app ratio = {app_ratio}");
+        assert!(sys_ratio > 2.0, "system ratio = {sys_ratio}");
+    }
+
+    #[test]
+    fn cosmoflow_starves_on_vast_not_on_gpfs() {
+        // Fig 4b / Fig 6: non-overlapping I/O dramatically increases
+        // for VAST; GPFS serves Cosmoflow better.
+        let vast = vast_on_lassen();
+        let gpfs = GpfsConfig::on_lassen();
+        let rv = run_dlio(&vast, &cosmoflow(), 4);
+        let rg = run_dlio(&gpfs, &cosmoflow(), 4);
+        assert!(
+            rv.non_overlapping_io() > 5.0 * rg.non_overlapping_io(),
+            "VAST stalls: {} vs GPFS {}",
+            rv.non_overlapping_io(),
+            rg.non_overlapping_io()
+        );
+        assert!(rg.app_throughput > 1.3 * rv.app_throughput);
+    }
+
+    #[test]
+    fn checkpointing_blocks_trainer_and_is_traced() {
+        let sys = GpfsConfig::on_lassen();
+        let base = resnet50().smoke();
+        let ckpt = base.clone().with_checkpointing(16, 500e6);
+        let plain = run_dlio(&sys, &base, 2);
+        let with = run_dlio(&sys, &ckpt, 2);
+        // 64 samples / 16 = 4 checkpoints per node.
+        let writes = with.tracer.by_category(&EventCategory::Write).count();
+        assert_eq!(writes, 8);
+        assert!(with.checkpoint_io > 0.0);
+        assert_eq!(plain.checkpoint_io, 0.0);
+        assert!(
+            with.duration > plain.duration,
+            "synchronous checkpoints lengthen the run: {} vs {}",
+            with.duration,
+            plain.duration
+        );
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_bytes() {
+        let sys = vast_on_lassen();
+        let small = run_dlio(&sys, &resnet50().smoke().with_checkpointing(32, 100e6), 1);
+        let large = run_dlio(&sys, &resnet50().smoke().with_checkpointing(32, 1000e6), 1);
+        assert!(
+            large.checkpoint_io > 5.0 * small.checkpoint_io,
+            "{} vs {}",
+            large.checkpoint_io,
+            small.checkpoint_io
+        );
+    }
+
+    #[test]
+    fn partial_final_batch_does_not_deadlock() {
+        let sys = GpfsConfig::on_lassen();
+        let mut cfg = resnet50().smoke();
+        cfg.samples = 13;
+        cfg.batch_size = 4; // 3 full batches + 1 partial
+        cfg.prefetch_depth = 8;
+        let r = run_dlio(&sys, &cfg, 2);
+        assert_eq!(r.samples_processed, 26);
+        let steps = r.tracer.by_category(&EventCategory::Compute).count();
+        assert_eq!(steps, 8, "4 steps per node (3 full + 1 partial)");
+    }
+
+    #[test]
+    fn batched_training_consumes_whole_batches() {
+        let sys = GpfsConfig::on_lassen();
+        let mut cfg = resnet50().smoke();
+        cfg.samples = 32;
+        cfg.batch_size = 8;
+        let r = run_dlio(&sys, &cfg, 1);
+        let steps = r.tracer.by_category(&EventCategory::Compute).count();
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn single_sample_edge_case() {
+        let sys = GpfsConfig::on_lassen();
+        let mut cfg = resnet50();
+        cfg.samples = 1;
+        let r = run_dlio(&sys, &cfg, 1);
+        assert_eq!(r.samples_processed, 1);
+        assert!(r.duration > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_than_samples_strong_scaling() {
+        let sys = GpfsConfig::on_lassen();
+        let mut cfg = cosmoflow().smoke();
+        cfg.samples = 3;
+        cfg.epochs = 1;
+        let r = run_dlio(&sys, &cfg, 8); // 5 nodes idle
+        assert_eq!(r.samples_processed, 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! DLIO run results.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_dftrace::{IoDecomposition, Tracer};
+
+/// The outcome of one DLIO run at one scale.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DlioResult {
+    /// Storage system description.
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+    /// Client nodes.
+    pub nodes: u32,
+    /// Wall-clock duration of the whole job, seconds.
+    pub duration: f64,
+    /// Samples processed across all nodes and epochs.
+    pub samples_processed: u64,
+    /// Per-node I/O decompositions (index = node id).
+    pub per_node: Vec<IoDecomposition>,
+    /// Mean of the per-node decompositions.
+    pub mean_per_node: IoDecomposition,
+    /// Aggregate application throughput (Σ per-node perceived
+    /// throughput), samples/s — Fig 5a / Fig 6a.
+    pub app_throughput: f64,
+    /// Aggregate system throughput (Σ per-node storage-side
+    /// throughput), samples/s — Fig 5b / Fig 6b.
+    pub system_throughput: f64,
+    /// Mean per-node time spent in synchronous checkpoints, seconds
+    /// (zero when checkpointing is disabled).
+    #[serde(default)]
+    pub checkpoint_io: f64,
+    /// The full DFTracer-style trace of the run.
+    pub tracer: Tracer,
+}
+
+impl DlioResult {
+    /// Mean non-overlapping I/O time per node, seconds (Fig 4 bars).
+    pub fn non_overlapping_io(&self) -> f64 {
+        self.mean_per_node.non_overlapping_io
+    }
+
+    /// Mean overlapping I/O time per node, seconds (Fig 4 bars).
+    pub fn overlapping_io(&self) -> f64 {
+        self.mean_per_node.overlapping_io
+    }
+
+    /// Mean total I/O time per node, seconds.
+    pub fn io_total(&self) -> f64 {
+        self.mean_per_node.io_total
+    }
+
+    /// Mean compute-only fraction of runtime.
+    pub fn compute_fraction(&self) -> f64 {
+        self.mean_per_node.compute_fraction()
+    }
+}

@@ -1,0 +1,79 @@
+//! Run-to-run consistency (§IV.C): "Our experiments are not performed
+//! in an isolated environment and all file systems, including VAST, are
+//! shared ... To test performance consistency in the shared environment
+//! we repeated our tests 10 times."
+//!
+//! This figure reports each deployment's coefficient of variation over
+//! the 10 repetitions of the paper's scalability workload — the
+//! dedicated appliance should sit measurably below the facility's
+//! shared parallel file systems.
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+use crate::series::{Figure, Point, Series};
+use crate::sweep::{parallel_sweep, Scale};
+
+/// Generates the consistency figure: CV (%) of repeated runs per
+/// deployment.
+pub fn generate(scale: Scale) -> Figure {
+    let mut fig = Figure::new(
+        "consistency",
+        "Run-to-run variability over 10 repetitions (coefficient of variation)",
+        "variant (0=VAST/TCP 1=VAST/RDMA 2=GPFS 3=Lustre 4=NVMe)",
+        "CV (%)",
+    );
+    let tcp = vast_on_lassen();
+    let rdma = vast_on_wombat();
+    let gpfs = GpfsConfig::on_lassen();
+    let lustre = LustreConfig::on_ruby();
+    let nvme = LocalNvmeConfig::on_wombat();
+    let systems: [(&dyn StorageSystem, u32, f64); 5] = [
+        (&tcp, 44, 0.0),
+        (&rdma, 48, 1.0),
+        (&gpfs, 44, 2.0),
+        (&lustre, 56, 3.0),
+        (&nvme, 48, 4.0),
+    ];
+    let _ = scale;
+    let points = parallel_sweep(systems.to_vec(), |&(sys, ppn, x)| {
+        let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 4, ppn);
+        cfg.reps = 10; // the paper's repetition count, at every scale
+        let rep = run_ior(sys, &cfg);
+        let cv = rep.outcome.summary.std_dev / rep.outcome.summary.mean * 100.0;
+        Point::new(x, cv)
+    });
+    fig.series.push(Series {
+        label: "CV over 10 reps".into(),
+        points,
+    });
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_systems_wobble_more_than_dedicated() {
+        let f = generate(Scale::Smoke);
+        let s = &f.series[0];
+        let gpfs_cv = s.y_at(2.0).unwrap();
+        let nvme_cv = s.y_at(4.0).unwrap();
+        let rdma_cv = s.y_at(1.0).unwrap();
+        assert!(
+            gpfs_cv > nvme_cv,
+            "the facility file system varies more than dedicated drives: {gpfs_cv} vs {nvme_cv}"
+        );
+        assert!(gpfs_cv > rdma_cv);
+        // Everything stays single-digit percent — the paper reports
+        // consistent results across its 10 repetitions.
+        for p in &s.points {
+            assert!(p.y < 15.0, "CV runaway: {}", p.y);
+        }
+    }
+}

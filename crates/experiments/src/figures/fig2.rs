@@ -1,0 +1,123 @@
+//! Fig 2 — "Scalability test results for scientific simulations, data
+//! analytics and ML applications."
+//!
+//! Panel (a): Lassen, VAST vs GPFS, full nodes (44 ppn), 1–128 nodes.
+//! Panel (b): Wombat, VAST vs NVMe, full nodes (48 ppn), 1–8 nodes.
+//! Three workloads each (§V): sequential write, sequential read,
+//! random read — all with the paper's IOR geometry (1 MiB block and
+//! transfer, 3,000 segments, task reordering, 10 reps).
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+use crate::series::{Figure, Point, Series};
+use crate::sweep::{parallel_sweep, Scale};
+
+fn workload_tag(w: WorkloadClass) -> &'static str {
+    match w {
+        WorkloadClass::Scientific => "scientific",
+        WorkloadClass::DataAnalytics => "analytics",
+        WorkloadClass::MachineLearning => "ml",
+    }
+}
+
+/// One panel: sweep node counts for each system.
+fn panel(
+    id: &str,
+    title: &str,
+    systems: &[&dyn StorageSystem],
+    nodes: &[u32],
+    ppn: u32,
+    workload: WorkloadClass,
+    reps: u32,
+) -> Figure {
+    let mut fig = Figure::new(
+        format!("{id}.{}", workload_tag(workload)),
+        format!("{title} — {}", workload.label()),
+        "nodes",
+        "aggregate bandwidth (GB/s)",
+    );
+    for sys in systems {
+        let points = parallel_sweep(nodes.to_vec(), |&n| {
+            let mut cfg = IorConfig::paper_scalability(workload, n, ppn);
+            cfg.reps = reps;
+            let rep = run_ior(*sys, &cfg);
+            Point {
+                x: n as f64,
+                y: rep.outcome.summary.mean / 1e9,
+                y_std: rep.outcome.summary.std_dev / 1e9,
+            }
+        });
+        fig.series.push(Series {
+            label: sys.name().to_string(),
+            points,
+        });
+    }
+    fig
+}
+
+/// Generates Fig 2a and Fig 2b (three workloads each → six figures).
+pub fn generate(scale: Scale) -> Vec<Figure> {
+    let vast_l = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    let vast_w = vast_on_wombat();
+    let nvme = LocalNvmeConfig::on_wombat();
+
+    let mut figs = Vec::new();
+    for w in WorkloadClass::all() {
+        figs.push(panel(
+            "fig2a",
+            "Scalability on Lassen (44 ppn)",
+            &[&vast_l, &gpfs],
+            &scale.lassen_nodes(),
+            44,
+            w,
+            scale.reps(),
+        ));
+        figs.push(panel(
+            "fig2b",
+            "Scalability on Wombat (48 ppn)",
+            &[&vast_w, &nvme],
+            &scale.wombat_nodes(),
+            48,
+            w,
+            scale.reps(),
+        ));
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn fig2_shapes_hold_at_smoke_scale() {
+        let figs = generate(Scale::Smoke);
+        assert_eq!(figs.len(), 6);
+
+        // Panel a, sequential reads: GPFS dominates TCP VAST (§V.B).
+        let a_da = figs
+            .iter()
+            .find(|f| f.id == "fig2a.analytics")
+            .expect("fig2a analytics");
+        let gpfs = a_da.series_named("GPFS").unwrap();
+        let vast = a_da.series_named("VAST").unwrap();
+        assert!(shapes::dominates(gpfs, vast));
+
+        // VAST on Lassen flattens at the gateway (~25 GB/s).
+        assert!(vast.y_max() < 30.0, "VAST@Lassen ceiling: {}", vast.y_max());
+
+        // Panel b, ML: VAST wins small scales, NVMe wins at 8 nodes
+        // ("VAST is able to outperform the NVMe on small scales").
+        let b_ml = figs.iter().find(|f| f.id == "fig2b.ml").expect("fig2b ml");
+        let vast_w = b_ml.series_named("VAST").unwrap();
+        let nvme = b_ml.series_named("NVMe").unwrap();
+        assert!(vast_w.y_at(1.0).unwrap() > nvme.y_at(1.0).unwrap());
+        assert!(nvme.y_at(8.0).unwrap() > vast_w.y_at(8.0).unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fig 3 — "Single node test with fsync results for scientific
+//! simulations and data analytics."
+//!
+//! Four panels, one per machine (§V): (a) Lassen — VAST vs GPFS,
+//! (b) Quartz — VAST vs Lustre, (c) Ruby — VAST vs Lustre,
+//! (d) Wombat — VAST vs NVMe. One node, 1–32 processes,
+//! synchronization on writes ("our purpose is to test the raw
+//! performance of the file systems").
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+
+use crate::series::{Figure, Point, Series};
+use crate::sweep::{parallel_sweep, Scale};
+
+fn workload_tag(w: WorkloadClass) -> &'static str {
+    match w {
+        WorkloadClass::Scientific => "scientific",
+        WorkloadClass::DataAnalytics => "analytics",
+        WorkloadClass::MachineLearning => "ml",
+    }
+}
+
+fn panel(
+    id: &str,
+    machine: &str,
+    systems: &[&dyn StorageSystem],
+    procs: &[u32],
+    workload: WorkloadClass,
+    reps: u32,
+) -> Figure {
+    let mut fig = Figure::new(
+        format!("{id}.{}", workload_tag(workload)),
+        format!("Single node with fsync on {machine} — {}", workload.label()),
+        "processes",
+        "bandwidth (GB/s)",
+    );
+    for sys in systems {
+        let points = parallel_sweep(procs.to_vec(), |&p| {
+            let mut cfg = IorConfig::paper_single_node(workload, p);
+            cfg.reps = reps;
+            let rep = run_ior(*sys, &cfg);
+            Point {
+                x: p as f64,
+                y: rep.outcome.summary.mean / 1e9,
+                y_std: rep.outcome.summary.std_dev / 1e9,
+            }
+        });
+        fig.series.push(Series {
+            label: sys.name().to_string(),
+            points,
+        });
+    }
+    fig
+}
+
+/// Generates Fig 3a–3d for both single-node workloads (eight figures).
+pub fn generate(scale: Scale) -> Vec<Figure> {
+    let procs = scale.single_node_procs();
+    let reps = scale.reps();
+
+    let vast_l = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    let vast_q = vast_on_quartz();
+    let lustre_q = LustreConfig::on_quartz();
+    let vast_r = vast_on_ruby();
+    let lustre_r = LustreConfig::on_ruby();
+    let vast_w = vast_on_wombat();
+    let nvme = LocalNvmeConfig::on_wombat();
+
+    let mut figs = Vec::new();
+    for w in [WorkloadClass::Scientific, WorkloadClass::DataAnalytics] {
+        figs.push(panel("fig3a", "Lassen", &[&vast_l, &gpfs], &procs, w, reps));
+        figs.push(panel("fig3b", "Quartz", &[&vast_q, &lustre_q], &procs, w, reps));
+        figs.push(panel("fig3c", "Ruby", &[&vast_r, &lustre_r], &procs, w, reps));
+        figs.push(panel("fig3d", "Wombat", &[&vast_w, &nvme], &procs, w, reps));
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn fig3_shapes_hold_at_smoke_scale() {
+        let figs = generate(Scale::Smoke);
+        assert_eq!(figs.len(), 8);
+        let get = |id: &str| figs.iter().find(|f| f.id == id).expect("figure");
+
+        // (b)/(c): Lustre ramps near-linearly and beats gateway-starved
+        // VAST at full process counts.
+        for id in ["fig3b.scientific", "fig3c.scientific"] {
+            let f = get(id);
+            let lustre = f.series_named("Lustre").unwrap();
+            let vast = f.series_named("VAST").unwrap();
+            assert!(shapes::scales_with_factor(lustre, 1.6), "{id}");
+            assert!(
+                lustre.y_at(32.0).unwrap() > 4.0 * vast.y_at(32.0).unwrap(),
+                "{id}: Lustre should dwarf VAST at 32 procs"
+            );
+        }
+
+        // (d): VAST ≈ 5× NVMe at 32 procs (§V.A).
+        let f = get("fig3d.scientific");
+        let r = shapes::ratio_at(
+            f.series_named("VAST").unwrap(),
+            f.series_named("NVMe").unwrap(),
+            32.0,
+        )
+        .unwrap();
+        assert!((3.0..8.0).contains(&r), "VAST/NVMe at 32 procs = {r}");
+
+        // (a): VAST flat at its TCP ceiling; GPFS fsync ramps past it.
+        let f = get("fig3a.scientific");
+        let vast = f.series_named("VAST").unwrap();
+        assert!(shapes::saturates_from(vast, 4.0, 0.25));
+
+        // VAST single-node ordering across machines: Lassen > Ruby > Quartz.
+        let va = get("fig3a.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
+        let vr = get("fig3c.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
+        let vq = get("fig3b.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
+        assert!(va > vr && vr > vq, "ordering: {va} {vr} {vq}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig 5 — "ResNet-50 Throughput": (a) application throughput, (b)
+//! system throughput, VAST vs GPFS, weak scaling (§VI.B).
+//!
+//! "Although the system throughput looks very different for the two
+//! file systems, the throughput that the application perceives is only
+//! slightly higher for GPFS compared to that of VAST, with the
+//! difference becoming more apparent only for larger scales."
+
+use hcs_core::StorageSystem;
+use hcs_dlio::{resnet50, run_dlio, DlioConfig};
+use hcs_gpfs::GpfsConfig;
+use hcs_vast::vast_on_lassen;
+
+use crate::series::{Figure, Point, Series};
+use crate::sweep::{parallel_sweep, Scale};
+
+/// Builds the (app, system) throughput panels for a DLIO workload.
+pub(crate) fn throughput_panels(
+    id_app: &str,
+    id_sys: &str,
+    cfg: &DlioConfig,
+    systems: &[&dyn StorageSystem],
+    nodes: &[u32],
+) -> Vec<Figure> {
+    let mut app = Figure::new(
+        id_app,
+        format!("{} application throughput", cfg.name),
+        "nodes",
+        "samples/s",
+    );
+    let mut sysfig = Figure::new(
+        id_sys,
+        format!("{} system throughput", cfg.name),
+        "nodes",
+        "samples/s",
+    );
+    for s in systems {
+        let results = parallel_sweep(nodes.to_vec(), |&n| run_dlio(*s, cfg, n));
+        app.series.push(Series {
+            label: s.name().to_string(),
+            points: nodes
+                .iter()
+                .zip(&results)
+                .map(|(&n, r)| Point::new(n as f64, r.app_throughput))
+                .collect(),
+        });
+        sysfig.series.push(Series {
+            label: s.name().to_string(),
+            points: nodes
+                .iter()
+                .zip(&results)
+                .map(|(&n, r)| Point::new(n as f64, r.system_throughput))
+                .collect(),
+        });
+    }
+    vec![app, sysfig]
+}
+
+/// Generates Fig 5a and Fig 5b.
+pub fn generate(scale: Scale) -> Vec<Figure> {
+    let vast = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    let systems: [&dyn StorageSystem; 2] = [&vast, &gpfs];
+    let mut cfg = resnet50();
+    if let Some(samples) = scale.dlio_samples() {
+        cfg.samples = cfg.samples.min(samples);
+    }
+    throughput_panels("fig5a", "fig5b", &cfg, &systems, &scale.resnet_nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shapes_hold_at_smoke_scale() {
+        let figs = generate(Scale::Smoke);
+        let app = &figs[0];
+        let sys = &figs[1];
+        let last = app.series_named("VAST").unwrap().points.last().unwrap().x;
+
+        // App throughput: GPFS only slightly ahead.
+        let g_app = app.series_named("GPFS").unwrap().y_at(last).unwrap();
+        let v_app = app.series_named("VAST").unwrap().y_at(last).unwrap();
+        assert!(g_app >= v_app * 0.99, "GPFS at least matches VAST");
+        assert!(g_app < v_app * 1.4, "but only slightly: {}", g_app / v_app);
+
+        // System throughput: wildly different (§VI.B).
+        let g_sys = sys.series_named("GPFS").unwrap().y_at(last).unwrap();
+        let v_sys = sys.series_named("VAST").unwrap().y_at(last).unwrap();
+        assert!(g_sys > 2.0 * v_sys, "system ratio = {}", g_sys / v_sys);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig 6 — "Cosmoflow Throughput": (a) application throughput, (b)
+//! system throughput, VAST vs GPFS, strong scaling (§VI.C).
+//!
+//! "Unsurprisingly, GPFS serves Cosmoflow better than VAST ... The
+//! system throughput of VAST is also lower than that of GPFS."
+
+use hcs_core::StorageSystem;
+use hcs_dlio::cosmoflow;
+use hcs_gpfs::GpfsConfig;
+use hcs_vast::vast_on_lassen;
+
+use crate::figures::fig5::throughput_panels;
+use crate::series::Figure;
+use crate::sweep::Scale;
+
+/// Generates Fig 6a and Fig 6b.
+pub fn generate(scale: Scale) -> Vec<Figure> {
+    let vast = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    let systems: [&dyn StorageSystem; 2] = [&vast, &gpfs];
+    let mut cfg = cosmoflow();
+    if let Some(samples) = scale.dlio_samples() {
+        cfg.samples = cfg.samples.min(samples);
+    }
+    throughput_panels("fig6a", "fig6b", &cfg, &systems, &scale.cosmoflow_nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shapes_hold_at_smoke_scale() {
+        let figs = generate(Scale::Smoke);
+        let app = &figs[0];
+        let sys = &figs[1];
+        for p in &app.series_named("GPFS").unwrap().points {
+            let v = app.series_named("VAST").unwrap().y_at(p.x).unwrap();
+            assert!(
+                p.y > 1.2 * v,
+                "GPFS clearly ahead on Cosmoflow app throughput at {} nodes: {} vs {v}",
+                p.x,
+                p.y
+            );
+        }
+        for p in &sys.series_named("GPFS").unwrap().points {
+            let v = sys.series_named("VAST").unwrap().y_at(p.x).unwrap();
+            assert!(p.y > v, "GPFS ahead on system throughput at {} nodes", p.x);
+        }
+    }
+}

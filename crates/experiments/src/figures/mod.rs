@@ -1,0 +1,29 @@
+//! The per-artifact generators.
+
+pub mod ablations;
+pub mod consistency;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sensitivity;
+pub mod table1;
+pub mod takeaways;
+
+use crate::series::Figure;
+use crate::sweep::Scale;
+
+/// Generates every figure of the paper at the given scale (Table I and
+/// the takeaways have their own textual generators).
+pub fn all_figures(scale: Scale) -> Vec<Figure> {
+    let mut figs = Vec::new();
+    figs.extend(fig2::generate(scale));
+    figs.extend(fig3::generate(scale));
+    figs.extend(fig4::generate(scale));
+    figs.extend(fig5::generate(scale));
+    figs.extend(fig6::generate(scale));
+    figs.push(consistency::generate(scale));
+    figs
+}

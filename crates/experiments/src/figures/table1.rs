@@ -1,0 +1,42 @@
+//! Table I — "Clusters used for experiments".
+
+use hcs_topology::all_clusters;
+
+/// Renders Table I from the topology crate.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I: Clusters used for experiments\n");
+    out.push_str(&format!(
+        "{:<8} {:>6} {:>5} {:>4} {:>8} {:<18} {:<10}\n",
+        "Name", "Nodes", "CPU", "GPU", "RAM(GB)", "Arch", "Network"
+    ));
+    for c in all_clusters() {
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>5} {:>4} {:>8.0} {:<18} {:<10}\n",
+            c.name,
+            c.nodes,
+            c.node.cores,
+            c.node.gpus,
+            c.node.ram / 1e9,
+            c.node.arch,
+            c.node.nic.name,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = render();
+        for name in ["Lassen", "Ruby", "Quartz", "Wombat"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("795"));
+        assert!(t.contains("3018"));
+        assert!(t.contains("A64fx"));
+    }
+}

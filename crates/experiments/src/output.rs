@@ -1,0 +1,74 @@
+//! CSV / JSON output of figure data.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::series::Figure;
+
+/// Serializes a figure to CSV: `series,x,y,y_std` rows.
+pub fn to_csv(fig: &Figure) -> String {
+    let mut out = String::from("series,x,y,y_std\n");
+    for s in &fig.series {
+        for p in &s.points {
+            out.push_str(&format!("{},{},{},{}\n", s.label, p.x, p.y, p.y_std));
+        }
+    }
+    out
+}
+
+/// Writes a figure as `<id>.csv`, `<id>.json` and `<id>.svg` under
+/// `dir`, creating the directory if needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_figure(fig: &Figure, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.csv", fig.id)), to_csv(fig))?;
+    fs::write(
+        dir.join(format!("{}.json", fig.id)),
+        serde_json::to_string_pretty(fig).expect("figure serialization cannot fail"),
+    )?;
+    crate::svg::write_svg(fig, dir)?;
+    Ok(())
+}
+
+/// Writes a batch of figures and returns how many were written.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_figures(figs: &[Figure], dir: &Path) -> io::Result<usize> {
+    for f in figs {
+        write_figure(f, dir)?;
+    }
+    Ok(figs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Figure, Series};
+
+    #[test]
+    fn csv_shape() {
+        let f = Figure::new("t", "t", "x", "y")
+            .with_series(Series::from_xy("a", [(1.0, 2.0), (2.0, 3.0)]));
+        let csv = to_csv(&f);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y,y_std");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "a,1,2,0");
+    }
+
+    #[test]
+    fn write_and_reload() {
+        let dir = std::env::temp_dir().join("hcs-output-test");
+        let f = Figure::new("roundtrip", "t", "x", "y")
+            .with_series(Series::from_xy("a", [(1.0, 2.0)]));
+        write_figure(&f, &dir).unwrap();
+        let json = std::fs::read_to_string(dir.join("roundtrip.json")).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

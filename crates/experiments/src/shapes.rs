@@ -1,0 +1,113 @@
+//! Qualitative shape checks.
+//!
+//! The reproduction target is the *shape* of each figure — who wins, by
+//! roughly what factor, where saturation and crossovers fall — not the
+//! absolute GB/s of somebody else's machine room. These helpers state
+//! those shapes as checkable predicates; the integration tests and
+//! EXPERIMENTS.md are built on them.
+
+use crate::series::Series;
+
+/// `true` if the series never decreases by more than `tol` (relative).
+pub fn is_nondecreasing(s: &Series, tol: f64) -> bool {
+    s.points
+        .windows(2)
+        .all(|w| w[1].y >= w[0].y * (1.0 - tol))
+}
+
+/// `true` if each doubling of x multiplies y by at least `factor`
+/// (near-linear scaling when `factor` ≈ 2).
+pub fn scales_with_factor(s: &Series, factor: f64) -> bool {
+    s.points.windows(2).all(|w| {
+        let x_ratio = w[1].x / w[0].x;
+        let expected = factor.powf(x_ratio.log2());
+        w[1].y >= w[0].y * expected
+    })
+}
+
+/// `true` if the series is flat (within `tol`, relative) from the first
+/// point with `x >= from_x` onward.
+pub fn saturates_from(s: &Series, from_x: f64, tol: f64) -> bool {
+    let tail: Vec<f64> = s
+        .points
+        .iter()
+        .filter(|p| p.x >= from_x - 1e-9)
+        .map(|p| p.y)
+        .collect();
+    if tail.len() < 2 {
+        return true;
+    }
+    let lo = tail.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    hi <= lo * (1.0 + tol)
+}
+
+/// The ratio `a/b` at a shared x, if both series have the point.
+pub fn ratio_at(a: &Series, b: &Series, x: f64) -> Option<f64> {
+    Some(a.y_at(x)? / b.y_at(x)?)
+}
+
+/// `true` if `a` is above `b` at every shared x.
+pub fn dominates(a: &Series, b: &Series) -> bool {
+    a.points
+        .iter()
+        .filter_map(|p| b.y_at(p.x).map(|by| p.y >= by))
+        .all(|ok| ok)
+}
+
+/// First shared x at which `a` falls below `b` (a crossover), if any.
+pub fn crossover_x(a: &Series, b: &Series) -> Option<f64> {
+    a.points
+        .iter()
+        .find(|p| b.y_at(p.x).is_some_and(|by| p.y < by))
+        .map(|p| p.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn s(xy: &[(f64, f64)]) -> Series {
+        Series::from_xy("s", xy.iter().copied())
+    }
+
+    #[test]
+    fn nondecreasing_with_tolerance() {
+        assert!(is_nondecreasing(&s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 1.99)]), 0.02));
+        assert!(!is_nondecreasing(&s(&[(1.0, 2.0), (2.0, 1.0)]), 0.02));
+    }
+
+    #[test]
+    fn linear_scaling_detected() {
+        let lin = s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 4.0), (8.0, 8.0)]);
+        assert!(scales_with_factor(&lin, 1.95));
+        let flat = s(&[(1.0, 1.0), (2.0, 1.0)]);
+        assert!(!scales_with_factor(&flat, 1.5));
+    }
+
+    #[test]
+    fn saturation_detection() {
+        let sat = s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 2.6), (8.0, 2.62), (16.0, 2.61)]);
+        assert!(saturates_from(&sat, 4.0, 0.05));
+        assert!(!saturates_from(&sat, 1.0, 0.05));
+    }
+
+    #[test]
+    fn ratios_and_domination() {
+        let a = s(&[(1.0, 8.0), (2.0, 8.0)]);
+        let b = s(&[(1.0, 1.0), (2.0, 4.0)]);
+        assert_eq!(ratio_at(&a, &b, 1.0), Some(8.0));
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert_eq!(crossover_x(&b, &a), Some(1.0));
+        assert_eq!(crossover_x(&a, &b), None);
+    }
+
+    #[test]
+    fn crossover_locates_first_loss() {
+        let fast_small = s(&[(1.0, 10.0), (2.0, 12.0), (4.0, 12.0)]);
+        let linear = s(&[(1.0, 5.0), (2.0, 10.0), (4.0, 20.0)]);
+        assert_eq!(crossover_x(&fast_small, &linear), Some(4.0));
+    }
+}

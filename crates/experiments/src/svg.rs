@@ -1,0 +1,273 @@
+//! Self-contained SVG rendering of figures — line charts with log-2 or
+//! linear x axes, matching the paper's figure style (node/process
+//! counts on x, bandwidth or time on y, one polyline per system).
+//!
+//! No plotting dependency: the charts are assembled from SVG primitives
+//! so `results/` carries viewable artifacts next to the CSV/JSON.
+
+use std::fmt::Write as _;
+
+use crate::series::Figure;
+
+/// Chart geometry.
+const W: f64 = 720.0;
+const H: f64 = 440.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 160.0; // right margin (legend)
+const MT: f64 = 50.0;
+const MB: f64 = 60.0;
+
+/// A small qualitative palette (colorblind-safe Okabe–Ito subset).
+const COLORS: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+fn is_pow2ish(xs: &[f64]) -> bool {
+    xs.len() >= 3
+        && xs.windows(2).all(|w| w[0] > 0.0 && w[1] / w[0] >= 1.5)
+}
+
+/// Renders a figure as an SVG line chart. The x axis goes log-2 when
+/// the x values look like a doubling sweep (node counts), linear
+/// otherwise.
+pub fn to_svg(fig: &Figure) -> String {
+    let xs: Vec<f64> = {
+        let mut v: Vec<f64> = fig
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        v
+    };
+    let y_max = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.y + p.y_std))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let logx = is_pow2ish(&xs);
+    let (x_lo, x_hi) = match (xs.first(), xs.last()) {
+        (Some(&a), Some(&b)) if b > a => (a, b),
+        (Some(&a), _) => (a - 0.5, a + 0.5),
+        _ => (0.0, 1.0),
+    };
+    let xmap = |x: f64| -> f64 {
+        let t = if logx {
+            (x.max(1e-12) / x_lo.max(1e-12)).log2() / (x_hi / x_lo.max(1e-12)).log2().max(1e-12)
+        } else {
+            (x - x_lo) / (x_hi - x_lo)
+        };
+        ML + t * (W - ML - MR)
+    };
+    let ymap = |y: f64| -> f64 { H - MB - (y / (y_max * 1.05)) * (H - MT - MB) };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    // Title.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" font-size="14" font-weight="bold">{}</text>"#,
+        ML,
+        xml_escape(&fig.title)
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 16.0,
+        xml_escape(&fig.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0,
+        xml_escape(&fig.y_label)
+    );
+    // X ticks at the data points.
+    for &x in &xs {
+        let px = xmap(x);
+        let _ = write!(
+            svg,
+            r#"<line x1="{px:.1}" y1="{}" x2="{px:.1}" y2="{}" stroke="black"/><text x="{px:.1}" y="{}" text-anchor="middle">{x:.0}</text>"#,
+            H - MB,
+            H - MB + 5.0,
+            H - MB + 20.0
+        );
+    }
+    // Y ticks: 5 divisions.
+    for i in 0..=5 {
+        let y = y_max * 1.05 * i as f64 / 5.0;
+        let py = ymap(y);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{py:.1}" x2="{ML}" y2="{py:.1}" stroke="black"/><text x="{}" y="{py:.1}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+            ML - 5.0,
+            ML - 9.0,
+            format_tick(y)
+        );
+        if i > 0 {
+            let _ = write!(
+                svg,
+                r##"<line x1="{ML}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#dddddd"/>"##,
+                W - MR
+            );
+        }
+    }
+    // Series.
+    for (i, s) in fig.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut pts: Vec<(f64, f64)> = s.points.iter().map(|p| (xmap(p.x), ymap(p.y))).collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let path: String = pts
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            svg,
+            r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
+        for (x, y) in &pts {
+            let _ = write!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#);
+        }
+        // Error bars.
+        for p in &s.points {
+            if p.y_std > 0.0 {
+                let px = xmap(p.x);
+                let y1 = ymap(p.y + p.y_std);
+                let y2 = ymap((p.y - p.y_std).max(0.0));
+                let _ = write!(
+                    svg,
+                    r#"<line x1="{px:.1}" y1="{y1:.1}" x2="{px:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="1"/>"#
+                );
+            }
+        }
+        // Legend entry.
+        let ly = MT + 18.0 * i as f64;
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" dominant-baseline="middle">{}</text>"#,
+            W - MR + 10.0,
+            W - MR + 34.0,
+            W - MR + 40.0,
+            ly,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn format_tick(y: f64) -> String {
+    if y == 0.0 {
+        "0".into()
+    } else if y >= 100.0 {
+        format!("{y:.0}")
+    } else if y >= 1.0 {
+        format!("{y:.1}")
+    } else {
+        format!("{y:.3}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes `<id>.svg` for a figure under `dir`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_svg(fig: &Figure, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.svg", fig.id)), to_svg(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Figure, Point, Series};
+
+    fn fig() -> Figure {
+        Figure::new("f2", "Scalability <test>", "nodes", "GB/s")
+            .with_series(Series {
+                label: "VAST".into(),
+                points: vec![
+                    Point { x: 1.0, y: 1.0, y_std: 0.1 },
+                    Point { x: 2.0, y: 2.0, y_std: 0.2 },
+                    Point { x: 4.0, y: 4.0, y_std: 0.0 },
+                    Point { x: 8.0, y: 4.1, y_std: 0.0 },
+                ],
+            })
+            .with_series(Series::from_xy("GPFS", [(1.0, 3.0), (8.0, 24.0)]))
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = to_svg(&fig());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("VAST"));
+        assert!(svg.contains("GPFS"));
+        // Title is XML-escaped.
+        assert!(svg.contains("Scalability &lt;test&gt;"));
+        assert!(!svg.contains("<test>"));
+        // Error bars present for the noisy points.
+        assert!(svg.matches("<circle").count() >= 6);
+    }
+
+    #[test]
+    fn doubling_sweeps_use_log_axis() {
+        // Log x: equal pixel spacing between doublings.
+        let svg = to_svg(&fig());
+        assert!(is_pow2ish(&[1.0, 2.0, 4.0, 8.0]));
+        assert!(!is_pow2ish(&[0.0, 1.0, 2.0, 3.0]));
+        assert!(!svg.is_empty());
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let f = Figure::new("empty", "t", "x", "y");
+        let svg = to_svg(&f);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let f = Figure::new("one", "t", "x", "y")
+            .with_series(Series::from_xy("a", [(4.0, 2.0)]));
+        let svg = to_svg(&f);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let dir = std::env::temp_dir().join("hcs-svg-test");
+        write_svg(&fig(), &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("f2.svg")).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,183 @@
+//! IOR execution against a storage system.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::outcome::RepeatedOutcome;
+use hcs_core::runner::run_phase_repeated;
+use hcs_core::StorageSystem;
+use hcs_simkit::SimRng;
+
+use crate::config::IorConfig;
+
+/// What an IOR run prints: per-repetition aggregate bandwidths and
+/// their summary, for the one access mode the workload class measures.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IorReport {
+    /// The storage system's display name.
+    pub system: String,
+    /// The configuration that produced this report.
+    pub config: IorConfig,
+    /// Measured bandwidths (one entry per repetition) and summary.
+    pub outcome: RepeatedOutcome,
+}
+
+impl IorReport {
+    /// Mean aggregate bandwidth, bytes/s.
+    pub fn mean_bandwidth(&self) -> f64 {
+        self.outcome.summary.mean
+    }
+
+    /// Mean per-node bandwidth, bytes/s.
+    pub fn per_node_bandwidth(&self) -> f64 {
+        self.mean_bandwidth() / self.config.nodes as f64
+    }
+}
+
+/// Runs an IOR configuration against a storage system.
+///
+/// Mirrors IOR's measurement discipline: the measured phase is the one
+/// selected by the workload class; bandwidth is total data over the
+/// slowest rank; the run repeats `reps` times under the system's
+/// run-to-run noise with a seed derived from the config (so repeated
+/// invocations are bit-identical).
+pub fn run_ior(system: &dyn StorageSystem, config: &IorConfig) -> IorReport {
+    config.validate();
+    let phase = config.phase();
+    let mut rng = SimRng::new(config.seed)
+        .split(system.name())
+        .split_idx("scale", (config.nodes as u64) << 16 | config.tasks_per_node as u64);
+    let outcome = run_phase_repeated(
+        system,
+        config.nodes,
+        config.tasks_per_node,
+        &phase,
+        config.reps,
+        &mut rng,
+    );
+    IorReport {
+        system: system.description(),
+        config: config.clone(),
+        outcome,
+    }
+}
+
+/// A full IOR job: write the dataset, then read it back — what IOR
+/// actually does when both `-w` and `-r` are given. The read phase
+/// keeps the workload class's access pattern; the write phase is always
+/// sequential (IOR lays data out in order regardless of how it will be
+/// read back).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IorFullReport {
+    /// The write-phase report.
+    pub write: IorReport,
+    /// The read-phase report.
+    pub read: IorReport,
+}
+
+/// Runs both phases of an IOR job.
+pub fn run_ior_full(system: &dyn StorageSystem, config: &IorConfig) -> IorFullReport {
+    use crate::config::WorkloadClass;
+    let mut wcfg = config.clone();
+    wcfg.workload = WorkloadClass::Scientific; // the laydown is sequential writes
+    let mut rcfg = config.clone();
+    if rcfg.workload == WorkloadClass::Scientific {
+        // A pure-write class reads back sequentially.
+        rcfg.workload = WorkloadClass::DataAnalytics;
+    }
+    IorFullReport {
+        write: run_ior(system, &wcfg),
+        read: run_ior(system, &rcfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadClass;
+    use hcs_gpfs::GpfsConfig;
+    use hcs_vast::vast_on_lassen;
+    use hcs_simkit::units::GIB;
+
+    #[test]
+    fn report_is_deterministic() {
+        let sys = vast_on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::Scientific, 2, 8);
+        let a = run_ior(&sys, &cfg);
+        let b = run_ior(&sys, &cfg);
+        assert_eq!(a.outcome.bandwidths, b.outcome.bandwidths);
+    }
+
+    #[test]
+    fn reps_counted() {
+        let sys = vast_on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4);
+        let rep = run_ior(&sys, &cfg);
+        assert_eq!(rep.outcome.bandwidths.len(), cfg.reps as usize);
+        assert!(rep.outcome.summary.std_dev > 0.0, "noise should show up");
+    }
+
+    #[test]
+    fn gpfs_beats_tcp_vast_on_sequential_reads() {
+        // The Fig 2a ordering, at reduced scale.
+        let vast = vast_on_lassen();
+        let gpfs = GpfsConfig::on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 4, 44);
+        let v = run_ior(&vast, &cfg).mean_bandwidth();
+        let g = run_ior(&gpfs, &cfg).mean_bandwidth();
+        assert!(g > 3.0 * v, "GPFS {g} should dwarf TCP VAST {v}");
+    }
+
+    #[test]
+    fn vast_consistent_across_patterns_gpfs_not() {
+        let vast = vast_on_lassen();
+        let gpfs = GpfsConfig::on_lassen();
+        // The pattern gap needs the paper's cache-busting volume
+        // (§V: ~120 GB per node); the smoke geometry fits in cache.
+        let mut da = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 4, 44);
+        da.reps = 2;
+        let mut ml = IorConfig::paper_scalability(WorkloadClass::MachineLearning, 4, 44);
+        ml.reps = 2;
+        let v_ratio = run_ior(&vast, &ml).mean_bandwidth() / run_ior(&vast, &da).mean_bandwidth();
+        let g_ratio = run_ior(&gpfs, &ml).mean_bandwidth() / run_ior(&gpfs, &da).mean_bandwidth();
+        assert!(v_ratio > 0.6, "VAST random/seq = {v_ratio}");
+        assert!(g_ratio < 0.25, "GPFS random/seq = {g_ratio}");
+    }
+
+    #[test]
+    fn per_node_bandwidth_divides() {
+        let sys = vast_on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::Scientific, 4, 8);
+        let rep = run_ior(&sys, &cfg);
+        assert!((rep.per_node_bandwidth() * 4.0 - rep.mean_bandwidth()).abs() < 1.0);
+        assert!(rep.per_node_bandwidth() < 2.0 * GIB);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sys = vast_on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::Scientific, 1, 2);
+        let rep = run_ior(&sys, &cfg);
+        let back: IorReport = serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn full_job_runs_both_phases() {
+        let sys = GpfsConfig::on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::MachineLearning, 2, 8);
+        let full = run_ior_full(&sys, &cfg);
+        // Writes are the sequential laydown; reads keep the random class.
+        assert_eq!(full.write.config.workload, WorkloadClass::Scientific);
+        assert_eq!(full.read.config.workload, WorkloadClass::MachineLearning);
+        assert!(full.write.mean_bandwidth() > 0.0);
+        assert!(full.read.mean_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn full_job_on_write_class_reads_sequentially() {
+        let sys = GpfsConfig::on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::Scientific, 1, 4);
+        let full = run_ior_full(&sys, &cfg);
+        assert_eq!(full.read.config.workload, WorkloadClass::DataAnalytics);
+    }
+}

@@ -1,0 +1,304 @@
+//! # hcs-lustre
+//!
+//! A component-level model of **Lustre** as deployed at LC (paper
+//! §IV.B): "16 Metadata Servers (MDSs) with six Serial Attached SCSI
+//! (SAS) SSD Zettabyte File System (ZFS) mirrors, 36 Object Storage
+//! Servers (OSSs) with 80 SAS Hard-Disk Drive (HDD) raidz2 groups,
+//! leveraging an EDR InfiniBand SAN with 100Gb OmniPath."
+//!
+//! Lustre appears in the paper's single-node fsync tests on Quartz and
+//! Ruby (Fig 3b, 3c), where it "behaves similarly on Quartz and Ruby
+//! with almost linear increase in bandwidth" as processes scale — each
+//! added process brings its own OST stream, and the 2,880-disk backend
+//! is nowhere near saturation at single-node scale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_devices::{AccessPattern, DeviceArray, DeviceProfile, IoOp, RaidLayout};
+use hcs_simkit::units::gbit_per_s;
+use hcs_simkit::{FlowNet, ResourceSpec};
+
+/// A Lustre deployment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LustreConfig {
+    /// Deployment label.
+    pub label: String,
+    /// Metadata servers.
+    pub mds_count: u32,
+    /// Object storage servers.
+    pub oss_count: u32,
+    /// Per-OSS network/processing bandwidth, bytes/s.
+    pub oss_bw: f64,
+    /// HDDs per OSS.
+    pub hdds_per_oss: u32,
+    /// HDD profile.
+    pub hdd: DeviceProfile,
+    /// raidz2 group geometry.
+    pub layout: RaidLayout,
+    /// Client NIC bandwidth (Omni-Path), bytes/s.
+    pub client_nic_bw: f64,
+    /// Per-node Lustre client ceiling, bytes/s.
+    pub client_bw: f64,
+    /// Default stripe count (`lfs setstripe -c`): how many OSTs one
+    /// file spreads over. A single rank's stream parallelizes across
+    /// its file's stripes, so striping raises per-rank bandwidth until
+    /// the client-side limit — the §II configuration-tuning knob
+    /// ("studies have tested different storage system configurations of
+    /// Lustre").
+    pub stripe_count: u32,
+    /// Bandwidth one OST contributes to one client stream, bytes/s.
+    pub per_ost_stream_bw: f64,
+    /// Client-side per-stream ceiling, bytes/s.
+    pub per_stream_bw: f64,
+    /// Base per-op latency, seconds.
+    pub per_op_latency: f64,
+    /// Per-file metadata latency (MDS round trips on SSD mirrors),
+    /// seconds.
+    pub metadata_latency: f64,
+    /// Extra per-op cost of a synchronized write: the ZFS transaction
+    /// commit to the raidz2 group, seconds.
+    pub sync_commit_latency: f64,
+    /// MDS+OSS operation-rate ceiling, ops/s (16 MDSes on SSD
+    /// mirrors sustain high RPC rates).
+    pub ops_pool: f64,
+    /// Run-to-run noise sigma.
+    pub noise: f64,
+}
+
+impl LustreConfig {
+    /// The LC Lustre instance as mounted on Ruby.
+    pub fn on_ruby() -> Self {
+        LustreConfig {
+            label: "Lustre@Ruby (16 MDS, 36 OSS)".into(),
+            mds_count: 16,
+            oss_count: 36,
+            oss_bw: gbit_per_s(100.0),
+            hdds_per_oss: 80,
+            hdd: DeviceProfile::sas_hdd(),
+            layout: RaidLayout::Parity {
+                group: 10,
+                parity: 2,
+            },
+            client_nic_bw: gbit_per_s(100.0),
+            client_bw: 11e9,
+            stripe_count: 4,
+            per_ost_stream_bw: 0.35e9,
+            per_stream_bw: 1.6e9,
+            per_op_latency: 80e-6,
+            metadata_latency: 400e-6,
+            sync_commit_latency: 5e-3,
+            ops_pool: 900e3,
+            noise: 0.05,
+        }
+    }
+
+    /// The LC Lustre instance as mounted on Quartz (same backend,
+    /// slightly slower per-node client on the older nodes).
+    pub fn on_quartz() -> Self {
+        LustreConfig {
+            label: "Lustre@Quartz (16 MDS, 36 OSS)".into(),
+            client_bw: 10e9,
+            per_stream_bw: 1.0e9,
+            ..Self::on_ruby()
+        }
+    }
+
+    /// The OST HDD array across all OSSs.
+    pub fn ost_array(&self, positioning: bool) -> DeviceArray {
+        let profile = if positioning {
+            DeviceProfile {
+                read_latency: 8e-3,
+                write_latency: 8e-3,
+                ..self.hdd.clone()
+            }
+        } else {
+            self.hdd.clone()
+        };
+        DeviceArray {
+            profile,
+            count: self.oss_count * self.hdds_per_oss,
+            layout: self.layout,
+        }
+    }
+
+    /// Server-side pool bandwidth for a phase.
+    pub fn server_pool_bw(&self, phase: &PhaseSpec) -> f64 {
+        let net = self.oss_bw * self.oss_count as f64;
+        let positioning = phase.pattern == AccessPattern::Random;
+        let media = self.ost_array(positioning).effective_bandwidth(
+            phase.op,
+            phase.pattern,
+            phase.transfer_size,
+            // fsync latency is charged per-op on the client stream; the
+            // array-level stream keeps running via the ZIL.
+            false,
+        );
+        media.min(net)
+    }
+
+    /// Effective per-rank stream bandwidth: stripes add OST
+    /// parallelism until the client-side ceiling.
+    pub fn stream_bw(&self) -> f64 {
+        (self.per_ost_stream_bw * self.stripe_count.max(1) as f64).min(self.per_stream_bw)
+    }
+
+    /// Sets the stripe count (builder style).
+    pub fn with_stripe_count(mut self, stripes: u32) -> Self {
+        self.stripe_count = stripes.max(1);
+        self
+    }
+
+    /// Per-op latency for a phase.
+    pub fn op_latency(&self, phase: &PhaseSpec) -> f64 {
+        let mut lat = self.per_op_latency;
+        if phase.op == IoOp::Write && phase.fsync {
+            lat += self.sync_commit_latency;
+        }
+        if phase.op == IoOp::Read && phase.pattern == AccessPattern::Random {
+            lat += self.hdd.read_latency + 8e-3;
+        }
+        lat
+    }
+}
+
+impl StorageSystem for LustreConfig {
+    fn name(&self) -> &str {
+        "Lustre"
+    }
+
+    fn description(&self) -> String {
+        self.label.clone()
+    }
+
+    fn provision(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        _ppn: u32,
+        phase: &PhaseSpec,
+    ) -> Provisioned {
+        let pool = net.add_resource(ResourceSpec::new(
+            "lustre:oss-pool",
+            self.server_pool_bw(phase),
+        ));
+        let iops = net.add_resource(ResourceSpec::new(
+            "lustre:ops",
+            self.ops_pool / phase.ops_per_byte(),
+        ));
+        let engine = self.client_bw.min(self.client_nic_bw);
+        let node_paths = (0..nodes)
+            .map(|i| {
+                let mount =
+                    net.add_resource(ResourceSpec::new(format!("lustre:client{i}"), engine));
+                vec![mount, iops, pool]
+            })
+            .collect();
+        Provisioned {
+            node_paths,
+            per_stream_bw: self.stream_bw(),
+            per_op_latency: self.op_latency(phase),
+            metadata_latency: self.metadata_latency,
+        }
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.noise
+    }
+
+    fn metadata_profile(&self) -> hcs_core::MetadataProfile {
+        hcs_core::MetadataProfile {
+            op_latency: self.metadata_latency,
+            ops_pool: self.ops_pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::runner::run_phase;
+    use hcs_simkit::units::MIB;
+
+    #[test]
+    fn component_counts_match_paper() {
+        let l = LustreConfig::on_ruby();
+        assert_eq!(l.mds_count, 16);
+        assert_eq!(l.oss_count, 36);
+        assert_eq!(l.ost_array(false).count, 2880);
+    }
+
+    #[test]
+    fn fsync_write_ramps_nearly_linearly_with_procs() {
+        // Fig 3b/3c: "almost linear increase in bandwidth".
+        let l = LustreConfig::on_ruby();
+        let phase = PhaseSpec::seq_write(MIB, 128.0 * MIB).with_fsync(true);
+        let b: Vec<f64> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| run_phase(&l, 1, p, &phase).agg_bandwidth)
+            .collect();
+        for w in b.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!(
+                (1.5..2.5).contains(&ratio),
+                "each doubling of procs should near-double bandwidth: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_ramp_with_procs_then_approach_client_cap() {
+        let l = LustreConfig::on_ruby();
+        let phase = PhaseSpec::seq_read(MIB, 128.0 * MIB);
+        let p1 = run_phase(&l, 1, 1, &phase).agg_bandwidth;
+        let p32 = run_phase(&l, 1, 32, &phase).agg_bandwidth;
+        assert!(p32 > 6.0 * p1, "{p1} vs {p32}");
+        assert!(p32 <= l.client_bw * 1.01);
+    }
+
+    #[test]
+    fn ruby_and_quartz_behave_similarly() {
+        // Fig 3b-3c: "Lustre behaves similarly on Quartz and Ruby".
+        let phase = PhaseSpec::seq_write(MIB, 128.0 * MIB).with_fsync(true);
+        let r = run_phase(&LustreConfig::on_ruby(), 1, 16, &phase).agg_bandwidth;
+        let q = run_phase(&LustreConfig::on_quartz(), 1, 16, &phase).agg_bandwidth;
+        let ratio = r / q;
+        assert!((0.7..1.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn lustre_beats_vast_class_tcp_rates_at_scale_out_procs() {
+        // Fig 3b/3c show Lustre far above the gateway-throttled VAST.
+        let l = LustreConfig::on_ruby();
+        let phase = PhaseSpec::seq_write(MIB, 128.0 * MIB).with_fsync(true);
+        let p32 = run_phase(&l, 1, 32, &phase).agg_bandwidth;
+        assert!(p32 > 1.0e9, "32-proc Lustre fsync write = {p32}");
+    }
+
+    #[test]
+    fn striping_raises_per_rank_bandwidth_until_client_cap() {
+        let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+        let one = run_phase(&LustreConfig::on_ruby().with_stripe_count(1), 1, 1, &phase)
+            .agg_bandwidth;
+        let four = run_phase(&LustreConfig::on_ruby().with_stripe_count(4), 1, 1, &phase)
+            .agg_bandwidth;
+        let wide = run_phase(&LustreConfig::on_ruby().with_stripe_count(64), 1, 1, &phase)
+            .agg_bandwidth;
+        assert!(four > 2.5 * one, "stripes parallelize one stream: {one} vs {four}");
+        assert!(
+            wide <= LustreConfig::on_ruby().per_stream_bw * 1.01,
+            "client ceiling: {wide}"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = LustreConfig::on_quartz();
+        let back: LustreConfig =
+            serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        assert_eq!(back, l);
+    }
+}

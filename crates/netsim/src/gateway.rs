@@ -1,0 +1,96 @@
+//! Gateway funnels between compute fabrics and external storage.
+//!
+//! The LC clusters do not attach VAST to the compute fabric directly;
+//! traffic crosses *gateway nodes* with modest Ethernet uplinks (§IV.B):
+//!
+//! * Lassen — **one** gateway, 2×100 Gb Ethernet, single TCP link;
+//! * Ruby — **eight** gateways, 1×40 Gb Ethernet each;
+//! * Quartz — **32** gateways, 2×1 Gb Ethernet each.
+//!
+//! §V.A pins VAST's flat scaling on Lassen on exactly this funnel: "the
+//! bandwidth for VAST is similar to the maximum available bandwidth on
+//! the network." A [`GatewayGroup`] aggregates the uplinks and reports
+//! both the total funnel capacity and the per-client ceiling (a client's
+//! mount is pinned to one gateway).
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkSpec;
+
+/// A group of identical gateway nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GatewayGroup {
+    /// Number of gateway nodes.
+    pub count: u32,
+    /// Uplink of each gateway node.
+    pub uplink: LinkSpec,
+}
+
+impl GatewayGroup {
+    /// Creates a gateway group.
+    pub fn new(count: u32, uplink: LinkSpec) -> Self {
+        GatewayGroup { count, uplink }
+    }
+
+    /// Lassen's VAST gateway: a single node with 2×100 Gb Ethernet.
+    pub fn lassen() -> Self {
+        GatewayGroup::new(1, LinkSpec::ethernet("2x100GbE", 100.0, 2))
+    }
+
+    /// Ruby's VAST gateways: eight nodes with 1×40 Gb Ethernet each.
+    pub fn ruby() -> Self {
+        GatewayGroup::new(8, LinkSpec::ethernet("1x40GbE", 40.0, 1))
+    }
+
+    /// Quartz's VAST gateways: 32 nodes with 2×1 Gb Ethernet each.
+    pub fn quartz() -> Self {
+        GatewayGroup::new(32, LinkSpec::ethernet("2x1GbE", 1.0, 2))
+    }
+
+    /// Total funnel capacity in bytes/s.
+    pub fn aggregate_bw(&self) -> f64 {
+        self.uplink.bandwidth * self.count as f64
+    }
+
+    /// Capacity available to one client node, whose mount rides a single
+    /// gateway.
+    pub fn per_client_bw(&self) -> f64 {
+        self.uplink.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lassen_funnel_is_25_gbytes() {
+        let g = GatewayGroup::lassen();
+        assert_eq!(g.aggregate_bw(), 25e9);
+        assert_eq!(g.per_client_bw(), 25e9);
+    }
+
+    #[test]
+    fn ruby_funnel() {
+        let g = GatewayGroup::ruby();
+        assert_eq!(g.aggregate_bw(), 40e9);
+        assert_eq!(g.per_client_bw(), 5e9);
+    }
+
+    #[test]
+    fn quartz_funnel_is_tiny_per_client() {
+        let g = GatewayGroup::quartz();
+        assert_eq!(g.per_client_bw(), 0.25e9);
+        assert_eq!(g.aggregate_bw(), 8e9);
+    }
+
+    #[test]
+    fn gateway_ordering_matches_paper() {
+        // §V.A: VAST performs better on Lassen than Ruby than Quartz for
+        // a single client because of the gateway links.
+        let lassen = GatewayGroup::lassen().per_client_bw();
+        let ruby = GatewayGroup::ruby().per_client_bw();
+        let quartz = GatewayGroup::quartz().per_client_bw();
+        assert!(lassen > ruby && ruby > quartz);
+    }
+}

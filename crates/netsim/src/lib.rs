@@ -1,0 +1,31 @@
+//! # hcs-netsim
+//!
+//! Network transport and link models for the `hcs` suite.
+//!
+//! The paper's central systems-administration finding is a *transport*
+//! effect (§VII): "An RDMA-based deployment of VAST, with multipathing
+//! and nconnect is expected to provide up to 8× higher bandwidths per
+//! node as compared to TCP-based deployments ... when using the Network
+//! File System." This crate models the structures behind that effect:
+//!
+//! * [`link::LinkSpec`] — a physical link with bandwidth and latency
+//!   (Ethernet rails, InfiniBand EDR, Omni-Path).
+//! * [`transport::TransportSpec`] — how a client mounts the storage:
+//!   NFS-over-TCP with one connection (the Lassen/Ruby/Quartz VAST
+//!   deployments) vs NFS-over-RDMA with `nconnect` parallel connections
+//!   and multipath rails (the Wombat deployment).
+//! * [`gateway::GatewayGroup`] — the LC clusters reach VAST through
+//!   small groups of gateway nodes whose Ethernet uplinks funnel all
+//!   traffic (1×(2×100 Gb) on Lassen, 8×40 Gb on Ruby, 32×(2×1 Gb) on
+//!   Quartz); this is the bottleneck §V.A diagnoses.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gateway;
+pub mod link;
+pub mod transport;
+
+pub use gateway::GatewayGroup;
+pub use link::LinkSpec;
+pub use transport::{TransportKind, TransportSpec};

@@ -1,0 +1,90 @@
+//! Physical link descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_simkit::units::{gbit_per_s, USEC};
+
+/// A physical network link (or a bonded set of identical rails).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Name for diagnostics ("IB EDR", "2x100GbE", ...).
+    pub name: String,
+    /// Payload bandwidth in bytes/s (all rails combined).
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Number of physical rails bonded into this link.
+    pub rails: u32,
+}
+
+impl LinkSpec {
+    /// A single- or multi-rail Ethernet link quoted in Gb/s per rail.
+    pub fn ethernet(name: impl Into<String>, gbits_per_rail: f64, rails: u32) -> Self {
+        LinkSpec {
+            name: name.into(),
+            bandwidth: gbit_per_s(gbits_per_rail) * rails as f64,
+            latency: 30.0 * USEC,
+            rails,
+        }
+    }
+
+    /// InfiniBand EDR (100 Gb/s per rail).
+    pub fn ib_edr(rails: u32) -> Self {
+        LinkSpec {
+            name: format!("IB EDR x{rails}"),
+            bandwidth: gbit_per_s(100.0) * rails as f64,
+            latency: 1.0 * USEC,
+            rails,
+        }
+    }
+
+    /// Intel Omni-Path (100 Gb/s per rail).
+    pub fn omni_path(rails: u32) -> Self {
+        LinkSpec {
+            name: format!("Omni-Path x{rails}"),
+            bandwidth: gbit_per_s(100.0) * rails as f64,
+            latency: 1.5 * USEC,
+            rails,
+        }
+    }
+
+    /// Per-rail bandwidth in bytes/s.
+    pub fn per_rail_bandwidth(&self) -> f64 {
+        if self.rails == 0 {
+            0.0
+        } else {
+            self.bandwidth / self.rails as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_rails_aggregate() {
+        let l = LinkSpec::ethernet("2x100GbE", 100.0, 2);
+        assert_eq!(l.bandwidth, 25e9);
+        assert_eq!(l.per_rail_bandwidth(), 12.5e9);
+        assert_eq!(l.rails, 2);
+    }
+
+    #[test]
+    fn ib_edr_is_100gbit() {
+        let l = LinkSpec::ib_edr(1);
+        assert_eq!(l.bandwidth, 12.5e9);
+        assert!(l.latency < 5e-6);
+    }
+
+    #[test]
+    fn zero_rails_is_dead_link() {
+        let l = LinkSpec {
+            name: "dead".into(),
+            bandwidth: 0.0,
+            latency: 0.0,
+            rails: 0,
+        };
+        assert_eq!(l.per_rail_bandwidth(), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the transport math.
+
+use proptest::prelude::*;
+
+use hcs_netsim::{GatewayGroup, LinkSpec, TransportSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A node's connection pool never exceeds its NIC or the sum of its
+    /// streams.
+    #[test]
+    fn connection_pool_bounded(
+        nconnect in 1u32..64,
+        multipath in 1u32..4,
+        nic in 1.0e8..1.0e11f64,
+    ) {
+        let t = TransportSpec::nfs_rdma(nconnect, multipath);
+        let pool = t.node_connection_bw(nic);
+        prop_assert!(pool <= nic * (1.0 + 1e-12));
+        prop_assert!(pool <= t.per_stream_bw * nconnect as f64 * (1.0 + 1e-12));
+        prop_assert!(pool > 0.0);
+    }
+
+    /// More connections never reduce the pool.
+    #[test]
+    fn nconnect_monotone(
+        a in 1u32..32,
+        b in 1u32..32,
+        nic in 1.0e8..1.0e11f64,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = TransportSpec::nfs_rdma(lo, 1).node_connection_bw(nic);
+        let p_hi = TransportSpec::nfs_rdma(hi, 1).node_connection_bw(nic);
+        prop_assert!(p_hi >= p_lo * (1.0 - 1e-12));
+    }
+
+    /// Effective stream bandwidth is bounded by the raw stream rate and
+    /// monotone in transfer size.
+    #[test]
+    fn effective_stream_bounded_and_monotone(
+        ts in 1.0e3..1.0e8f64,
+        factor in 1.0..64.0f64,
+    ) {
+        for t in [
+            TransportSpec::nfs_tcp_single(),
+            TransportSpec::nfs_rdma(16, 2),
+            TransportSpec::native_client(),
+        ] {
+            let small = t.effective_stream_bw(ts);
+            let big = t.effective_stream_bw(ts * factor);
+            prop_assert!(small <= t.per_stream_bw * (1.0 + 1e-12));
+            prop_assert!(big >= small * (1.0 - 1e-12));
+        }
+    }
+
+    /// Gateway aggregates are exactly count × uplink, and the per-client
+    /// share never exceeds the aggregate.
+    #[test]
+    fn gateway_arithmetic(count in 1u32..64, gbits in 1.0..400.0f64, rails in 1u32..4) {
+        let g = GatewayGroup::new(count, LinkSpec::ethernet("e", gbits, rails));
+        prop_assert!((g.aggregate_bw() - g.uplink.bandwidth * count as f64).abs() < 1.0);
+        prop_assert!(g.per_client_bw() <= g.aggregate_bw() * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,426 @@
+//! # hcs-replay
+//!
+//! Trace-driven **what-if replay**: take a DFTracer-style trace of a DL
+//! training run (captured on one storage system, real or simulated),
+//! keep its *compute* timeline verbatim, and re-drive its *reads*
+//! through a different storage system model. The output answers the
+//! question I/O teams actually ask of traces: *"we profiled this
+//! workload on VAST — what would its I/O time and stalls look like on
+//! GPFS?"*
+//!
+//! The replay reconstructs, per process:
+//!
+//! * the ordered list of read requests (byte sizes from the trace's
+//!   event args),
+//! * the ordered list of compute steps (durations from the trace),
+//! * the worker-thread count (distinct reader `tid`s observed),
+//!
+//! and re-executes the same bounded-prefetch pipeline against the
+//! target [`StorageSystem`], producing a fresh trace and overlap
+//! decomposition. Replaying a trace against the system that produced it
+//! reproduces the original timings — the suite's end-to-end
+//! self-consistency check (see `replay_is_self_consistent`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{PhaseSpec, StorageSystem};
+use hcs_dftrace::{decompose, EventCategory, IoDecomposition, Tracer};
+use hcs_simkit::{FlowId, FlowNet, FlowSpec};
+
+/// What was extracted from the source trace for one process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessProfile {
+    /// Process id in the source trace.
+    pub pid: u32,
+    /// Read request sizes, in completion order, bytes.
+    pub reads: Vec<f64>,
+    /// Compute step durations, in completion order, seconds.
+    pub computes: Vec<f64>,
+    /// Reader threads observed.
+    pub threads: u32,
+}
+
+/// Replay parameters.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Request size used to provision the target system (the dominant
+    /// transfer size of the trace; taken from the median read when not
+    /// set).
+    pub transfer_size: Option<f64>,
+    /// Prefetch queue depth per process (defaults to 2× threads).
+    pub prefetch_depth: Option<u32>,
+    /// Whether each read opened its own file (pays the target system's
+    /// per-file metadata latency). `None` infers it from the trace:
+    /// sub-MiB requests are treated as file-per-sample datasets (JPEG
+    /// folders), larger ones as shard streaming.
+    pub file_per_read: Option<bool>,
+}
+
+/// The replay outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Target system description.
+    pub system: String,
+    /// Wall time of the replayed job, seconds.
+    pub duration: f64,
+    /// Per-process decompositions.
+    pub per_process: Vec<IoDecomposition>,
+    /// Mean per-process decomposition.
+    pub mean: IoDecomposition,
+    /// The replayed trace (same shape as the source, new timings).
+    pub tracer: Tracer,
+}
+
+/// Extracts per-process profiles from a trace.
+///
+/// Only [`EventCategory::Read`] events with byte counts participate;
+/// traces without byte counts cannot be replayed (the sizes are the
+/// workload).
+pub fn extract_profiles(tracer: &Tracer) -> Vec<ProcessProfile> {
+    tracer
+        .pids()
+        .into_iter()
+        .filter_map(|pid| {
+            let mut reads: Vec<(f64, f64)> = tracer
+                .by_pid(pid)
+                .filter(|e| e.cat == EventCategory::Read)
+                .filter_map(|e| e.bytes.map(|b| (e.end(), b)))
+                .collect();
+            reads.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            let mut computes: Vec<(f64, f64)> = tracer
+                .by_pid(pid)
+                .filter(|e| e.cat == EventCategory::Compute)
+                .map(|e| (e.end(), e.dur))
+                .collect();
+            computes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            let threads = tracer
+                .by_pid(pid)
+                .filter(|e| e.cat == EventCategory::Read)
+                .map(|e| e.tid)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len() as u32;
+            if reads.is_empty() {
+                None
+            } else {
+                Some(ProcessProfile {
+                    pid,
+                    reads: reads.into_iter().map(|(_, b)| b).collect(),
+                    computes: computes.into_iter().map(|(_, d)| d).collect(),
+                    threads: threads.max(1),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Median of a non-empty slice.
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+struct ProcState {
+    next_read: usize,
+    next_compute: usize,
+    queued: u32,
+    in_flight: u32,
+    idle_threads: u32,
+    computing: Option<(f64, f64)>, // (end, duration)
+    depth: u32,
+}
+
+/// Replays a trace against a target storage system.
+///
+/// # Panics
+/// Panics if the trace contains no replayable reads.
+pub fn replay(
+    tracer: &Tracer,
+    system: &dyn StorageSystem,
+    config: &ReplayConfig,
+) -> ReplayResult {
+    let profiles = extract_profiles(tracer);
+    assert!(
+        !profiles.is_empty(),
+        "trace has no read events with byte counts; nothing to replay"
+    );
+    let nodes = profiles.len() as u32;
+
+    let all_reads: Vec<f64> = profiles.iter().flat_map(|p| p.reads.iter().copied()).collect();
+    let ts = config.transfer_size.unwrap_or_else(|| median(&all_reads));
+    let max_read = all_reads.iter().copied().fold(0.0_f64, f64::max);
+    let bytes_per_rank: f64 = profiles
+        .iter()
+        .map(|p| p.reads.iter().sum::<f64>())
+        .fold(0.0_f64, f64::max)
+        .max(max_read)
+        .max(ts);
+    let phase = PhaseSpec::random_read(ts.min(bytes_per_rank), bytes_per_rank)
+        .with_client_cache_defeated(false);
+
+    let file_per_read = config
+        .file_per_read
+        .unwrap_or(ts < 1024.0 * 1024.0);
+    let mut net = FlowNet::new();
+    let prov = system.provision(&mut net, nodes, 1, &phase);
+    let stream_cap = prov.effective_stream_bw(ts);
+    let meta = if file_per_read { prov.metadata_latency } else { 0.0 };
+
+    let mut states: Vec<ProcState> = profiles
+        .iter()
+        .map(|p| ProcState {
+            next_read: 0,
+            next_compute: 0,
+            queued: 0,
+            in_flight: 0,
+            idle_threads: p.threads,
+            computing: None,
+            depth: config.prefetch_depth.unwrap_or(2 * p.threads).max(1),
+        })
+        .collect();
+
+    let mut out = Tracer::new();
+    let mut flows: BTreeMap<FlowId, (usize, u32, f64)> = BTreeMap::new();
+    let mut tid_counter: Vec<u32> = vec![0; profiles.len()];
+
+    let start_reads = |i: usize,
+                       states: &mut [ProcState],
+                       net: &mut FlowNet,
+                       flows: &mut BTreeMap<FlowId, (usize, u32, f64)>,
+                       tid_counter: &mut [u32],
+                       now: f64,
+                       profiles: &[ProcessProfile],
+                       prov_paths: &[Vec<hcs_simkit::ResourceId>]| {
+        let s = &mut states[i];
+        let p = &profiles[i];
+        while s.idle_threads > 0
+            && s.next_read < p.reads.len()
+            && (s.queued + s.in_flight) < s.depth
+        {
+            let bytes = p.reads[s.next_read].max(1.0);
+            s.next_read += 1;
+            let tid = tid_counter[i] % p.threads;
+            tid_counter[i] += 1;
+            let mut spec = FlowSpec::new(prov_paths[i].clone(), bytes);
+            // Fold the per-file open cost into this request's rate so a
+            // blocking thread's sample cadence matches the target
+            // system's metadata path.
+            let cap = if stream_cap.is_finite() && stream_cap > 0.0 {
+                Some(bytes / (bytes / stream_cap + meta))
+            } else if meta > 0.0 {
+                Some(bytes / meta)
+            } else {
+                None
+            };
+            if let Some(cap) = cap {
+                spec = spec.with_rate_cap(cap);
+            }
+            let id = net.add_flow(spec);
+            flows.insert(id, (i, tid, now));
+            s.idle_threads -= 1;
+            s.in_flight += 1;
+        }
+    };
+
+    let try_compute = |i: usize, states: &mut [ProcState], now: f64, profiles: &[ProcessProfile]| {
+        let s = &mut states[i];
+        let p = &profiles[i];
+        if s.computing.is_none() && s.queued >= 1 && s.next_compute < p.computes.len() {
+            s.queued -= 1;
+            let dur = p.computes[s.next_compute];
+            s.next_compute += 1;
+            s.computing = Some((now + dur, dur));
+        }
+    };
+
+    for i in 0..profiles.len() {
+        start_reads(
+            i,
+            &mut states,
+            &mut net,
+            &mut flows,
+            &mut tid_counter,
+            0.0,
+            &profiles,
+            &prov.node_paths,
+        );
+    }
+
+    let total_events: usize = profiles.iter().map(|p| p.reads.len() + p.computes.len()).sum();
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        assert!(guard <= total_events * 4 + 100, "replay exceeded event budget");
+        let t_flow = net.next_completion_time().unwrap_or(f64::INFINITY);
+        let t_compute = states
+            .iter()
+            .filter_map(|s| s.computing.map(|(e, _)| e))
+            .fold(f64::INFINITY, f64::min);
+        if !t_flow.is_finite() && !t_compute.is_finite() {
+            break;
+        }
+        if t_flow <= t_compute {
+            net.advance_to(t_flow);
+            for c in net.take_completed() {
+                let (i, tid, start) = flows.remove(&c.id).expect("unknown flow");
+                let bytes = profiles[i].reads[..states[i].next_read]
+                    .last()
+                    .copied()
+                    .unwrap_or(ts);
+                out.complete_with_bytes(
+                    "read",
+                    EventCategory::Read,
+                    profiles[i].pid,
+                    tid,
+                    start,
+                    t_flow,
+                    bytes,
+                );
+                states[i].in_flight -= 1;
+                states[i].idle_threads += 1;
+                states[i].queued += 1;
+                try_compute(i, &mut states, t_flow, &profiles);
+                start_reads(
+                    i,
+                    &mut states,
+                    &mut net,
+                    &mut flows,
+                    &mut tid_counter,
+                    t_flow,
+                    &profiles,
+                    &prov.node_paths,
+                );
+            }
+        } else {
+            net.advance_to(t_compute);
+            for i in 0..profiles.len() {
+                if let Some((end, dur)) = states[i].computing {
+                    if (end - t_compute).abs() < 1e-12 {
+                        states[i].computing = None;
+                        out.complete(
+                            "compute",
+                            EventCategory::Compute,
+                            profiles[i].pid,
+                            1000,
+                            t_compute - dur,
+                            t_compute,
+                        );
+                        try_compute(i, &mut states, t_compute, &profiles);
+                        start_reads(
+                            i,
+                            &mut states,
+                            &mut net,
+                            &mut flows,
+                            &mut tid_counter,
+                            t_compute,
+                            &profiles,
+                            &prov.node_paths,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let per_process: Vec<IoDecomposition> = profiles
+        .iter()
+        .map(|p| decompose(&out, Some(p.pid)))
+        .collect();
+    let mut mean = IoDecomposition::default();
+    for d in &per_process {
+        mean.accumulate(d);
+    }
+    let mean = mean.scaled(1.0 / per_process.len() as f64);
+    let duration = out.span().map(|(a, b)| b - a).unwrap_or(0.0);
+
+    ReplayResult {
+        system: system.description(),
+        duration,
+        per_process,
+        mean,
+        tracer: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_dlio::{resnet50, run_dlio};
+    use hcs_gpfs::GpfsConfig;
+    use hcs_vast::vast_on_lassen;
+
+    fn source_trace() -> (hcs_dlio::DlioResult, hcs_vast::VastConfig) {
+        let vast = vast_on_lassen();
+        let r = run_dlio(&vast, &resnet50().smoke(), 2);
+        (r, vast)
+    }
+
+    #[test]
+    fn profiles_extracted_faithfully() {
+        let (r, _) = source_trace();
+        let profiles = extract_profiles(&r.tracer);
+        assert_eq!(profiles.len(), 2);
+        for p in &profiles {
+            assert_eq!(p.reads.len(), 64); // smoke dataset per node
+            assert_eq!(p.computes.len(), 64);
+            assert!(p.threads >= 1 && p.threads <= 8);
+            assert!(p.reads.iter().all(|&b| (b - 150e3).abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn replay_is_self_consistent() {
+        // Replaying a VAST trace against VAST reproduces the original
+        // I/O totals within tolerance (thread multiplexing differs
+        // slightly, bandwidth math must agree).
+        let (r, vast) = source_trace();
+        let replayed = replay(&r.tracer, &vast, &ReplayConfig::default());
+        let orig = r.mean_per_node.io_total;
+        let got = replayed.mean.io_total;
+        let ratio = got / orig;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "self-replay io_total ratio = {ratio} ({got} vs {orig})"
+        );
+    }
+
+    #[test]
+    fn what_if_faster_system_cuts_io_time() {
+        let (r, _) = source_trace();
+        let gpfs = GpfsConfig::on_lassen();
+        let replayed = replay(&r.tracer, &gpfs, &ReplayConfig::default());
+        assert!(
+            replayed.mean.io_total < 0.6 * r.mean_per_node.io_total,
+            "GPFS replay should shrink I/O: {} vs {}",
+            replayed.mean.io_total,
+            r.mean_per_node.io_total
+        );
+        // Compute time is carried over from the trace, unchanged.
+        let ratio = replayed.mean.compute_total / r.mean_per_node.compute_total;
+        assert!((0.99..1.01).contains(&ratio), "compute preserved: {ratio}");
+    }
+
+    #[test]
+    fn replay_round_trips_through_chrome_json() {
+        let (r, vast) = source_trace();
+        let json = hcs_dftrace::chrome::to_json(&r.tracer);
+        let loaded = hcs_dftrace::chrome::from_json(&json).unwrap();
+        let a = replay(&loaded, &vast, &ReplayConfig::default());
+        let b = replay(&r.tracer, &vast, &ReplayConfig::default());
+        assert_eq!(a.duration, b.duration);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to replay")]
+    fn traces_without_bytes_are_rejected() {
+        let mut t = Tracer::new();
+        t.complete("r", EventCategory::Read, 0, 0, 0.0, 1.0); // no bytes
+        let gpfs = GpfsConfig::on_lassen();
+        replay(&t, &gpfs, &ReplayConfig::default());
+    }
+}

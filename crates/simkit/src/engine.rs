@@ -1,0 +1,310 @@
+//! Discrete-event simulation core.
+//!
+//! The engine is deliberately minimal: a priority queue of timestamped
+//! events plus a [`World`] trait the domain implements. Events are plain
+//! data (an associated type), not closures, which keeps the borrow
+//! checker out of the way and makes simulations trivially inspectable
+//! and deterministic.
+//!
+//! # Determinism
+//!
+//! Two events scheduled for the same instant fire in the order they were
+//! scheduled (FIFO tie-breaking via a sequence counter). Combined with
+//! seeded RNGs ([`crate::rng::SimRng`]) this makes whole simulations
+//! reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use hcs_simkit::{EventQueue, SimTime, Simulation, World};
+//!
+//! struct Counter {
+//!     fired: Vec<(f64, u32)>,
+//! }
+//!
+//! impl World for Counter {
+//!     type Event = u32;
+//!     fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+//!         self.fired.push((now.as_secs(), ev));
+//!         if ev < 3 {
+//!             q.schedule_after(1.0, ev + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut world = Counter { fired: vec![] };
+//! let mut sim = Simulation::new();
+//! sim.queue_mut().schedule_at(SimTime::ZERO, 0u32);
+//! sim.run(&mut world);
+//! assert_eq!(world.fired, vec![(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A domain that reacts to simulation events.
+pub trait World {
+    /// The domain's event type.
+    type Event;
+
+    /// Handles one event at simulated time `now`, optionally scheduling
+    /// follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event,
+        // breaking ties by scheduling order (lower seq first).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-event queue handed to [`World::handle`].
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the event being handled,
+    /// or of the last handled event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past or is [`SimTime::NEVER`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {now}",
+            at = at.as_secs(),
+            now = self.now.as_secs()
+        );
+        assert!(!at.is_never(), "cannot schedule an event at NEVER");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay of `secs` seconds.
+    pub fn schedule_after(&mut self, secs: f64, event: E) {
+        let at = self.now + secs;
+        self.schedule_at(at, event);
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event heap returned a past event");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+}
+
+/// Drives a [`World`] through its event queue until quiescence or a
+/// configured horizon.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    handled: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an idle simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            handled: 0,
+        }
+    }
+
+    /// Mutable access to the event queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Runs until the event queue is empty. Returns the final time.
+    pub fn run<W: World<Event = E>>(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::NEVER)
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `horizon` (events at exactly `horizon` are handled). Returns the
+    /// final simulated time.
+    pub fn run_until<W: World<Event = E>>(&mut self, world: &mut W, horizon: SimTime) -> SimTime {
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            self.handled += 1;
+            world.handle(now, event, &mut self.queue);
+        }
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        order: Vec<u32>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, ev: u32, _q: &mut EventQueue<u32>) {
+            self.order.push(ev);
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = Recorder { order: vec![] };
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule_at(SimTime::from_secs(3.0), 3);
+        sim.queue_mut().schedule_at(SimTime::from_secs(1.0), 1);
+        sim.queue_mut().schedule_at(SimTime::from_secs(2.0), 2);
+        let end = sim.run(&mut w);
+        assert_eq!(w.order, vec![1, 2, 3]);
+        assert_eq!(end.as_secs(), 3.0);
+        assert_eq!(sim.events_handled(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut w = Recorder { order: vec![] };
+        let mut sim = Simulation::new();
+        for i in 0..100 {
+            sim.queue_mut().schedule_at(SimTime::from_secs(1.0), i);
+        }
+        sim.run(&mut w);
+        assert_eq!(w.order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_early_but_includes_boundary() {
+        let mut w = Recorder { order: vec![] };
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule_at(SimTime::from_secs(1.0), 1);
+        sim.queue_mut().schedule_at(SimTime::from_secs(2.0), 2);
+        sim.queue_mut().schedule_at(SimTime::from_secs(3.0), 3);
+        sim.run_until(&mut w, SimTime::from_secs(2.0));
+        assert_eq!(w.order, vec![1, 2]);
+        // Remaining event still pending.
+        assert_eq!(sim.queue_mut().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, _n: SimTime, _e: (), q: &mut EventQueue<()>) {
+                q.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule_at(SimTime::from_secs(1.0), ());
+        sim.run(&mut Bad);
+    }
+
+    #[test]
+    fn cascading_events_advance_clock() {
+        struct Chain {
+            hops: u32,
+        }
+        impl World for Chain {
+            type Event = u32;
+            fn handle(&mut self, _n: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+                self.hops = ev;
+                if ev < 5 {
+                    q.schedule_after(0.5, ev + 1);
+                }
+            }
+        }
+        let mut w = Chain { hops: 0 };
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule_at(SimTime::ZERO, 1);
+        let end = sim.run(&mut w);
+        assert_eq!(w.hops, 5);
+        assert!((end.as_secs() - 2.0).abs() < 1e-12);
+    }
+}

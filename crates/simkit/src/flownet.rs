@@ -1,0 +1,681 @@
+//! Flow-level bandwidth sharing with max-min fairness.
+//!
+//! Storage and network activity is modeled as *flows*: a flow has a byte
+//! size and a path through capacity-limited *resources* (a client NIC, a
+//! gateway Ethernet link, a pool of NFS server CPUs, a flash array...).
+//! At any instant, the set of active flows shares every resource
+//! **max-min fairly** — the classic "progressive filling" allocation in
+//! which no flow can gain rate without taking it from an already-slower
+//! flow. Between arrivals and departures rates are constant, so the next
+//! completion time is computed analytically and simulated time leaps
+//! directly to it.
+//!
+//! Two features keep large benchmark simulations cheap:
+//!
+//! * **Multiplicity** — `n` identical flows (e.g. 44 IOR ranks on one
+//!   node writing through the same NIC) are stored once with
+//!   `multiplicity = n`. They receive identical rates and complete
+//!   simultaneously, collapsing per-rank state into per-node state.
+//! * **Per-flow rate caps** — a cap models a structural limit that is not
+//!   a shared resource, e.g. a single TCP stream that cannot exceed
+//!   ~1 GB/s regardless of how idle the 2×100 Gb gateway link is.
+//!
+//! Weighted sharing is supported: a flow with weight `w` receives `w`
+//! shares at every bottleneck, which models nconnect-style transports
+//! that open multiple streams per client.
+//!
+//! # Determinism
+//!
+//! Flows are kept in a `BTreeMap` keyed by creation order; the allocation
+//! loop iterates in that order, so allocations are bit-reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relative tolerance used when comparing rates and byte counts.
+const REL_EPS: f64 = 1e-9;
+
+/// Identifies a resource inside one [`FlowNet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// The index of this resource within its `FlowNet`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a flow inside one [`FlowNet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Static description of a resource.
+#[derive(Clone, Debug)]
+pub struct ResourceSpec {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Capacity in bytes per second shared by all flows crossing it.
+    pub capacity: f64,
+}
+
+impl ResourceSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        ResourceSpec {
+            name: name.into(),
+            capacity,
+        }
+    }
+}
+
+/// Static description of a flow (or group of identical flows).
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Resources traversed, in order. May be empty for purely
+    /// rate-capped local activity.
+    pub path: Vec<ResourceId>,
+    /// Bytes each member flow must transfer.
+    pub bytes: f64,
+    /// Number of identical member flows (≥ 1).
+    pub multiplicity: u32,
+    /// Optional per-member rate ceiling in bytes/s (e.g. a single TCP
+    /// stream limit).
+    pub rate_cap: Option<f64>,
+    /// Fair-share weight per member (default 1.0). A weight of 16 models
+    /// a client with 16 parallel streams (nconnect=16).
+    pub weight: f64,
+    /// Opaque caller tag returned in completion reports.
+    pub tag: u64,
+}
+
+impl FlowSpec {
+    /// A unit-weight, single-member flow over `path`.
+    pub fn new(path: Vec<ResourceId>, bytes: f64) -> Self {
+        FlowSpec {
+            path,
+            bytes,
+            multiplicity: 1,
+            rate_cap: None,
+            weight: 1.0,
+            tag: 0,
+        }
+    }
+
+    /// Sets the member multiplicity.
+    pub fn with_multiplicity(mut self, n: u32) -> Self {
+        self.multiplicity = n;
+        self
+    }
+
+    /// Sets the per-member rate cap.
+    pub fn with_rate_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Sets the per-member fair-share weight.
+    pub fn with_weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    /// Sets the caller tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    path: Vec<ResourceId>,
+    remaining: f64,
+    multiplicity: u32,
+    rate_cap: Option<f64>,
+    weight: f64,
+    tag: u64,
+    /// Current per-member rate, valid when `rates_valid`.
+    rate: f64,
+}
+
+/// A completed flow as reported by [`FlowNet::take_completed`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// The flow that finished.
+    pub id: FlowId,
+    /// Caller tag from the [`FlowSpec`].
+    pub tag: u64,
+    /// Completion time in seconds.
+    pub at: f64,
+}
+
+/// The flow-sharing network: resources plus currently active flows.
+pub struct FlowNet {
+    resources: Vec<ResourceSpec>,
+    flows: BTreeMap<u64, Flow>,
+    next_flow: u64,
+    now: f64,
+    rates_valid: bool,
+    completed: Vec<Completion>,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        FlowNet {
+            resources: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            now: 0.0,
+            rates_valid: true,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Registers a resource and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative or NaN.
+    pub fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
+        assert!(
+            spec.capacity >= 0.0 && !spec.capacity.is_nan(),
+            "resource capacity must be a non-negative number: {} = {}",
+            spec.name,
+            spec.capacity
+        );
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(spec);
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Resource name (diagnostics).
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.index()].name
+    }
+
+    /// Resource capacity in bytes/s.
+    pub fn resource_capacity(&self, id: ResourceId) -> f64 {
+        self.resources[id.index()].capacity
+    }
+
+    /// Changes a resource's capacity (failure injection / degradation).
+    /// Takes effect from the current instant.
+    pub fn set_resource_capacity(&mut self, id: ResourceId, capacity: f64) {
+        assert!(
+            capacity >= 0.0 && !capacity.is_nan(),
+            "capacity must be non-negative"
+        );
+        self.resources[id.index()].capacity = capacity;
+        self.rates_valid = false;
+    }
+
+    /// Starts a flow (group). Rates of all flows are re-divided from the
+    /// current instant.
+    ///
+    /// # Panics
+    /// Panics if the spec references an unknown resource, has
+    /// non-positive size/weight, or zero multiplicity.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.bytes > 0.0, "flow size must be positive");
+        assert!(spec.multiplicity >= 1, "multiplicity must be >= 1");
+        assert!(
+            spec.weight > 0.0 && spec.weight.is_finite(),
+            "weight must be positive and finite"
+        );
+        for r in &spec.path {
+            assert!(
+                r.index() < self.resources.len(),
+                "flow path references unknown resource {r:?}"
+            );
+        }
+        if let Some(cap) = spec.rate_cap {
+            assert!(cap > 0.0, "rate cap must be positive");
+        }
+        let key = self.next_flow;
+        self.next_flow += 1;
+        self.flows.insert(
+            key,
+            Flow {
+                path: spec.path,
+                remaining: spec.bytes,
+                multiplicity: spec.multiplicity,
+                rate_cap: spec.rate_cap,
+                weight: spec.weight,
+                tag: spec.tag,
+                rate: 0.0,
+            },
+        );
+        self.rates_valid = false;
+        FlowId(key)
+    }
+
+    /// Cancels an active flow. Returns `true` if it existed.
+    pub fn cancel(&mut self, id: FlowId) -> bool {
+        let existed = self.flows.remove(&id.0).is_some();
+        if existed {
+            self.rates_valid = false;
+        }
+        existed
+    }
+
+    /// Number of active flow groups.
+    pub fn active_flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Current per-member rate of a flow, if active.
+    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
+        self.ensure_rates();
+        self.flows.get(&id.0).map(|f| f.rate)
+    }
+
+    /// Remaining bytes (per member) of a flow, if active.
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.remaining)
+    }
+
+    /// Aggregate throughput currently allocated across all flows
+    /// (bytes/s, members counted).
+    pub fn aggregate_rate(&mut self) -> f64 {
+        self.ensure_rates();
+        self.flows
+            .values()
+            .map(|f| f.rate * f.multiplicity as f64)
+            .sum()
+    }
+
+    /// Absolute time at which the next flow completes, or `None` when no
+    /// flow is active or all active flows are stalled at rate zero.
+    pub fn next_completion_time(&mut self) -> Option<f64> {
+        self.ensure_rates();
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate > 0.0 {
+                let t = self.now + f.remaining / f.rate;
+                best = Some(match best {
+                    Some(b) => b.min(t),
+                    None => t,
+                });
+            }
+        }
+        best
+    }
+
+    /// Advances simulated time to `t`, draining bytes from every active
+    /// flow at its current rate, and moves any flows that finish by `t`
+    /// into the completion buffer (retrieve with [`take_completed`]).
+    ///
+    /// [`take_completed`]: FlowNet::take_completed
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current time.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(
+            t >= self.now - REL_EPS,
+            "cannot advance backwards: {t} < {}",
+            self.now
+        );
+        let dt = (t - self.now).max(0.0);
+        if dt > 0.0 {
+            self.ensure_rates();
+            for f in self.flows.values_mut() {
+                f.remaining -= f.rate * dt;
+            }
+        }
+        self.now = t;
+        // Collect completions deterministically (BTreeMap order).
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= f.rate.max(1.0) * REL_EPS * self.now.max(1.0) + 1e-6)
+            .map(|(k, _)| *k)
+            .collect();
+        if !done.is_empty() {
+            for k in done {
+                let f = self.flows.remove(&k).expect("flow disappeared");
+                self.completed.push(Completion {
+                    id: FlowId(k),
+                    tag: f.tag,
+                    at: self.now,
+                });
+            }
+            self.rates_valid = false;
+        }
+    }
+
+    /// Drains the buffer of completions recorded by [`FlowNet::advance_to`].
+    pub fn take_completed(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Runs the network until every active flow completes, invoking
+    /// `on_complete` for each completion in order. Flows added inside the
+    /// callback are scheduled from the completion instant. Returns the
+    /// final time.
+    ///
+    /// # Panics
+    /// Panics if flows stall (every remaining flow has rate zero), which
+    /// indicates a zero-capacity resource on every path.
+    pub fn run_to_completion(&mut self, mut on_complete: impl FnMut(&mut FlowNet, Completion)) -> f64 {
+        while self.active_flow_count() > 0 {
+            let t = self
+                .next_completion_time()
+                .expect("active flows are stalled at rate zero");
+            self.advance_to(t);
+            for c in self.take_completed() {
+                on_complete(self, c);
+            }
+        }
+        self.now
+    }
+
+    fn ensure_rates(&mut self) {
+        if self.rates_valid {
+            return;
+        }
+        self.recompute_rates();
+        self.rates_valid = true;
+    }
+
+    /// Weighted max-min fair allocation by progressive filling.
+    fn recompute_rates(&mut self) {
+        let n_res = self.resources.len();
+        // Capacity consumed by frozen flows, per resource.
+        let mut frozen_alloc: Vec<f64> = vec![0.0; n_res];
+        let mut unfrozen: Vec<u64> = Vec::with_capacity(self.flows.len());
+        for (k, f) in self.flows.iter_mut() {
+            f.rate = 0.0;
+            unfrozen.push(*k);
+        }
+
+        let mut weight_on: Vec<f64> = vec![0.0; n_res];
+        let mut cap_rem: Vec<f64> = vec![0.0; n_res];
+        while !unfrozen.is_empty() {
+            // Recompute active weights exactly each round (incremental
+            // subtraction leaves floating-point residue that can make a
+            // fully-frozen resource look contended and stall the loop).
+            weight_on.iter_mut().for_each(|w| *w = 0.0);
+            for k in &unfrozen {
+                let f = &self.flows[k];
+                let w = f.weight * f.multiplicity as f64;
+                for r in &f.path {
+                    weight_on[r.index()] += w;
+                }
+            }
+            for r in 0..n_res {
+                cap_rem[r] = (self.resources[r].capacity - frozen_alloc[r]).max(0.0);
+            }
+            // Candidate fill level from resources.
+            let mut level = f64::INFINITY;
+            for r in 0..n_res {
+                if weight_on[r] > 0.0 {
+                    level = level.min((cap_rem[r].max(0.0)) / weight_on[r]);
+                }
+            }
+            // Candidate fill level from per-flow caps.
+            for k in &unfrozen {
+                let f = &self.flows[k];
+                if let Some(cap) = f.rate_cap {
+                    level = level.min(cap / f.weight);
+                }
+            }
+            if !level.is_finite() {
+                // No shared resources and no caps: unconstrained flows.
+                for k in &unfrozen {
+                    self.flows.get_mut(k).expect("flow").rate = f64::INFINITY;
+                }
+                break;
+            }
+
+            // Freeze: cap-limited flows at their cap; flows through a
+            // saturated bottleneck at weight * level.
+            let tol = level.abs() * 1e-12 + 1e-30;
+            let mut still = Vec::with_capacity(unfrozen.len());
+            let mut froze_any = false;
+            for k in unfrozen {
+                let f = self.flows.get_mut(&k).expect("flow");
+                let cap_level = f.rate_cap.map(|c| c / f.weight).unwrap_or(f64::INFINITY);
+                let on_bottleneck = f.path.iter().any(|r| {
+                    weight_on[r.index()] > 0.0
+                        && (cap_rem[r.index()].max(0.0) / weight_on[r.index()]) <= level + tol
+                });
+                if cap_level <= level + tol || on_bottleneck {
+                    let rate = f.weight * level.min(cap_level);
+                    f.rate = rate;
+                    let consumed = rate * f.multiplicity as f64;
+                    for r in &f.path {
+                        frozen_alloc[r.index()] += consumed;
+                    }
+                    froze_any = true;
+                } else {
+                    still.push(k);
+                }
+            }
+            debug_assert!(froze_any, "progressive filling made no progress");
+            if !froze_any {
+                // Defensive: freeze everything at the current level.
+                for k in &still {
+                    let f = self.flows.get_mut(k).expect("flow");
+                    f.rate = f.weight * level;
+                }
+                break;
+            }
+            unfrozen = still;
+        }
+    }
+
+    /// Returns, for diagnostics, each resource's currently allocated
+    /// throughput as `(name, allocated, capacity)`.
+    pub fn resource_utilization(&mut self) -> Vec<(String, f64, f64)> {
+        self.ensure_rates();
+        let mut alloc = vec![0.0; self.resources.len()];
+        for f in self.flows.values() {
+            let agg = f.rate * f.multiplicity as f64;
+            for r in &f.path {
+                alloc[r.index()] += agg;
+            }
+        }
+        self.resources
+            .iter()
+            .zip(alloc)
+            .map(|(r, a)| (r.name.clone(), a, r.capacity))
+            .collect()
+    }
+}
+
+impl fmt::Debug for FlowNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowNet")
+            .field("now", &self.now)
+            .field("resources", &self.resources.len())
+            .field("active_flows", &self.flows.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net_with(caps: &[f64]) -> (FlowNet, Vec<ResourceId>) {
+        let mut net = FlowNet::new();
+        let ids = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_resource(ResourceSpec::new(format!("r{i}"), c)))
+            .collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn single_flow_single_resource() {
+        let (mut net, r) = net_with(&[100.0]);
+        let id = net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        assert_eq!(net.flow_rate(id), Some(100.0));
+        let t = net.next_completion_time().unwrap();
+        assert!((t - 10.0).abs() < 1e-9);
+        net.advance_to(t);
+        let done = net.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let (mut net, r) = net_with(&[100.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        let b = net.add_flow(FlowSpec::new(vec![r[0]], 500.0));
+        assert_eq!(net.flow_rate(a), Some(50.0));
+        assert_eq!(net.flow_rate(b), Some(50.0));
+        // b finishes at t=10; a then speeds up to 100 and finishes at 15.
+        let end = net.run_to_completion(|_, _| {});
+        assert!((end - 15.0).abs() < 1e-6, "end = {end}");
+    }
+
+    #[test]
+    fn bottleneck_on_shared_middle_link() {
+        // Two flows with private first hops (fast) share a slow middle.
+        let (mut net, r) = net_with(&[1000.0, 1000.0, 100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0], r[2]], 1000.0));
+        net.add_flow(FlowSpec::new(vec![r[1], r[2]], 1000.0));
+        let util = net.resource_utilization();
+        assert!((util[2].1 - 100.0).abs() < 1e-9, "middle link saturated");
+        assert!((util[0].1 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_not_proportional() {
+        // Flow a is capped elsewhere; flow b should soak up the slack
+        // (max-min), not split 50/50 (proportional would waste capacity).
+        let (mut net, r) = net_with(&[30.0, 100.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0], r[1]], 1e9));
+        let b = net.add_flow(FlowSpec::new(vec![r[1]], 1e9));
+        assert_eq!(net.flow_rate(a), Some(30.0));
+        assert_eq!(net.flow_rate(b), Some(70.0));
+    }
+
+    #[test]
+    fn rate_cap_limits_single_flow() {
+        let (mut net, r) = net_with(&[1000.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 1e6).with_rate_cap(10.0));
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        // A second uncapped flow gets the remainder.
+        let b = net.add_flow(FlowSpec::new(vec![r[0]], 1e6));
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        assert_eq!(net.flow_rate(b), Some(990.0));
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        let (mut net, r) = net_with(&[100.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 1e6).with_weight(3.0));
+        let b = net.add_flow(FlowSpec::new(vec![r[0]], 1e6));
+        assert!((net.flow_rate(a).unwrap() - 75.0).abs() < 1e-9);
+        assert!((net.flow_rate(b).unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplicity_counts_members() {
+        let (mut net, r) = net_with(&[100.0]);
+        let grp = net.add_flow(FlowSpec::new(vec![r[0]], 1000.0).with_multiplicity(4));
+        let solo = net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        // 5 members total, 20 each.
+        assert!((net.flow_rate(grp).unwrap() - 20.0).abs() < 1e-9);
+        assert!((net.flow_rate(solo).unwrap() - 20.0).abs() < 1e-9);
+        assert!((net.aggregate_rate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_uncapped_is_infinite() {
+        let (mut net, _) = net_with(&[]);
+        let a = net.add_flow(FlowSpec::new(vec![], 100.0));
+        assert_eq!(net.flow_rate(a), Some(f64::INFINITY));
+        let t = net.next_completion_time().unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn empty_path_with_cap_is_cap() {
+        let (mut net, _) = net_with(&[]);
+        let a = net.add_flow(FlowSpec::new(vec![], 100.0).with_rate_cap(50.0));
+        assert_eq!(net.flow_rate(a), Some(50.0));
+    }
+
+    #[test]
+    fn capacity_degradation_slows_flows() {
+        let (mut net, r) = net_with(&[100.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        net.advance_to(5.0); // 500 bytes drained
+        net.set_resource_capacity(r[0], 10.0);
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        let t = net.next_completion_time().unwrap();
+        assert!((t - 55.0).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn cancel_releases_bandwidth() {
+        let (mut net, r) = net_with(&[100.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 1e6));
+        let b = net.add_flow(FlowSpec::new(vec![r[0]], 1e6));
+        assert_eq!(net.flow_rate(b), Some(50.0));
+        assert!(net.cancel(a));
+        assert_eq!(net.flow_rate(b), Some(100.0));
+        assert!(!net.cancel(a));
+    }
+
+    #[test]
+    fn run_to_completion_handles_cascading_adds() {
+        let (mut net, r) = net_with(&[100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0]], 100.0).with_tag(1));
+        let mut seen = Vec::new();
+        let end = net.run_to_completion(|net, c| {
+            seen.push(c.tag);
+            if c.tag == 1 {
+                net.add_flow(FlowSpec::new(vec![r[0]], 200.0).with_tag(2));
+            }
+        });
+        assert_eq!(seen, vec![1, 2]);
+        assert!((end - 3.0).abs() < 1e-6, "end = {end}");
+    }
+
+    #[test]
+    fn zero_capacity_stalls() {
+        let (mut net, r) = net_with(&[0.0]);
+        let a = net.add_flow(FlowSpec::new(vec![r[0]], 100.0));
+        assert_eq!(net.flow_rate(a), Some(0.0));
+        assert_eq!(net.next_completion_time(), None);
+    }
+
+    #[test]
+    fn conservation_at_every_resource() {
+        // Random-ish topology, checked exactly.
+        let (mut net, r) = net_with(&[123.0, 77.0, 500.0, 9.0]);
+        net.add_flow(FlowSpec::new(vec![r[0], r[2]], 1e6).with_weight(2.0));
+        net.add_flow(FlowSpec::new(vec![r[1], r[2]], 1e6).with_multiplicity(3));
+        net.add_flow(FlowSpec::new(vec![r[3]], 1e6));
+        net.add_flow(FlowSpec::new(vec![r[0], r[1], r[2]], 1e6).with_rate_cap(5.0));
+        for (name, alloc, cap) in net.resource_utilization() {
+            assert!(
+                alloc <= cap * (1.0 + 1e-9),
+                "{name}: allocated {alloc} exceeds capacity {cap}"
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Interval-set algebra over half-open time intervals `[start, end)`.
+//!
+//! This is the analytical core of the DFTracer-style I/O-time
+//! decomposition (paper §VI.A): given the set of read intervals and the
+//! set of compute intervals of an application, the *overlapping I/O* is
+//! `reads ∩ compute` and the *non-overlapping I/O* is `reads \ compute`.
+//! [`IntervalSet`] maintains a sorted, disjoint, coalesced list of
+//! intervals and supports union, intersection, difference and total
+//! measure.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted, disjoint, coalesced set of half-open intervals `[start, end)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Invariant: sorted by start; `end[i] < start[i+1]` (strictly — touching
+    /// intervals are merged); every interval non-empty.
+    ivs: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals. Empty or inverted intervals are ignored.
+    pub fn from_intervals(intervals: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut ivs: Vec<(f64, f64)> = intervals.into_iter().filter(|(s, e)| e > s).collect();
+        ivs.sort_by(|a, b| a.partial_cmp(b).expect("NaN interval"));
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(ivs.len());
+        for (s, e) in ivs {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Inserts one interval, coalescing as needed. No-op if `end <= start`.
+    pub fn insert(&mut self, start: f64, end: f64) {
+        if end <= start {
+            return;
+        }
+        // Find insertion window: all intervals intersecting or touching
+        // [start, end).
+        let lo = self.ivs.partition_point(|&(_, e)| e < start);
+        let hi = self.ivs.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.ivs.insert(lo, (start, end));
+        } else {
+            let s = start.min(self.ivs[lo].0);
+            let e = end.max(self.ivs[hi - 1].1);
+            self.ivs.drain(lo..hi);
+            self.ivs.insert(lo, (s, e));
+        }
+    }
+
+    /// Number of disjoint intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// `true` when the set has zero measure.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total measure (sum of interval lengths).
+    pub fn total(&self) -> f64 {
+        self.ivs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The disjoint intervals, ascending.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.ivs
+    }
+
+    /// Earliest covered point.
+    pub fn start(&self) -> Option<f64> {
+        self.ivs.first().map(|&(s, _)| s)
+    }
+
+    /// Supremum of covered points.
+    pub fn end(&self) -> Option<f64> {
+        self.ivs.last().map(|&(_, e)| e)
+    }
+
+    /// `true` if `t` lies in the set.
+    pub fn contains(&self, t: f64) -> bool {
+        let idx = self.ivs.partition_point(|&(_, e)| e <= t);
+        self.ivs.get(idx).is_some_and(|&(s, _)| s <= t)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.ivs.iter().chain(other.ivs.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (s1, e1) = self.ivs[i];
+            let (s2, e2) = other.ivs[j];
+            let s = s1.max(s2);
+            let e = e1.min(e2);
+            if e > s {
+                out.push((s, e));
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &(s, e) in &self.ivs {
+            let mut cur = s;
+            while j < other.ivs.len() && other.ivs[j].1 <= cur {
+                j += 1;
+            }
+            let mut jj = j;
+            while cur < e {
+                if jj >= other.ivs.len() || other.ivs[jj].0 >= e {
+                    out.push((cur, e));
+                    break;
+                }
+                let (os, oe) = other.ivs[jj];
+                if os > cur {
+                    out.push((cur, os.min(e)));
+                }
+                cur = cur.max(oe);
+                jj += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ivs: &[(f64, f64)]) -> IntervalSet {
+        IntervalSet::from_intervals(ivs.iter().copied())
+    }
+
+    #[test]
+    fn from_intervals_coalesces() {
+        let s = set(&[(5.0, 6.0), (1.0, 2.0), (1.5, 3.0), (3.0, 4.0)]);
+        assert_eq!(s.intervals(), &[(1.0, 4.0), (5.0, 6.0)]);
+        assert_eq!(s.total(), 4.0);
+    }
+
+    #[test]
+    fn insert_merges_neighbors() {
+        let mut s = set(&[(0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]);
+        s.insert(0.5, 4.5);
+        assert_eq!(s.intervals(), &[(0.0, 5.0)]);
+        s.insert(10.0, 11.0);
+        s.insert(6.0, 7.0);
+        assert_eq!(s.intervals(), &[(0.0, 5.0), (6.0, 7.0), (10.0, 11.0)]);
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut s = IntervalSet::new();
+        s.insert(2.0, 2.0);
+        s.insert(3.0, 1.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn contains_respects_half_open() {
+        let s = set(&[(1.0, 2.0)]);
+        assert!(s.contains(1.0));
+        assert!(s.contains(1.999));
+        assert!(!s.contains(2.0));
+        assert!(!s.contains(0.999));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = set(&[(0.0, 10.0)]);
+        let b = set(&[(2.0, 3.0), (5.0, 12.0)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.intervals(), &[(2.0, 3.0), (5.0, 10.0)]);
+        assert_eq!(i.total(), 6.0);
+    }
+
+    #[test]
+    fn subtract_basic() {
+        let a = set(&[(0.0, 10.0)]);
+        let b = set(&[(2.0, 3.0), (5.0, 12.0)]);
+        let d = a.subtract(&b);
+        assert_eq!(d.intervals(), &[(0.0, 2.0), (3.0, 5.0)]);
+        assert_eq!(d.total(), 4.0);
+    }
+
+    #[test]
+    fn subtract_is_complement_of_intersect() {
+        let a = set(&[(0.0, 4.0), (6.0, 9.0)]);
+        let b = set(&[(1.0, 7.0), (8.0, 8.5)]);
+        let total = a.total();
+        let inter = a.intersect(&b).total();
+        let diff = a.subtract(&b).total();
+        assert!((inter + diff - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_is_measure_additive_minus_intersection() {
+        let a = set(&[(0.0, 4.0), (6.0, 9.0)]);
+        let b = set(&[(1.0, 7.0)]);
+        let u = a.union(&b).total();
+        let i = a.intersect(&b).total();
+        assert!((u + i - a.total() - b.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_end() {
+        let s = set(&[(1.0, 2.0), (5.0, 6.0)]);
+        assert_eq!(s.start(), Some(1.0));
+        assert_eq!(s.end(), Some(6.0));
+        assert_eq!(IntervalSet::new().start(), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated time.
+//!
+//! Time is represented as seconds in an `f64`. The wrapper type [`SimTime`]
+//! provides total ordering (NaN is rejected at construction), arithmetic,
+//! and formatting. `f64` seconds give ~microsecond resolution out to
+//! centuries of simulated time, far beyond what storage benchmarking
+//! needs, while keeping rate arithmetic (bytes / bytes-per-second)
+//! allocation-free.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+///
+/// `SimTime` is totally ordered. Constructing a `SimTime` from a NaN or
+/// negative value panics — simulated time is always a finite,
+/// non-negative number of seconds (positive infinity is allowed as a
+/// "never" sentinel, see [`SimTime::NEVER`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Sentinel for "no scheduled occurrence".
+    pub const NEVER: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a `SimTime` from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime must not be NaN");
+        assert!(secs >= 0.0, "SimTime must be non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if this is the [`SimTime::NEVER`] sentinel.
+    #[inline]
+    pub fn is_never(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Elementwise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Elementwise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "never")
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}us", self.0 * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(SimTime::NEVER > b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1.5) + 0.5;
+        assert_eq!(t.as_secs(), 2.0);
+        assert_eq!(t - SimTime::from_secs(0.5), 1.5);
+        assert_eq!(SimTime::from_secs(1.0).saturating_since(t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn never_sentinel() {
+        assert!(SimTime::NEVER.is_never());
+        assert!(!SimTime::ZERO.is_never());
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(1.25)), "1.250s");
+        assert_eq!(format!("{}", SimTime::from_secs(0.0012)), "1.200ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2.5e-6)), "2.500us");
+        assert_eq!(format!("{}", SimTime::NEVER), "never");
+    }
+}

@@ -1,0 +1,106 @@
+//! Byte, bandwidth and latency unit helpers.
+//!
+//! Everything in the suite is denominated in **bytes** and **bytes per
+//! second**; these helpers keep calibration tables readable
+//! (`gib_per_s(2.7)`, `gbit_per_s(100.0)`, `MIB * 256.0`).
+
+/// One kibibyte in bytes.
+pub const KIB: f64 = 1024.0;
+/// One mebibyte in bytes.
+pub const MIB: f64 = 1024.0 * KIB;
+/// One gibibyte in bytes.
+pub const GIB: f64 = 1024.0 * MIB;
+/// One tebibyte in bytes.
+pub const TIB: f64 = 1024.0 * GIB;
+/// One pebibyte in bytes.
+pub const PIB: f64 = 1024.0 * TIB;
+
+/// One kilobyte (decimal) in bytes.
+pub const KB: f64 = 1e3;
+/// One megabyte (decimal) in bytes.
+pub const MB: f64 = 1e6;
+/// One gigabyte (decimal) in bytes.
+pub const GB: f64 = 1e9;
+
+/// One microsecond in seconds.
+pub const USEC: f64 = 1e-6;
+/// One millisecond in seconds.
+pub const MSEC: f64 = 1e-3;
+
+/// Link speed quoted in gigabits per second → bytes per second.
+///
+/// Storage-network links are marketed in bits: a "100 Gb" EDR InfiniBand
+/// or Ethernet link moves 12.5 GB/s of raw payload.
+#[inline]
+pub fn gbit_per_s(gbits: f64) -> f64 {
+    gbits * 1e9 / 8.0
+}
+
+/// GiB/s → bytes per second.
+#[inline]
+pub fn gib_per_s(gib: f64) -> f64 {
+    gib * GIB
+}
+
+/// MiB/s → bytes per second.
+#[inline]
+pub fn mib_per_s(mib: f64) -> f64 {
+    mib * MIB
+}
+
+/// Bytes per second → GiB/s (for reporting, matching the paper's GB/s
+/// axes).
+#[inline]
+pub fn to_gib_per_s(bytes_per_s: f64) -> f64 {
+    bytes_per_s / GIB
+}
+
+/// Human-readable byte count (binary units).
+pub fn fmt_bytes(bytes: f64) -> String {
+    let b = bytes.abs();
+    if b >= PIB {
+        format!("{:.2} PiB", bytes / PIB)
+    } else if b >= TIB {
+        format!("{:.2} TiB", bytes / TIB)
+    } else if b >= GIB {
+        format!("{:.2} GiB", bytes / GIB)
+    } else if b >= MIB {
+        format!("{:.2} MiB", bytes / MIB)
+    } else if b >= KIB {
+        format!("{:.2} KiB", bytes / KIB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Human-readable bandwidth.
+pub fn fmt_bw(bytes_per_s: f64) -> String {
+    format!("{}/s", fmt_bytes(bytes_per_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_speed_conversion() {
+        assert_eq!(gbit_per_s(8.0), 1e9);
+        assert_eq!(gbit_per_s(100.0), 12.5e9);
+    }
+
+    #[test]
+    fn binary_units_chain() {
+        assert_eq!(MIB, 1_048_576.0);
+        assert_eq!(GIB, 1024.0 * MIB);
+        assert!((to_gib_per_s(gib_per_s(3.5)) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(1536.0), "1.50 KiB");
+        assert_eq!(fmt_bytes(150.0 * KB), "146.48 KiB");
+        assert_eq!(fmt_bytes(5.2 * PIB), "5.20 PiB");
+        assert_eq!(fmt_bw(2.0 * GIB), "2.00 GiB/s");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the flow engine's dynamic behaviour: arrivals,
+//! cancellations and capacity changes at random times must preserve the
+//! engine's invariants (feasibility, byte conservation, monotone time).
+
+use proptest::prelude::*;
+
+use hcs_simkit::{FlowNet, FlowSpec, ResourceSpec};
+
+/// A randomized action stream against one network.
+#[derive(Clone, Debug)]
+enum Action {
+    AddFlow { path_mask: u8, bytes: f64, mult: u32 },
+    Advance { dt: f64 },
+    Degrade { resource: u8, factor: f64 },
+    CancelOldest,
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    let one = prop_oneof![
+        (1u8..15, 1.0e4..1.0e8f64, 1u32..4)
+            .prop_map(|(path_mask, bytes, mult)| Action::AddFlow { path_mask, bytes, mult }),
+        (1.0e-3..5.0f64).prop_map(|dt| Action::Advance { dt }),
+        (0u8..4, 0.1..1.0f64).prop_map(|(resource, factor)| Action::Degrade { resource, factor }),
+        Just(Action::CancelOldest),
+    ];
+    prop::collection::vec(one, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any action sequence: allocations stay feasible, time is
+    /// monotone, and every started flow either completes, is cancelled,
+    /// or is still active with non-negative remaining bytes.
+    #[test]
+    fn dynamic_behaviour_preserves_invariants(acts in actions()) {
+        let mut net = FlowNet::new();
+        let resources: Vec<_> = (0..4)
+            .map(|i| net.add_resource(ResourceSpec::new(format!("r{i}"), 1.0e7 * (i + 1) as f64)))
+            .collect();
+        let mut live: Vec<hcs_simkit::FlowId> = Vec::new();
+        let mut started = 0u32;
+        let mut finished = 0u32;
+        let mut cancelled = 0u32;
+        let mut last_t = 0.0f64;
+
+        for act in acts {
+            match act {
+                Action::AddFlow { path_mask, bytes, mult } => {
+                    let path: Vec<_> = resources
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| path_mask & (1 << i) != 0)
+                        .map(|(_, r)| *r)
+                        .collect();
+                    if path.is_empty() {
+                        continue;
+                    }
+                    live.push(net.add_flow(FlowSpec::new(path, bytes).with_multiplicity(mult)));
+                    started += 1;
+                }
+                Action::Advance { dt } => {
+                    let t = net.now() + dt;
+                    net.advance_to(t);
+                    prop_assert!(t >= last_t);
+                    last_t = t;
+                    for c in net.take_completed() {
+                        live.retain(|id| *id != c.id);
+                        finished += 1;
+                        prop_assert!(c.at <= t + 1e-9);
+                    }
+                }
+                Action::Degrade { resource, factor } => {
+                    let r = resources[(resource % 4) as usize];
+                    let cap = net.resource_capacity(r);
+                    net.set_resource_capacity(r, cap * factor);
+                }
+                Action::CancelOldest => {
+                    if let Some(id) = live.first().copied() {
+                        prop_assert!(net.cancel(id));
+                        live.remove(0);
+                        cancelled += 1;
+                    }
+                }
+            }
+            // Feasibility after every step.
+            for (name, alloc, cap) in net.resource_utilization() {
+                prop_assert!(
+                    alloc <= cap * (1.0 + 1e-6),
+                    "{name}: {alloc} > {cap}"
+                );
+            }
+            // Remaining bytes never negative beyond tolerance.
+            for id in &live {
+                if let Some(rem) = net.flow_remaining(*id) {
+                    prop_assert!(rem >= -1.0, "negative remaining: {rem}");
+                }
+            }
+        }
+        prop_assert_eq!(
+            started,
+            finished + cancelled + live.len() as u32,
+            "flow accounting"
+        );
+    }
+
+    /// Draining any network to completion conserves bytes: the sum of
+    /// (size × multiplicity) equals the integral of the aggregate rate.
+    #[test]
+    fn drain_conserves_bytes(
+        sizes in prop::collection::vec((1.0e4..1.0e7f64, 1u32..4), 1..10),
+        cap in 1.0e6..1.0e8f64,
+    ) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource(ResourceSpec::new("r", cap));
+        let mut total = 0.0;
+        for (s, m) in &sizes {
+            net.add_flow(FlowSpec::new(vec![r], *s).with_multiplicity(*m));
+            total += s * *m as f64;
+        }
+        // Work conservation on a single saturated resource means the
+        // makespan is exactly total/cap.
+        let end = net.run_to_completion(|_, _| {});
+        prop_assert!((end - total / cap).abs() < end * 1e-6, "{end} vs {}", total / cap);
+    }
+}

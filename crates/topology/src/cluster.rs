@@ -1,0 +1,97 @@
+//! Cluster and node specifications.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_netsim::LinkSpec;
+
+/// Per-node hardware description (one row's "Node characteristics" in
+/// Table I).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU cores (the paper uses full-node runs at this many processes
+    /// per node: 44 on Lassen, 48 on Wombat).
+    pub cores: u32,
+    /// GPUs per node.
+    pub gpus: u32,
+    /// RAM in bytes.
+    pub ram: f64,
+    /// Architecture label (diagnostics only).
+    pub arch: String,
+    /// Compute-fabric NIC of the node.
+    pub nic: LinkSpec,
+}
+
+/// A whole machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Machine name ("Lassen", ...).
+    pub name: String,
+    /// Hosting site ("LLNL", "ORNL").
+    pub site: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// Default full-node process count for benchmarks on this machine
+    /// (§V: "44 processes per node on Lassen and 48 processes per node
+    /// on Wombat").
+    pub fn full_node_ppn(&self) -> u32 {
+        self.node.cores
+    }
+
+    /// Validates a requested scale against the machine size.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero or exceeds the machine.
+    pub fn check_scale(&self, nodes: u32) {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(
+            nodes <= self.nodes,
+            "{} has only {} nodes, requested {}",
+            self.name,
+            self.nodes,
+            nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::lassen;
+
+    #[test]
+    fn full_node_ppn_is_core_count() {
+        assert_eq!(lassen().full_node_ppn(), 44);
+    }
+
+    #[test]
+    fn check_scale_accepts_valid() {
+        lassen().check_scale(1);
+        lassen().check_scale(128);
+        lassen().check_scale(795);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn check_scale_rejects_oversized() {
+        lassen().check_scale(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn check_scale_rejects_zero() {
+        lassen().check_scale(0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = lassen();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

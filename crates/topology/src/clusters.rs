@@ -1,0 +1,126 @@
+//! The four machines of Table I.
+//!
+//! | Name   | Nodes | CPU | GPU | RAM (GB) | Arch              | Network   |
+//! |--------|-------|-----|-----|----------|-------------------|-----------|
+//! | Lassen | 795   | 44  | 4   | 256      | IBM Power9        | IB EDR    |
+//! | Ruby   | 1,512 | 56  | 0   | 192      | Intel Xeon        | Omni-Path |
+//! | Quartz | 3,018 | 36  | 0   | 128      | Intel Xeon        | Omni-Path |
+//! | Wombat | 8     | 48  | 2   | 512      | ARM Fujitsu A64fx | IB EDR    |
+
+use crate::cluster::{ClusterSpec, NodeSpec};
+use hcs_netsim::LinkSpec;
+
+/// Lassen (LLNL): 795 nodes, 44 cores, 4 GPUs, 256 GB, Power9, IB EDR.
+pub fn lassen() -> ClusterSpec {
+    ClusterSpec {
+        name: "Lassen".into(),
+        site: "LLNL".into(),
+        nodes: 795,
+        node: NodeSpec {
+            cores: 44,
+            gpus: 4,
+            ram: 256e9,
+            arch: "IBM Power9".into(),
+            nic: LinkSpec::ib_edr(1),
+        },
+    }
+}
+
+/// Ruby (LLNL): 1,512 nodes, 56 cores, 192 GB, Xeon, Omni-Path.
+pub fn ruby() -> ClusterSpec {
+    ClusterSpec {
+        name: "Ruby".into(),
+        site: "LLNL".into(),
+        nodes: 1512,
+        node: NodeSpec {
+            cores: 56,
+            gpus: 0,
+            ram: 192e9,
+            arch: "Intel Xeon".into(),
+            nic: LinkSpec::omni_path(1),
+        },
+    }
+}
+
+/// Quartz (LLNL): 3,018 nodes, 36 cores, 128 GB, Xeon, Omni-Path.
+pub fn quartz() -> ClusterSpec {
+    ClusterSpec {
+        name: "Quartz".into(),
+        site: "LLNL".into(),
+        nodes: 3018,
+        node: NodeSpec {
+            cores: 36,
+            gpus: 0,
+            ram: 128e9,
+            arch: "Intel Xeon".into(),
+            nic: LinkSpec::omni_path(1),
+        },
+    }
+}
+
+/// Wombat (ORNL): 8 nodes, 48 cores, 2 GPUs, 512 GB, A64fx, IB EDR.
+pub fn wombat() -> ClusterSpec {
+    ClusterSpec {
+        name: "Wombat".into(),
+        site: "ORNL".into(),
+        nodes: 8,
+        node: NodeSpec {
+            cores: 48,
+            gpus: 2,
+            ram: 512e9,
+            arch: "ARM Fujitsu A64fx".into(),
+            nic: LinkSpec::ib_edr(1),
+        },
+    }
+}
+
+/// All four machines, in Table I order.
+pub fn all_clusters() -> Vec<ClusterSpec> {
+    vec![lassen(), ruby(), quartz(), wombat()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_counts() {
+        let all = all_clusters();
+        assert_eq!(all.len(), 4);
+        assert_eq!(
+            all.iter().map(|c| c.nodes).collect::<Vec<_>>(),
+            vec![795, 1512, 3018, 8]
+        );
+        assert_eq!(
+            all.iter().map(|c| c.node.cores).collect::<Vec<_>>(),
+            vec![44, 56, 36, 48]
+        );
+        assert_eq!(
+            all.iter().map(|c| c.node.gpus).collect::<Vec<_>>(),
+            vec![4, 0, 0, 2]
+        );
+    }
+
+    #[test]
+    fn table1_ram() {
+        assert_eq!(lassen().node.ram, 256e9);
+        assert_eq!(ruby().node.ram, 192e9);
+        assert_eq!(quartz().node.ram, 128e9);
+        assert_eq!(wombat().node.ram, 512e9);
+    }
+
+    #[test]
+    fn networks_match_table1() {
+        assert!(lassen().node.nic.name.contains("EDR"));
+        assert!(ruby().node.nic.name.contains("Omni-Path"));
+        assert!(quartz().node.nic.name.contains("Omni-Path"));
+        assert!(wombat().node.nic.name.contains("EDR"));
+    }
+
+    #[test]
+    fn scalability_scales_fit() {
+        // §V runs up to 128 nodes on Lassen and all 8 of Wombat.
+        lassen().check_scale(128);
+        wombat().check_scale(8);
+    }
+}

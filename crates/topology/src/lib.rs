@@ -1,0 +1,17 @@
+//! # hcs-topology
+//!
+//! Cluster topology descriptions for the four machines of the paper's
+//! Table I: **Lassen** and **Ruby** and **Quartz** at Livermore
+//! Computing, and **Wombat** at OLCF. A [`ClusterSpec`] carries exactly
+//! the knobs the experiments depend on: node count, processes per node,
+//! per-node RAM, the compute-fabric NIC, and (where applicable) the
+//! gateway group through which external storage is reached.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod clusters;
+
+pub use cluster::{ClusterSpec, NodeSpec};
+pub use clusters::{lassen, quartz, ruby, wombat, all_clusters};

@@ -1,0 +1,403 @@
+//! The VAST system model and its `StorageSystem` implementation.
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_devices::{CacheTier, DeviceArray, DeviceProfile, IoOp};
+use hcs_netsim::{GatewayGroup, TransportSpec};
+use hcs_simkit::{FlowNet, ResourceSpec};
+
+/// A VAST deployment bound to one machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VastConfig {
+    /// Deployment label ("VAST@Lassen (NFS/TCP)").
+    pub label: String,
+    /// Number of CNodes (VAST servers).
+    pub cnodes: u32,
+    /// Per-CNode read-path processing bandwidth, bytes/s.
+    pub cnode_read_bw: f64,
+    /// Per-CNode write-path processing bandwidth, bytes/s. Lower than
+    /// the read path when similarity reduction is enabled (§V.B).
+    pub cnode_write_bw: f64,
+    /// Number of DBoxes (HA enclosures; a DBox is a pair of DNodes).
+    pub dboxes: u32,
+    /// DNodes per DBox (2 in every deployment of the paper).
+    pub dnodes_per_dbox: u32,
+    /// Per-DNode NVMe-oF forwarding bandwidth, bytes/s. On Wombat the
+    /// DNodes are BlueField DPUs with far lower forwarding rates than
+    /// the LC appliance's servers.
+    pub dnode_forward_bw: f64,
+    /// QLC SSDs per DBox.
+    pub qlc_per_dbox: u32,
+    /// SCM (or NVRAM) SSDs per DBox.
+    pub scm_per_dbox: u32,
+    /// QLC device profile.
+    pub qlc: DeviceProfile,
+    /// SCM device profile.
+    pub scm: DeviceProfile,
+    /// CBox↔DBox fabric bandwidth per DBox, bytes/s (EDR InfiniBand
+    /// NVMe-oF on the LC clusters; 2×50 Gb RoCE on Wombat).
+    pub fabric_bw_per_dbox: f64,
+    /// Client transport (TCP vs RDMA; the paper's headline variable).
+    pub transport: TransportSpec,
+    /// Gateway funnel between the compute fabric and VAST, if any.
+    pub gateway: Option<GatewayGroup>,
+    /// Client NIC bandwidth available to the mount, bytes/s.
+    pub client_nic_bw: f64,
+    /// DNode read cache (DRAM on the enclosure controllers). §V.B/§V.C
+    /// credit Wombat's read results to "the DNode caches".
+    pub dnode_cache: Option<CacheTier>,
+    /// Similarity-based data reduction on the write path. Reduces bytes
+    /// that reach the media by `data_reduction_ratio` at the cost of the
+    /// lower `cnode_write_bw`.
+    pub similarity_reduction: bool,
+    /// Data reduction factor achieved by similarity + compression
+    /// (bytes on media = bytes written / ratio).
+    pub data_reduction_ratio: f64,
+    /// NFS operation-rate ceiling of the whole deployment path
+    /// (gateway TCP termination + CNode RPC processing), ops/s. Bulk
+    /// 1 MiB streams never reach it; file-per-sample DL pipelines do
+    /// (§VI.B: VAST's deployment "reduces the overall I/O throughput
+    /// achieved by the DL workload").
+    pub nfs_ops_pool: f64,
+    /// Run-to-run noise sigma for this deployment.
+    pub noise: f64,
+}
+
+impl VastConfig {
+    /// Total DNode count.
+    pub fn dnodes(&self) -> u32 {
+        self.dboxes * self.dnodes_per_dbox
+    }
+
+    /// The SCM array across all DBoxes.
+    pub fn scm_array(&self) -> DeviceArray {
+        DeviceArray::stripe(self.scm.clone(), self.dboxes * self.scm_per_dbox)
+    }
+
+    /// The QLC array across all DBoxes.
+    pub fn qlc_array(&self) -> DeviceArray {
+        DeviceArray::stripe(self.qlc.clone(), self.dboxes * self.qlc_per_dbox)
+    }
+
+    /// CNode pool bandwidth for an op, bytes/s.
+    pub fn cnode_pool_bw(&self, op: IoOp) -> f64 {
+        let per = match op {
+            IoOp::Read => self.cnode_read_bw,
+            IoOp::Write => self.cnode_write_bw,
+        };
+        per * self.cnodes as f64
+    }
+
+    /// DNode forwarding pool bandwidth, bytes/s.
+    pub fn dnode_pool_bw(&self) -> f64 {
+        self.dnode_forward_bw * self.dnodes() as f64
+    }
+
+    /// Aggregate CBox↔DBox fabric bandwidth, bytes/s.
+    pub fn fabric_bw(&self) -> f64 {
+        self.fabric_bw_per_dbox * self.dboxes as f64
+    }
+
+    /// Media-side pool bandwidth for a phase, bytes/s.
+    ///
+    /// Writes land on SCM (staged, shaped to QLC off the critical path);
+    /// similarity reduction shrinks the bytes that reach media, which
+    /// *raises* the apparent media pool from the client's perspective.
+    /// Reads come from QLC through the DNode forwarders, blended with
+    /// the DNode cache when the working set allows.
+    pub fn media_pool_bw(&self, phase: &PhaseSpec, working_set: f64) -> f64 {
+        let _ = &working_set;
+        match phase.op {
+            IoOp::Write => {
+                let scm = self.scm_array().effective_bandwidth(
+                    IoOp::Write,
+                    phase.pattern,
+                    phase.transfer_size,
+                    phase.fsync,
+                );
+                // Sustained writes that exceed the SCM tier's absorbing
+                // capacity throttle to the QLC shaping/drain rate — the
+                // element-store migration runs behind the write buffer
+                // (§III.A.4/5: SCM is "an intermediate fast layer"
+                // before data "are eventually persisted" on QLC).
+                let scm_capacity = self.scm_array().usable_capacity() * 0.5;
+                // The shaped full-stripe migration shares DNode/QLC
+                // bandwidth with incoming traffic; its effective rate
+                // is well below the raw QLC write pool.
+                let drain = self.qlc_array().effective_bandwidth(
+                    IoOp::Write,
+                    hcs_devices::AccessPattern::Sequential,
+                    phase.transfer_size.max(4.0 * 1024.0 * 1024.0),
+                    false,
+                ) * 0.35;
+                let burst = if working_set > scm_capacity {
+                    drain.min(scm)
+                } else {
+                    scm
+                };
+                let media = burst.min(self.dnode_pool_bw());
+                if self.similarity_reduction {
+                    media * self.data_reduction_ratio
+                } else {
+                    media
+                }
+            }
+            IoOp::Read => {
+                let qlc = self.qlc_array().effective_bandwidth(
+                    IoOp::Read,
+                    phase.pattern,
+                    phase.transfer_size,
+                    false,
+                );
+                let blended = match &self.dnode_cache {
+                    Some(cache) => {
+                        // Cache-defeating benchmarks (IOR reorder) keep
+                        // the working set uncacheably placed; residency
+                        // only helps when the benchmark allows re-use.
+                        let ws = if phase.client_cache_defeated {
+                            working_set.max(cache.capacity * 4.0)
+                        } else {
+                            working_set
+                        };
+                        cache.effective_bandwidth(phase.pattern, ws, qlc).max(qlc)
+                    }
+                    None => qlc,
+                };
+                // Cached or not, every byte crosses the DNode
+                // forwarders (the cache lives on the DNodes).
+                blended.min(self.dnode_pool_bw())
+            }
+        }
+    }
+
+    /// Per-operation service latency beyond bandwidth for a phase:
+    /// transport software latency, media latency, plus the NFS commit
+    /// round trip on synchronized writes.
+    pub fn op_latency(&self, phase: &PhaseSpec) -> f64 {
+        let media = match phase.op {
+            IoOp::Write => self.scm.op_latency(IoOp::Write, phase.fsync),
+            IoOp::Read => self.qlc.op_latency(IoOp::Read, false),
+        };
+        let commit = if phase.fsync && phase.op == IoOp::Write {
+            // COMMIT is one extra round trip on the same transport.
+            self.transport.per_op_latency
+        } else {
+            0.0
+        };
+        self.transport.per_op_latency + media + commit
+    }
+}
+
+impl StorageSystem for VastConfig {
+    fn name(&self) -> &str {
+        "VAST"
+    }
+
+    fn description(&self) -> String {
+        self.label.clone()
+    }
+
+    fn provision(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        ppn: u32,
+        phase: &PhaseSpec,
+    ) -> Provisioned {
+        let working_set = phase.total_bytes(nodes, ppn);
+
+        // Shared stages, client → media.
+        let gateways: Vec<_> = match &self.gateway {
+            Some(g) => (0..g.count.max(1))
+                .map(|i| {
+                    net.add_resource(ResourceSpec::new(
+                        format!("vast:gw{i}"),
+                        g.uplink.bandwidth,
+                    ))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let cnode_pool = net.add_resource(ResourceSpec::new(
+            "vast:cnode-pool",
+            self.cnode_pool_bw(phase.op),
+        ));
+        let fabric = net.add_resource(ResourceSpec::new("vast:fabric", self.fabric_bw()));
+        let media = net.add_resource(ResourceSpec::new(
+            "vast:media",
+            self.media_pool_bw(phase, working_set),
+        ));
+        // Operation-rate ceiling expressed in byte units for this
+        // phase's ops-per-byte density.
+        let iops = net.add_resource(ResourceSpec::new(
+            "vast:nfs-ops",
+            self.nfs_ops_pool / phase.ops_per_byte(),
+        ));
+
+        // Per-node mount connections (the TCP-vs-RDMA story lives here).
+        let node_conn_bw = self.transport.node_connection_bw(self.client_nic_bw);
+        let node_paths = (0..nodes)
+            .map(|i| {
+                let mount = net.add_resource(ResourceSpec::new(
+                    format!("vast:mount{i}"),
+                    node_conn_bw,
+                ));
+                let mut path = vec![mount];
+                if !gateways.is_empty() {
+                    path.push(gateways[i as usize % gateways.len()]);
+                }
+                path.push(iops);
+                path.push(cnode_pool);
+                path.push(fabric);
+                path.push(media);
+                path
+            })
+            .collect();
+
+        Provisioned {
+            node_paths,
+            per_stream_bw: self.transport.per_stream_bw,
+            per_op_latency: self.op_latency(phase),
+            metadata_latency: self.transport.metadata_latency,
+        }
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.noise
+    }
+
+    fn metadata_profile(&self) -> hcs_core::MetadataProfile {
+        hcs_core::MetadataProfile {
+            op_latency: self.transport.metadata_latency,
+            ops_pool: self.nfs_ops_pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployments::{vast_on_lassen, vast_on_wombat};
+    use hcs_core::runner::run_phase;
+    use hcs_simkit::units::{to_gib_per_s, GIB, MIB};
+
+    #[test]
+    fn component_counts_match_paper() {
+        // §IV.B: LC instance — ten DNodes, 16 CNodes, five DBoxes, each
+        // DBox two DNodes with 22 QLC and 6 SCM SSDs.
+        let v = vast_on_lassen();
+        assert_eq!(v.cnodes, 16);
+        assert_eq!(v.dboxes, 5);
+        assert_eq!(v.dnodes(), 10);
+        assert_eq!(v.qlc_array().count, 110);
+        assert_eq!(v.scm_array().count, 30);
+
+        // Wombat: eight DNodes (BlueField DPUs), eight CNodes, 11 SSDs
+        // and 4 NVRAMs per DPU pair.
+        let w = vast_on_wombat();
+        assert_eq!(w.cnodes, 8);
+        assert_eq!(w.dnodes(), 8);
+        assert_eq!(w.qlc_array().count, 44);
+        assert_eq!(w.scm_array().count, 16);
+    }
+
+    #[test]
+    fn writes_slower_than_reads_at_cnodes() {
+        let v = vast_on_lassen();
+        assert!(v.cnode_pool_bw(IoOp::Write) < v.cnode_pool_bw(IoOp::Read));
+    }
+
+    #[test]
+    fn tcp_deployment_is_node_capped_near_1gbs() {
+        let v = vast_on_lassen();
+        let phase = PhaseSpec::seq_write(MIB, 512.0 * MIB);
+        let out = run_phase(&v, 1, 44, &phase);
+        let gbs = to_gib_per_s(out.agg_bandwidth);
+        // §VII: "TCP-deployed VAST can serve around 1 GB/s per node".
+        assert!((0.5..1.5).contains(&gbs), "per-node TCP bw = {gbs} GiB/s");
+    }
+
+    #[test]
+    fn rdma_deployment_near_8x_tcp_per_node() {
+        let tcp = vast_on_lassen();
+        let rdma = vast_on_wombat();
+        let phase = PhaseSpec::seq_write(MIB, 512.0 * MIB);
+        let t = run_phase(&tcp, 1, 44, &phase).agg_bandwidth;
+        let r = run_phase(&rdma, 1, 48, &phase).agg_bandwidth;
+        let ratio = r / t;
+        assert!(
+            (4.0..12.0).contains(&ratio),
+            "RDMA/TCP per-node ratio should be ~8x: {ratio}"
+        );
+    }
+
+    #[test]
+    fn lassen_scalability_flattens_at_gateway() {
+        let v = vast_on_lassen();
+        let phase = PhaseSpec::seq_read(MIB, 512.0 * MIB);
+        let at32 = run_phase(&v, 32, 44, &phase).agg_bandwidth;
+        let at128 = run_phase(&v, 128, 44, &phase).agg_bandwidth;
+        // §V.A: flat beyond the gateway's ~25 GB/s.
+        assert!(at128 < at32 * 1.1, "VAST@Lassen must not scale past the gateway");
+        assert!(at128 < 30.0 * GIB);
+    }
+
+    #[test]
+    fn random_reads_stay_close_to_sequential() {
+        let v = vast_on_wombat();
+        let seq = run_phase(&v, 8, 48, &PhaseSpec::seq_read(MIB, 512.0 * MIB)).agg_bandwidth;
+        let rand = run_phase(&v, 8, 48, &PhaseSpec::random_read(MIB, 512.0 * MIB)).agg_bandwidth;
+        // §VII: 9 GB/s vs 7 GB/s — a ~0.78 ratio, nothing like GPFS's 90% drop.
+        assert!(rand / seq > 0.6, "ratio = {}", rand / seq);
+    }
+
+    #[test]
+    fn fsync_is_cheap_on_scm() {
+        let v = vast_on_wombat();
+        let plain = run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 512.0 * MIB));
+        let synced =
+            run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 512.0 * MIB).with_fsync(true));
+        assert!(synced.agg_bandwidth > 0.7 * plain.agg_bandwidth);
+    }
+
+    #[test]
+    fn similarity_reduction_tradeoff() {
+        let mut on = vast_on_wombat();
+        on.similarity_reduction = true;
+        let mut off = on.clone();
+        off.similarity_reduction = false;
+        off.cnode_write_bw = on.cnode_write_bw * 1.6; // CPU freed up
+        let phase = PhaseSpec::seq_write(MIB, 512.0 * MIB);
+        // Media-side demand shrinks when reduction is on.
+        let ws = phase.total_bytes(8, 48);
+        assert!(on.media_pool_bw(&phase, ws) > off.media_pool_bw(&phase, ws) / on.data_reduction_ratio * 0.99);
+    }
+
+    #[test]
+    fn sustained_writes_throttle_to_qlc_drain() {
+        use hcs_simkit::units::TIB;
+        let v = vast_on_lassen();
+        let burst_phase = PhaseSpec::seq_write(MIB, 512.0 * MIB);
+        let burst = v.media_pool_bw(&burst_phase, 1.0 * TIB); // fits SCM
+        let sustained = v.media_pool_bw(&burst_phase, 100.0 * TIB); // overruns SCM
+        assert!(
+            sustained < burst,
+            "overrunning the SCM tier must throttle: {sustained} vs {burst}"
+        );
+        // The drain is still a healthy QLC-array rate, not a collapse.
+        assert!(sustained > 20e9);
+        // And the paper-scale IOR runs (≈16 TiB at 128 nodes) stay in
+        // burst mode — the figures are unchanged by this mechanism.
+        let paper_ws = 128.0 * 44.0 * 3000.0 * MIB;
+        assert!((v.media_pool_bw(&burst_phase, paper_ws) - burst).abs() < 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = vast_on_lassen();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: VastConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

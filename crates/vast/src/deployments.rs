@@ -1,0 +1,219 @@
+//! The four VAST deployments of the paper, with calibration notes.
+//!
+//! One physical VAST appliance serves the three LC clusters (ten
+//! DNodes, 16 CNodes, five DBoxes with 22 QLC + 6 SCM SSDs each,
+//! §IV.B); what differs per cluster is the *path* to it: gateway count,
+//! gateway uplink width, and the achievable single-TCP-stream rate
+//! across that path. Wombat runs its own small instance on BlueField
+//! DPUs, mounted over NFS/RDMA with `nconnect=16` and multipathing.
+//!
+//! Absolute bandwidth constants are calibrated to land the paper's
+//! reported operating points (§V, §VII): ~1 GB/s per node for
+//! TCP-deployed VAST, ~25 GB/s aggregate ceiling on Lassen (the 2×100 Gb
+//! gateway), ~5.8 GB/s single-node fsync writes and a ~22.5 GB/s
+//! aggregate read ceiling on Wombat, with read/write asymmetry from the
+//! CNode similarity-reduction write path.
+
+use hcs_devices::{CacheTier, DeviceProfile};
+use hcs_netsim::{GatewayGroup, TransportSpec};
+use hcs_simkit::units::{gbit_per_s, GIB};
+
+use crate::config::VastConfig;
+
+/// The LC appliance behind a given gateway group and transport.
+fn lc_appliance(label: &str, gateway: GatewayGroup, transport: TransportSpec) -> VastConfig {
+    VastConfig {
+        label: label.to_string(),
+        cnodes: 16,
+        // LC CNodes are full x86 servers; the write path carries the
+        // similarity-reduction and compression work (§V.B).
+        cnode_read_bw: 3.4e9,
+        cnode_write_bw: 1.5e9,
+        dboxes: 5,
+        dnodes_per_dbox: 2,
+        dnode_forward_bw: 5.0e9,
+        qlc_per_dbox: 22,
+        scm_per_dbox: 6,
+        qlc: DeviceProfile::qlc_ssd(),
+        scm: DeviceProfile::scm_ssd(),
+        // CBoxes and DBoxes are connected with EDR InfiniBand NVMe-oF
+        // (§IV.B): one EDR rail per DBox.
+        fabric_bw_per_dbox: gbit_per_s(100.0),
+        transport,
+        gateway: Some(gateway),
+        // Lassen compute nodes carry dual-rail EDR.
+        client_nic_bw: 2.0 * gbit_per_s(100.0),
+        dnode_cache: Some(CacheTier {
+            name: "DNode cache".into(),
+            bandwidth: 10.0 * 16.0 * GIB,
+            capacity: 512e9,
+            seq_hit_ratio: 0.30,
+            rand_hit_ratio: 0.05,
+        }),
+        similarity_reduction: true,
+        data_reduction_ratio: 2.0,
+        // A single gateway's NFS/TCP termination handles on the order
+        // of 10^5 RPCs per second.
+        nfs_ops_pool: 130e3,
+        noise: 0.04,
+    }
+}
+
+/// VAST as mounted on **Lassen**: one gateway node, 2×100 Gb Ethernet,
+/// a single NFS/TCP connection per client (§IV.B). A tuned single TCP
+/// stream over this path delivers ~1.1 GB/s.
+pub fn vast_on_lassen() -> VastConfig {
+    lc_appliance(
+        "VAST@Lassen (NFS/TCP via 1 gateway, 2x100GbE)",
+        GatewayGroup::lassen(),
+        TransportSpec::nfs_tcp_single(),
+    )
+}
+
+/// VAST as mounted on **Ruby**: eight gateways with 1×40 Gb Ethernet
+/// each. The narrower, shared gateway path holds a single TCP stream to
+/// ~0.45 GB/s — §V.A: "VAST on Quartz and Ruby shows weak performance
+/// ... the network bottleneck created by these clusters' small Ethernet
+/// links with the gateway nodes".
+pub fn vast_on_ruby() -> VastConfig {
+    let mut transport = TransportSpec::nfs_tcp_single();
+    transport.per_stream_bw = 0.45e9;
+    transport.per_op_latency = 500e-6;
+    let mut cfg = lc_appliance(
+        "VAST@Ruby (NFS/TCP via 8 gateways, 1x40GbE)",
+        GatewayGroup::ruby(),
+        transport,
+    );
+    cfg.client_nic_bw = gbit_per_s(100.0); // Omni-Path single rail
+    cfg
+}
+
+/// VAST as mounted on **Quartz**: 32 gateways with 2×1 Gb Ethernet
+/// each — 0.25 GB/s per client path.
+pub fn vast_on_quartz() -> VastConfig {
+    let mut transport = TransportSpec::nfs_tcp_single();
+    transport.per_stream_bw = 0.22e9;
+    transport.per_op_latency = 700e-6;
+    let mut cfg = lc_appliance(
+        "VAST@Quartz (NFS/TCP via 32 gateways, 2x1GbE)",
+        GatewayGroup::quartz(),
+        transport,
+    );
+    cfg.client_nic_bw = gbit_per_s(100.0);
+    cfg
+}
+
+/// VAST on **Wombat**: eight CNodes, eight BlueField-DPU DNodes (four
+/// HA pairs with 11 QLC SSDs and 4 NVRAMs each), NFS over RDMA with
+/// `nconnect=16` and multipathing, CBox↔DBox over 2×50 Gb RoCE
+/// (§IV.B).
+///
+/// Calibration anchors: the ~22.5 GB/s aggregate read ceiling ("VAST
+/// saturates on eight nodes, likely due to its configuration with eight
+/// CNodes", §V.C) comes from the DPU forwarding pool; the ~5.8 GB/s
+/// single-node fsync write (§V.A) from the CNode write path; the
+/// per-node mount pool lands ~8–12 GB/s, the §VII "8× over TCP"
+/// takeaway.
+pub fn vast_on_wombat() -> VastConfig {
+    let mut transport = TransportSpec::nfs_rdma(16, 2);
+    transport.per_stream_bw = 0.75e9;
+    VastConfig {
+        label: "VAST@Wombat (NFS/RDMA nconnect=16 multipath)".to_string(),
+        cnodes: 8,
+        cnode_read_bw: 3.3e9,
+        cnode_write_bw: 0.8e9,
+        dboxes: 4,
+        dnodes_per_dbox: 2,
+        // BlueField DPUs forward far less than LC's x86 DNodes.
+        dnode_forward_bw: 2.8e9,
+        qlc_per_dbox: 11,
+        scm_per_dbox: 4,
+        qlc: DeviceProfile::qlc_ssd(),
+        scm: DeviceProfile::nvram(),
+        // 2×50 Gb RoCE per DBox pair.
+        fabric_bw_per_dbox: 2.0 * gbit_per_s(50.0),
+        transport,
+        gateway: None,
+        client_nic_bw: gbit_per_s(100.0),
+        dnode_cache: Some(CacheTier {
+            name: "DNode cache".into(),
+            bandwidth: 8.0 * 6.0 * GIB,
+            capacity: 256e9,
+            seq_hit_ratio: 0.30,
+            rand_hit_ratio: 0.05,
+        }),
+        similarity_reduction: true,
+        data_reduction_ratio: 2.0,
+        // RDMA offloads RPC processing; nconnect spreads it over
+        // connections and CNodes.
+        nfs_ops_pool: 1.2e6,
+        noise: 0.03,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{PhaseSpec, StorageSystem};
+    use hcs_core::runner::run_phase;
+    use hcs_simkit::units::{to_gib_per_s, MIB};
+
+    #[test]
+    fn per_client_path_ordering_lassen_ruby_quartz() {
+        // §V.A: single-node VAST is best on Lassen, weak on Ruby and
+        // weakest on Quartz.
+        let phase = PhaseSpec::seq_write(MIB, 256.0 * MIB);
+        let l = run_phase(&vast_on_lassen(), 1, 32, &phase).agg_bandwidth;
+        let r = run_phase(&vast_on_ruby(), 1, 32, &phase).agg_bandwidth;
+        let q = run_phase(&vast_on_quartz(), 1, 32, &phase).agg_bandwidth;
+        assert!(l > r && r > q, "l={l} r={r} q={q}");
+    }
+
+    #[test]
+    fn wombat_read_ceiling_near_22_gbs() {
+        let v = vast_on_wombat();
+        let out = run_phase(&v, 8, 48, &PhaseSpec::random_read(MIB, 512.0 * MIB));
+        let gbs = to_gib_per_s(out.agg_bandwidth);
+        // §V.C: global maximum ~22.5 GB/s, saturated by eight nodes.
+        assert!((15.0..25.0).contains(&gbs), "ceiling = {gbs}");
+    }
+
+    #[test]
+    fn wombat_single_node_fsync_write_near_5_8() {
+        let v = vast_on_wombat();
+        let out = run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 256.0 * MIB).with_fsync(true));
+        let gbs = to_gib_per_s(out.agg_bandwidth);
+        // §V.A: "maximum performance is reached at 5.8 GB/s ... 32
+        // processes per node".
+        assert!((4.0..7.5).contains(&gbs), "single-node fsync write = {gbs}");
+    }
+
+    #[test]
+    fn wombat_saturates_by_four_to_eight_nodes() {
+        let v = vast_on_wombat();
+        let phase = PhaseSpec::seq_read(MIB, 512.0 * MIB);
+        let n1 = run_phase(&v, 1, 48, &phase).agg_bandwidth;
+        let n4 = run_phase(&v, 4, 48, &phase).agg_bandwidth;
+        let n8 = run_phase(&v, 8, 48, &phase).agg_bandwidth;
+        assert!(n4 > n1 * 1.4, "still growing to 4 nodes: {n1} vs {n4}");
+        assert!(n8 < n4 * 1.15, "flat from 4 to 8 nodes: {n4} vs {n8}");
+    }
+
+    #[test]
+    fn labels_distinguish_deployments() {
+        let labels: Vec<String> = [
+            vast_on_lassen(),
+            vast_on_ruby(),
+            vast_on_quartz(),
+            vast_on_wombat(),
+        ]
+        .iter()
+        .map(|c| c.description())
+        .collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

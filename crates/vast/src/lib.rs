@@ -1,0 +1,40 @@
+//! # hcs-vast
+//!
+//! A component-level model of the **VAST DataStore** (paper §III.A),
+//! implementing [`hcs_core::StorageSystem`].
+//!
+//! The model follows the appliance's architecture:
+//!
+//! * **CNodes** (VAST servers) terminate every client request. They are
+//!   stateless NFS servers; on the write path they additionally perform
+//!   "similarity-based data arrangement and compression" (§V.B), which
+//!   costs CNode CPU and is why VAST writes are slower than reads.
+//! * **DBoxes** are high-availability enclosures of two **DNodes** plus
+//!   SCM and QLC SSDs; DNodes direct NVMe-oF requests "from their fabric
+//!   ports to the enclosure's SSDs" (§III.A.3) and therefore bound the
+//!   media-side forwarding rate (on Wombat the DNodes are BlueField
+//!   DPUs, markedly weaker than the LC appliance's servers).
+//! * **SCM SSDs** absorb writes with power-protected, microsecond
+//!   latency — an NFS commit (fsync) is nearly free, in sharp contrast
+//!   to consumer NVMe.
+//! * **QLC flash** serves reads; being flash, random reads cost almost
+//!   the same as sequential ones — the §VII takeaway that VAST "stays
+//!   consistent" across patterns while GPFS collapses.
+//! * The **client transport** is what distinguishes deployments: NFS
+//!   over a single TCP connection through gateway funnels on the LC
+//!   clusters, NFS over RDMA with `nconnect=16` and multipathing on
+//!   Wombat (§IV.B).
+//!
+//! [`VastConfig`] carries every knob; [`deployments`] instantiates the
+//! four deployments of the paper (Lassen, Ruby, Quartz, Wombat) plus
+//! ablation variants (custom gateway widths, nconnect sweeps, similarity
+//! reduction on/off) used by the ablation benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod deployments;
+
+pub use config::VastConfig;
+pub use deployments::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};

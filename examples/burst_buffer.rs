@@ -1,0 +1,64 @@
+//! Burst-buffer shoot-out: where should a job checkpoint on Wombat?
+//!
+//! The paper's introduction names two highly configurable storage
+//! systems — VAST and UnifyFS — but only benchmarks VAST. This example
+//! runs the paper's synchronized-checkpoint workload against VAST, the
+//! raw node-local NVMe, and a UnifyFS-style user-level burst buffer
+//! over those same drives, including a DLIO training run with periodic
+//! checkpoints.
+//!
+//! ```sh
+//! cargo run --release --example burst_buffer
+//! ```
+
+use hcs_core::StorageSystem;
+use hcs_dlio::{cosmoflow, run_dlio};
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_unifyfs::{DataPlacement, UnifyFsConfig};
+use hcs_vast::vast_on_wombat;
+
+fn main() {
+    let vast = vast_on_wombat();
+    let nvme = LocalNvmeConfig::on_wombat();
+    let unify = UnifyFsConfig::on_wombat();
+    let unify_rr = UnifyFsConfig::on_wombat().with_placement(DataPlacement::RoundRobin);
+
+    let systems: Vec<&dyn StorageSystem> = vec![&vast, &nvme, &unify, &unify_rr];
+
+    println!("# synchronized checkpoint writes (fsync, 1 MiB, 48 ppn)\n");
+    println!("{:<56} {:>10} {:>10}", "system", "1 node", "8 nodes");
+    for sys in &systems {
+        let mut one = IorConfig::paper_scalability(WorkloadClass::Scientific, 1, 48);
+        one.fsync = true;
+        let mut eight = IorConfig::paper_scalability(WorkloadClass::Scientific, 8, 48);
+        eight.fsync = true;
+        println!(
+            "{:<56} {:>7.2} GB {:>7.2} GB",
+            sys.description(),
+            run_ior(*sys, &one).mean_bandwidth() / 1e9,
+            run_ior(*sys, &eight).mean_bandwidth() / 1e9,
+        );
+    }
+
+    // A training job that checkpoints 2 GB every 64 batches: how much
+    // time goes to checkpoints on each target?
+    println!("\n# Cosmoflow (4 nodes) + 2 GB checkpoint every 64 batches\n");
+    let cfg = cosmoflow().with_checkpointing(64, 2e9);
+    println!("{:<56} {:>12} {:>14}", "system", "ckpt s/node", "app samples/s");
+    for sys in &systems {
+        let r = run_dlio(*sys, &cfg, 4);
+        println!(
+            "{:<56} {:>12.2} {:>14.1}",
+            sys.description(),
+            r.checkpoint_io,
+            r.app_throughput
+        );
+    }
+
+    println!(
+        "\ntakeaway: the appliance absorbs small-scale fsync storms (SCM), but a \n\
+         log-structured buffer over the same local drives wins once every node \n\
+         checkpoints at once — and costs no shared-system bandwidth."
+    );
+}

@@ -1,0 +1,69 @@
+//! IOR scalability sweep with a selectable machine and workload.
+//!
+//! ```sh
+//! cargo run --release --example ior_sweep -- lassen analytics
+//! cargo run --release --example ior_sweep -- wombat ml
+//! ```
+//!
+//! Machines: `lassen` (VAST vs GPFS), `wombat` (VAST vs NVMe).
+//! Workloads: `scientific`, `analytics`, `ml`.
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+fn parse_workload(s: &str) -> WorkloadClass {
+    match s {
+        "scientific" | "sci" => WorkloadClass::Scientific,
+        "analytics" | "da" => WorkloadClass::DataAnalytics,
+        "ml" | "random" => WorkloadClass::MachineLearning,
+        other => {
+            eprintln!("unknown workload '{other}', expected scientific|analytics|ml");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let machine = args.first().map(String::as_str).unwrap_or("lassen");
+    let workload = parse_workload(args.get(1).map(String::as_str).unwrap_or("analytics"));
+
+    let (systems, nodes, ppn): (Vec<Box<dyn StorageSystem>>, Vec<u32>, u32) = match machine {
+        "lassen" => (
+            vec![Box::new(vast_on_lassen()), Box::new(GpfsConfig::on_lassen())],
+            vec![1, 2, 4, 8, 16, 32, 64, 128],
+            44,
+        ),
+        "wombat" => (
+            vec![
+                Box::new(vast_on_wombat()),
+                Box::new(LocalNvmeConfig::on_wombat()),
+            ],
+            vec![1, 2, 4, 8],
+            48,
+        ),
+        other => {
+            eprintln!("unknown machine '{other}', expected lassen|wombat");
+            std::process::exit(2);
+        }
+    };
+
+    println!("# {} — {} ({} ppn, IOR 1 MiB x 3000 segments, 10 reps)", machine, workload.label(), ppn);
+    print!("{:>7}", "nodes");
+    for s in &systems {
+        print!(" {:>14}", s.name());
+    }
+    println!();
+    for &n in &nodes {
+        print!("{n:>7}");
+        for s in &systems {
+            let cfg = IorConfig::paper_scalability(workload, n, ppn);
+            let rep = run_ior(s.as_ref(), &cfg);
+            print!(" {:>11.2} GB/s", rep.mean_bandwidth() / 1e9);
+        }
+        println!();
+    }
+}

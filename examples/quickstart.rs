@@ -1,0 +1,51 @@
+//! Quickstart: build two storage systems, run the same IOR workload on
+//! both, and compare — the suite's 60-second tour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_nvme::LocalNvmeConfig;
+use hcs_vast::vast_on_wombat;
+
+fn main() {
+    // Two storage systems on the Wombat testbed: the RDMA-mounted VAST
+    // appliance and the node-local NVMe drives.
+    let vast = vast_on_wombat();
+    let nvme = LocalNvmeConfig::on_wombat();
+
+    println!("systems under test:");
+    println!("  - {}", vast.label);
+    println!("  - {}\n", nvme.label);
+
+    // The paper's single-node test: 1 node, 32 processes, 1 MiB
+    // transfers, fsync after every write.
+    println!("single-node fsync write (scientific proxy), 32 procs:");
+    let cfg = IorConfig::paper_single_node(WorkloadClass::Scientific, 32);
+    let v = run_ior(&vast, &cfg);
+    let n = run_ior(&nvme, &cfg);
+    println!(
+        "  VAST : {:6.2} GB/s  (±{:.2})",
+        v.mean_bandwidth() / 1e9,
+        v.outcome.summary.std_dev / 1e9
+    );
+    println!(
+        "  NVMe : {:6.2} GB/s  (±{:.2})",
+        n.mean_bandwidth() / 1e9,
+        n.outcome.summary.std_dev / 1e9
+    );
+    println!(
+        "  -> VAST advantage: {:.1}x   (paper §V.A: \"almost 5x\")\n",
+        v.mean_bandwidth() / n.mean_bandwidth()
+    );
+
+    // And the scalability view: all 8 Wombat nodes, random reads.
+    println!("8-node random read (ML proxy), 48 ppn:");
+    let cfg = IorConfig::paper_scalability(WorkloadClass::MachineLearning, 8, 48);
+    let v = run_ior(&vast, &cfg);
+    let n = run_ior(&nvme, &cfg);
+    println!("  VAST : {:6.2} GB/s aggregate", v.mean_bandwidth() / 1e9);
+    println!("  NVMe : {:6.2} GB/s aggregate", n.mean_bandwidth() / 1e9);
+    println!("  -> node-local drives win at full scale; the appliance wins small scales.");
+}

@@ -1,0 +1,60 @@
+//! Application-shaped workloads: the real codes the paper's workload
+//! classes stand in for (§III.B), run as IOR presets against every
+//! shared deployment.
+//!
+//! ```sh
+//! cargo run --release --example science_apps -- 4
+//! ```
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{all_apps, run_ior};
+use hcs_lustre::LustreConfig;
+use hcs_vast::{vast_on_lassen, vast_on_ruby};
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    // The LC shared deployments an application team can actually pick
+    // between (per machine: Lassen has VAST+GPFS, Ruby has VAST+Lustre).
+    let systems: Vec<(Box<dyn StorageSystem>, u32)> = vec![
+        (Box::new(vast_on_lassen()), 44),
+        (Box::new(GpfsConfig::on_lassen()), 44),
+        (Box::new(vast_on_ruby()), 56),
+        (Box::new(LustreConfig::on_ruby()), 56),
+    ];
+
+    println!("# application-shaped IOR runs at {nodes} nodes (GB/s aggregate)\n");
+    print!("{:<16}", "app");
+    for (sys, _) in &systems {
+        print!(" {:>14}", short(&sys.description()));
+    }
+    println!();
+
+    for (name, _) in all_apps(nodes, 1) {
+        print!("{name:<16}");
+        for (sys, ppn) in &systems {
+            let (_, mut cfg) = all_apps(nodes, *ppn)
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .expect("preset exists");
+            cfg.reps = 3;
+            let bw = run_ior(sys.as_ref(), &cfg).mean_bandwidth();
+            print!(" {:>11.2} GB", bw / 1e9);
+        }
+        println!();
+    }
+
+    println!(
+        "\nnotes: BD-CATS is the N-1 shared-HDF5 workload (pays lock contention\n\
+         everywhere); HACC-I/O fsyncs every block (SCM-friendly at low ranks);\n\
+         Cosmic Tagger's small random reads favour flash over HDD."
+    );
+}
+
+fn short(desc: &str) -> String {
+    desc.split(" (").next().unwrap_or(desc).to_string()
+}

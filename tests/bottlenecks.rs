@@ -1,0 +1,96 @@
+//! Bottleneck attribution: the runner names the binding resource of
+//! every run, so the paper's causal diagnoses become assertions rather
+//! than prose. Each test pins one of the paper's attributions.
+
+use hcs_core::runner::run_phase;
+use hcs_core::PhaseSpec;
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{IorConfig, WorkloadClass};
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+use hcs_simkit::units::MIB;
+
+fn phase_of(cfg: &IorConfig) -> PhaseSpec {
+    cfg.phase()
+}
+
+#[test]
+fn lassen_vast_at_scale_is_gateway_bound() {
+    // §V.A: "there is a network bottleneck relevant to VAST's
+    // deployment on Lassen" — the single gateway.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
+    let out = run_phase(&vast_on_lassen(), 64, 44, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("vast:gw0"), "{:?}", out.bottleneck);
+}
+
+#[test]
+fn lassen_vast_single_node_is_mount_bound() {
+    // One node never fills the gateway; the single TCP connection does.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 44);
+    let out = run_phase(&vast_on_lassen(), 1, 44, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("vast:mount0"));
+}
+
+#[test]
+fn wombat_vast_reads_at_scale_are_dnode_bound() {
+    // §V.C: saturation "likely due to its configuration" — in this
+    // model, the BlueField DNode forwarding pool.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::MachineLearning, 8, 48);
+    let out = run_phase(&vast_on_wombat(), 8, 48, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("vast:media"), "{:?}", out.bottleneck);
+}
+
+#[test]
+fn wombat_vast_writes_are_cnode_bound() {
+    // The similarity-reduction write path on eight CNodes.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, 8, 48);
+    let out = run_phase(&vast_on_wombat(), 8, 48, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("vast:cnode-pool"));
+}
+
+#[test]
+fn gpfs_single_node_reads_are_client_engine_bound() {
+    // The §VII 14.5 GB/s per node is a client-side ceiling.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 44);
+    let out = run_phase(&GpfsConfig::on_lassen(), 1, 44, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("gpfs:client0"));
+}
+
+#[test]
+fn gpfs_seq_reads_at_scale_are_server_bound() {
+    // The 32-node saturation of Fig 2a is the NSD pool.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
+    let out = run_phase(&GpfsConfig::on_lassen(), 64, 44, &phase_of(&cfg));
+    assert_eq!(out.bottleneck.as_deref(), Some("gpfs:server-pool"));
+}
+
+#[test]
+fn stream_limited_runs_report_no_resource_bottleneck() {
+    // GPFS random reads at small scale: each rank is latency-bound
+    // (the thrash penalty), no shared resource saturates.
+    let cfg = IorConfig::paper_scalability(WorkloadClass::MachineLearning, 2, 44);
+    let out = run_phase(&GpfsConfig::on_lassen(), 2, 44, &phase_of(&cfg));
+    assert_eq!(out.bottleneck, None, "{:?}", out.bottleneck);
+}
+
+#[test]
+fn utilization_is_reported_for_every_resource() {
+    let cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, 2, 8);
+    let out = run_phase(&vast_on_lassen(), 2, 8, &phase_of(&cfg));
+    // gateway + cnode + fabric + media + iops + 2 mounts = 7 resources.
+    assert_eq!(out.utilization.len(), 7);
+    for (name, alloc, cap) in &out.utilization {
+        assert!(*alloc <= cap * 1.000001, "{name} infeasible");
+    }
+}
+
+#[test]
+fn degraded_gateway_moves_the_bottleneck() {
+    // Failure injection changes the attribution, not just the number.
+    let mut v = vast_on_lassen();
+    if let Some(g) = &mut v.gateway {
+        g.uplink.bandwidth /= 100.0;
+    }
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    let out = run_phase(&v, 1, 44, &phase);
+    assert_eq!(out.bottleneck.as_deref(), Some("vast:gw0"));
+}

@@ -1,0 +1,86 @@
+//! Determinism guarantees: identical inputs produce bit-identical
+//! outputs across the whole stack — the property that makes the
+//! experiment suite reviewable.
+
+use hcs_dlio::{cosmoflow, resnet50, run_dlio};
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_simkit::SimRng;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+
+#[test]
+fn ior_reports_are_bit_identical() {
+    let systems: Vec<Box<dyn hcs_core::StorageSystem>> = vec![
+        Box::new(vast_on_lassen()),
+        Box::new(vast_on_wombat()),
+        Box::new(GpfsConfig::on_lassen()),
+        Box::new(LustreConfig::on_ruby()),
+        Box::new(LocalNvmeConfig::on_wombat()),
+    ];
+    for sys in &systems {
+        for w in WorkloadClass::all() {
+            let cfg = IorConfig::smoke(w, 2, 8);
+            let a = run_ior(sys.as_ref(), &cfg);
+            let b = run_ior(sys.as_ref(), &cfg);
+            assert_eq!(
+                a.outcome.bandwidths,
+                b.outcome.bandwidths,
+                "{} / {:?}",
+                sys.name(),
+                w
+            );
+        }
+    }
+}
+
+#[test]
+fn dlio_runs_are_bit_identical() {
+    let vast = vast_on_lassen();
+    let gpfs = GpfsConfig::on_lassen();
+    for cfg in [resnet50().smoke(), cosmoflow().smoke()] {
+        let a = run_dlio(&vast, &cfg, 2);
+        let b = run_dlio(&vast, &cfg, 2);
+        assert_eq!(a.tracer.events(), b.tracer.events(), "{} on VAST", cfg.name);
+        let c = run_dlio(&gpfs, &cfg, 2);
+        let d = run_dlio(&gpfs, &cfg, 2);
+        assert_eq!(c.duration, d.duration, "{} on GPFS", cfg.name);
+    }
+}
+
+#[test]
+fn seeds_matter_but_only_seeds() {
+    let sys = GpfsConfig::on_lassen();
+    let mut a = IorConfig::smoke(WorkloadClass::DataAnalytics, 2, 8);
+    let mut b = a.clone();
+    b.seed = a.seed + 1;
+    let ra = run_ior(&sys, &a);
+    let rb = run_ior(&sys, &b);
+    assert_ne!(ra.outcome.bandwidths, rb.outcome.bandwidths, "seed changes noise");
+    // But the underlying (noise-free) mean is stable within noise.
+    let ratio = ra.mean_bandwidth() / rb.mean_bandwidth();
+    assert!((0.8..1.2).contains(&ratio), "means stay close: {ratio}");
+    a.seed += 1;
+    assert_eq!(run_ior(&sys, &a).outcome.bandwidths, rb.outcome.bandwidths);
+}
+
+#[test]
+fn rng_streams_are_stable_across_runs() {
+    // Pin a few draws so an accidental RNG swap is caught loudly.
+    let mut r = SimRng::new(42).split("pinned");
+    let draws: Vec<u64> = (0..4).map(|_| r.below(1_000_000)).collect();
+    let mut r2 = SimRng::new(42).split("pinned");
+    let again: Vec<u64> = (0..4).map(|_| r2.below(1_000_000)).collect();
+    assert_eq!(draws, again);
+}
+
+#[test]
+fn parallel_figure_generation_is_deterministic() {
+    // rayon sweeps must not leak scheduling order into results.
+    use hcs_experiments::figures::fig2;
+    use hcs_experiments::Scale;
+    let a = fig2::generate(Scale::Smoke);
+    let b = fig2::generate(Scale::Smoke);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,130 @@
+//! Degradation and failure-injection scenarios: what happens to the
+//! storage systems when links shrink, servers disappear or caches are
+//! disabled. These exercise the model's causal structure — removing a
+//! component must hurt exactly the metrics that depend on it.
+
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_simkit::{FlowNet, FlowSpec, ResourceSpec};
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
+use hcs_gpfs::GpfsConfig;
+
+#[test]
+fn mid_run_link_degradation_slows_flows() {
+    let mut net = FlowNet::new();
+    let link = net.add_resource(ResourceSpec::new("link", 100.0));
+    net.add_flow(FlowSpec::new(vec![link], 1000.0));
+    net.advance_to(2.0); // 200 bytes done
+    net.set_resource_capacity(link, 10.0); // degraded 10x
+    let t = net.next_completion_time().expect("still flowing");
+    assert!((t - 82.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn total_link_failure_stalls_then_recovers() {
+    let mut net = FlowNet::new();
+    let link = net.add_resource(ResourceSpec::new("link", 100.0));
+    net.add_flow(FlowSpec::new(vec![link], 1000.0));
+    net.advance_to(1.0);
+    net.set_resource_capacity(link, 0.0);
+    assert_eq!(net.next_completion_time(), None, "stalled");
+    net.advance_to(5.0); // time passes, nothing moves
+    net.set_resource_capacity(link, 100.0);
+    let t = net.next_completion_time().expect("recovered");
+    assert!((t - 14.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn losing_cnodes_degrades_vast_writes_proportionally() {
+    let full = vast_on_wombat();
+    let mut degraded = vast_on_wombat();
+    degraded.cnodes = 4; // half the CNodes down
+
+    let cfg = IorConfig::smoke(WorkloadClass::Scientific, 4, 48);
+    let f = run_ior(&full, &cfg).mean_bandwidth();
+    let d = run_ior(&degraded, &cfg).mean_bandwidth();
+    let ratio = d / f;
+    assert!(
+        (0.4..0.65).contains(&ratio),
+        "halving CNodes should roughly halve CNode-bound writes: {ratio}"
+    );
+}
+
+#[test]
+fn losing_a_dbox_degrades_wombat_reads() {
+    let full = vast_on_wombat();
+    let mut degraded = vast_on_wombat();
+    degraded.dboxes = 3; // one enclosure offline
+
+    let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 8, 48);
+    let f = run_ior(&full, &cfg).mean_bandwidth();
+    let d = run_ior(&degraded, &cfg).mean_bandwidth();
+    assert!(d < f, "fewer DNode forwarders must hurt saturated reads");
+    assert!(d > 0.6 * f, "but only by about the lost fraction");
+}
+
+#[test]
+fn gateway_outage_throttles_lassen_vast_only_at_scale() {
+    let full = vast_on_lassen();
+    let mut degraded = vast_on_lassen();
+    if let Some(g) = &mut degraded.gateway {
+        g.uplink.bandwidth /= 4.0; // three of four uplink lanes down
+    }
+
+    // One node: the single TCP stream never saw the full gateway anyway.
+    let single = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 44);
+    let f1 = run_ior(&full, &single).mean_bandwidth();
+    let d1 = run_ior(&degraded, &single).mean_bandwidth();
+    assert!((d1 / f1 - 1.0).abs() < 0.05, "single node unaffected: {}", d1 / f1);
+
+    // 64 nodes: the funnel is the bottleneck; losing lanes bites fully.
+    let wide = IorConfig::smoke(WorkloadClass::DataAnalytics, 64, 44);
+    let f64n = run_ior(&full, &wide).mean_bandwidth();
+    let d64n = run_ior(&degraded, &wide).mean_bandwidth();
+    assert!(
+        (0.2..0.35).contains(&(d64n / f64n)),
+        "quartered funnel quarters 64-node bandwidth: {}",
+        d64n / f64n
+    );
+}
+
+#[test]
+fn gpfs_without_nsd_servers_loses_aggregate_not_per_node() {
+    let full = GpfsConfig::on_lassen();
+    let mut degraded = GpfsConfig::on_lassen();
+    degraded.nsd_servers = 4; // 12 of 16 servers down
+    degraded.hdd_count = full.hdd_count / 4;
+
+    let single = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 44);
+    let f1 = run_ior(&full, &single).mean_bandwidth();
+    let d1 = run_ior(&degraded, &single).mean_bandwidth();
+    assert!(d1 > 0.9 * f1, "one client is engine-bound, not server-bound");
+
+    let wide = IorConfig::smoke(WorkloadClass::DataAnalytics, 64, 44);
+    let fw = run_ior(&full, &wide).mean_bandwidth();
+    let dw = run_ior(&degraded, &wide).mean_bandwidth();
+    assert!(dw < 0.5 * fw, "aggregate collapses with the server pool");
+}
+
+#[test]
+fn zero_capacity_media_stalls_loudly() {
+    // A storage system provisioned over dead media must stall, not
+    // silently complete.
+    let mut net = FlowNet::new();
+    let dead = net.add_resource(ResourceSpec::new("dead", 0.0));
+    net.add_flow(FlowSpec::new(vec![dead], 100.0));
+    assert_eq!(net.next_completion_time(), None);
+    assert_eq!(net.active_flow_count(), 1);
+}
+
+#[test]
+fn cancelling_flows_releases_capacity_for_survivors() {
+    let mut net = FlowNet::new();
+    let link = net.add_resource(ResourceSpec::new("link", 100.0));
+    let a = net.add_flow(FlowSpec::new(vec![link], 1000.0));
+    let b = net.add_flow(FlowSpec::new(vec![link], 1000.0));
+    net.advance_to(1.0);
+    net.cancel(a); // client died
+    assert_eq!(net.flow_rate(b), Some(100.0));
+    let t = net.next_completion_time().unwrap();
+    assert!((t - 10.5).abs() < 1e-6, "t = {t}");
+}

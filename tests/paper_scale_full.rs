@@ -1,0 +1,57 @@
+//! Full paper-geometry shape assertions. These run the complete node
+//! lists and 10 repetitions — everything `EXPERIMENTS.md` tabulates —
+//! and are `#[ignore]`d by default to keep `cargo test` fast. Run them
+//! with:
+//!
+//! ```sh
+//! cargo test --release --test paper_scale_full -- --ignored
+//! ```
+
+use hcs_experiments::figures::{fig2, fig3, takeaways};
+use hcs_experiments::{shapes, Scale};
+
+#[test]
+#[ignore = "full paper geometry; run with --ignored"]
+fn fig2_full_scale_shapes() {
+    let figs = fig2::generate(Scale::Paper);
+
+    let sci = figs.iter().find(|f| f.id == "fig2a.scientific").unwrap();
+    let vast = sci.series_named("VAST").unwrap();
+    let gpfs = sci.series_named("GPFS").unwrap();
+    // The full 1–128 node curves: VAST pinned at the gateway from 32
+    // nodes on, GPFS within 2× of linear the whole way.
+    assert!(shapes::saturates_from(vast, 32.0, 0.10));
+    assert!((20.0..30.0).contains(&vast.y_max()));
+    assert!(gpfs.y_at(128.0).unwrap() > 300.0);
+
+    let ml = figs.iter().find(|f| f.id == "fig2b.ml").unwrap();
+    let vast_w = ml.series_named("VAST").unwrap();
+    assert!((18.0..26.0).contains(&vast_w.y_max()), "~22.5 GB/s ceiling");
+}
+
+#[test]
+#[ignore = "full paper geometry; run with --ignored"]
+fn fig3_full_scale_shapes() {
+    let figs = fig3::generate(Scale::Paper);
+    let d = figs
+        .iter()
+        .find(|f| f.id == "fig3d.scientific")
+        .unwrap();
+    let vast = d.series_named("VAST").unwrap();
+    let nvme = d.series_named("NVMe").unwrap();
+    // The §V.A numbers at full repetition count.
+    let ratio = vast.y_at(32.0).unwrap() / nvme.y_at(32.0).unwrap();
+    assert!((4.0..7.5).contains(&ratio), "5x takeaway at full scale: {ratio}");
+    assert!((5.0..7.5).contains(&vast.y_at(32.0).unwrap()), "~5.8 GB/s peak");
+}
+
+#[test]
+#[ignore = "full paper geometry; run with --ignored"]
+fn takeaways_full_scale() {
+    let t = takeaways::measure(Scale::Paper);
+    assert!((0.8..1.4).contains(&t.tcp_per_node_write));
+    assert!((13.0..16.5).contains(&t.gpfs_seq_read));
+    assert!((0.84..0.93).contains(&t.gpfs_drop));
+    assert!((4.5..7.0).contains(&t.vast_over_nvme));
+    assert!(t.resnet_compute_fraction > 0.95);
+}

@@ -1,0 +1,158 @@
+//! End-to-end shape assertions for every figure of the paper, run at
+//! smoke scale (identical physics, reduced node lists and repetitions).
+//! EXPERIMENTS.md records the full-scale numbers; these tests pin the
+//! qualitative claims so a regression in any substrate trips CI.
+
+use hcs_experiments::figures::{fig2, fig3, fig4, fig5, fig6, takeaways};
+use hcs_experiments::shapes;
+use hcs_experiments::{Figure, Scale};
+
+fn get<'a>(figs: &'a [Figure], id: &str) -> &'a Figure {
+    figs.iter()
+        .find(|f| f.id == id)
+        .unwrap_or_else(|| panic!("missing figure {id}"))
+}
+
+#[test]
+fn fig2a_lassen_vast_flat_gpfs_scaling() {
+    let figs = fig2::generate(Scale::Smoke);
+
+    // Scientific (sequential write): GPFS keeps scaling, VAST flattens
+    // at the gateway ("VAST does not scale linearly on Lassen as
+    // opposed to GPFS", §V.A).
+    let sci = get(&figs, "fig2a.scientific");
+    let gpfs = sci.series_named("GPFS").unwrap();
+    let vast = sci.series_named("VAST").unwrap();
+    assert!(shapes::scales_with_factor(gpfs, 1.6), "GPFS write scaling");
+    assert!(shapes::saturates_from(vast, 32.0, 0.10), "VAST gateway ceiling");
+    assert!(vast.y_max() < 30.0, "ceiling ~25 GB/s, got {}", vast.y_max());
+
+    // Data analytics: GPFS saturates high; VAST stays under the gateway.
+    let da = get(&figs, "fig2a.analytics");
+    assert!(shapes::dominates(
+        da.series_named("GPFS").unwrap(),
+        da.series_named("VAST").unwrap()
+    ));
+
+    // ML: GPFS drops hard versus its own sequential reads; VAST does not.
+    let ml = get(&figs, "fig2a.ml");
+    let g_ml = ml.series_named("GPFS").unwrap();
+    let g_da = da.series_named("GPFS").unwrap();
+    let v_ml = ml.series_named("VAST").unwrap();
+    let v_da = da.series_named("VAST").unwrap();
+    let x = 16.0;
+    let g_ratio = g_ml.y_at(x).unwrap() / g_da.y_at(x).unwrap();
+    let v_ratio = v_ml.y_at(x).unwrap() / v_da.y_at(x).unwrap();
+    assert!(g_ratio < 0.3, "GPFS random/seq at {x} nodes = {g_ratio}");
+    assert!(v_ratio > 0.6, "VAST random/seq at {x} nodes = {v_ratio}");
+}
+
+#[test]
+fn fig2b_wombat_vast_saturates_nvme_scales() {
+    let figs = fig2::generate(Scale::Smoke);
+    let ml = get(&figs, "fig2b.ml");
+    let vast = ml.series_named("VAST").unwrap();
+    let nvme = ml.series_named("NVMe").unwrap();
+
+    // "VAST is able to outperform the NVMe on small scales" but
+    // "saturates on eight nodes" (§V.C).
+    assert!(vast.y_at(1.0).unwrap() > nvme.y_at(1.0).unwrap());
+    assert!(shapes::saturates_from(vast, 4.0, 0.10));
+    assert!(shapes::scales_with_factor(nvme, 1.95), "local drives scale linearly");
+    assert!(nvme.y_at(8.0).unwrap() > vast.y_at(8.0).unwrap());
+
+    // Global ceiling ≈ 22.5 GB/s (§V.C).
+    assert!(
+        (14.0..26.0).contains(&vast.y_max()),
+        "VAST@Wombat ML ceiling = {}",
+        vast.y_max()
+    );
+}
+
+#[test]
+fn fig3_single_node_fsync_shapes() {
+    let figs = fig3::generate(Scale::Smoke);
+
+    // Lustre ramps near-linearly on both Quartz and Ruby and behaves
+    // similarly on the two (Fig 3b/3c).
+    let q = get(&figs, "fig3b.scientific").series_named("Lustre").unwrap().clone();
+    let r = get(&figs, "fig3c.scientific").series_named("Lustre").unwrap().clone();
+    assert!(shapes::scales_with_factor(&q, 1.5));
+    assert!(shapes::scales_with_factor(&r, 1.5));
+    for p in &q.points {
+        let rr = r.y_at(p.x).unwrap();
+        assert!((0.6..1.6).contains(&(p.y / rr)), "Quartz~Ruby at {}", p.x);
+    }
+
+    // Wombat: VAST ≈ 5× NVMe at 32 procs; VAST peaks near 5.8 GB/s.
+    let d = get(&figs, "fig3d.scientific");
+    let vast = d.series_named("VAST").unwrap();
+    let ratio = shapes::ratio_at(vast, d.series_named("NVMe").unwrap(), 32.0).unwrap();
+    assert!((3.0..8.0).contains(&ratio), "VAST/NVMe = {ratio}");
+    assert!((4.0..7.5).contains(&vast.y_at(32.0).unwrap()));
+
+    // VAST single-node ordering across the LC machines (§V.A).
+    let a = get(&figs, "fig3a.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
+    let c = get(&figs, "fig3c.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
+    let b = get(&figs, "fig3b.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
+    assert!(a > c && c > b, "Lassen {a} > Ruby {c} > Quartz {b}");
+}
+
+#[test]
+fn fig4_io_time_decomposition_shapes() {
+    let figs = fig4::generate(Scale::Smoke);
+    let a = get(&figs, "fig4a");
+    let b = get(&figs, "fig4b");
+
+    // ResNet-50: VAST's I/O time exceeds GPFS's but mostly overlaps.
+    let v_over = a.series_named("VAST overlapping").unwrap();
+    let v_non = a.series_named("VAST non-overlapping").unwrap();
+    for p in &v_over.points {
+        assert!(p.y > v_non.y_at(p.x).unwrap(), "overlap dominates at {}", p.x);
+    }
+
+    // Cosmoflow: VAST's non-overlap dwarfs GPFS's.
+    let vb = b.series_named("VAST non-overlapping").unwrap();
+    let gb = b.series_named("GPFS non-overlapping").unwrap();
+    for p in &vb.points {
+        assert!(p.y > 3.0 * gb.y_at(p.x).unwrap().max(1e-9));
+    }
+
+    // And Cosmoflow (minutes of I/O) dwarfs ResNet-50 (seconds) on
+    // VAST — §VI.C.
+    let resnet_io = v_over.y_at(1.0).unwrap() + v_non.y_at(1.0).unwrap();
+    let cosmo_io = b.series_named("VAST overlapping").unwrap().y_at(1.0).unwrap()
+        + vb.y_at(1.0).unwrap();
+    assert!(cosmo_io > 5.0 * resnet_io, "{cosmo_io} vs {resnet_io}");
+}
+
+#[test]
+fn fig5_fig6_throughput_shapes() {
+    let f5 = fig5::generate(Scale::Smoke);
+    let app = get(&f5, "fig5a");
+    let sys = get(&f5, "fig5b");
+    let x = app.series_named("VAST").unwrap().points.last().unwrap().x;
+    let app_gap = app.series_named("GPFS").unwrap().y_at(x).unwrap()
+        / app.series_named("VAST").unwrap().y_at(x).unwrap();
+    let sys_gap = sys.series_named("GPFS").unwrap().y_at(x).unwrap()
+        / sys.series_named("VAST").unwrap().y_at(x).unwrap();
+    assert!(app_gap < 1.4, "app throughput only slightly apart: {app_gap}");
+    assert!(sys_gap > 2.0, "system throughput very different: {sys_gap}");
+
+    let f6 = fig6::generate(Scale::Smoke);
+    let app6 = get(&f6, "fig6a");
+    for p in &app6.series_named("GPFS").unwrap().points {
+        let v = app6.series_named("VAST").unwrap().y_at(p.x).unwrap();
+        assert!(p.y > 1.2 * v, "GPFS serves Cosmoflow better at {} nodes", p.x);
+    }
+}
+
+#[test]
+fn section7_takeaways() {
+    let t = takeaways::measure(Scale::Smoke);
+    assert!((4.0..13.0).contains(&t.rdma_over_tcp), "8x takeaway: {}", t.rdma_over_tcp);
+    assert!((0.75..0.97).contains(&t.gpfs_drop), "90% drop: {}", t.gpfs_drop);
+    assert!((3.0..8.0).contains(&t.vast_over_nvme), "5x takeaway: {}", t.vast_over_nvme);
+    assert!(t.resnet_compute_fraction > 0.9, "97% compute: {}", t.resnet_compute_fraction);
+    assert!(t.vast_rand_read > 0.6 * t.vast_seq_read, "VAST pattern consistency");
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the suite's core invariants.
+
+use proptest::prelude::*;
+
+use hcs_core::runner::run_phase;
+use hcs_core::testing::UniformSystem;
+use hcs_core::PhaseSpec;
+use hcs_simkit::{FlowNet, FlowSpec, IntervalSet, ResourceSpec};
+
+// ---------------------------------------------------------------------
+// Flow engine invariants
+// ---------------------------------------------------------------------
+
+/// One generated flow: path indices, bytes, weight, multiplicity, cap.
+type GenFlow = (Vec<usize>, f64, f64, u32, Option<f64>);
+
+/// Arbitrary small topology: resource capacities plus flows with random
+/// paths, sizes, weights, caps and multiplicities.
+fn flow_world() -> impl Strategy<Value = (Vec<f64>, Vec<GenFlow>)> {
+    let caps = prop::collection::vec(1.0e6..1.0e9f64, 1..6);
+    caps.prop_flat_map(|caps| {
+        let n = caps.len();
+        let flow = (
+            prop::collection::vec(0..n, 1..=n.min(4)),
+            1.0e3..1.0e8f64,            // bytes
+            0.1..8.0f64,                // weight
+            1u32..5,                    // multiplicity
+            prop::option::of(1.0e5..1.0e9f64), // rate cap
+        );
+        (Just(caps), prop::collection::vec(flow, 1..12))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No resource is ever allocated beyond its capacity, and every
+    /// flow's rate respects its cap.
+    #[test]
+    fn max_min_allocation_is_feasible((caps, flows) in flow_world()) {
+        let mut net = FlowNet::new();
+        let ids: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_resource(ResourceSpec::new(format!("r{i}"), c)))
+            .collect();
+        let mut flow_ids = Vec::new();
+        for (path, bytes, weight, mult, cap) in &flows {
+            let mut dedup: Vec<_> = path.iter().map(|&i| ids[i]).collect();
+            dedup.dedup();
+            let mut spec = FlowSpec::new(dedup, *bytes)
+                .with_weight(*weight)
+                .with_multiplicity(*mult);
+            if let Some(c) = cap {
+                spec = spec.with_rate_cap(*c);
+            }
+            flow_ids.push((net.add_flow(spec), *cap));
+        }
+        for (name, alloc, capacity) in net.resource_utilization() {
+            prop_assert!(
+                alloc <= capacity * (1.0 + 1e-6),
+                "{name} over-allocated: {alloc} > {capacity}"
+            );
+        }
+        for (id, cap) in flow_ids {
+            if let (Some(rate), Some(cap)) = (net.flow_rate(id), cap) {
+                prop_assert!(rate <= cap * (1.0 + 1e-9), "rate {rate} above cap {cap}");
+            }
+        }
+    }
+
+    /// Work conservation on a single resource: if any flow wants more,
+    /// the resource is fully used (no capacity is wasted).
+    #[test]
+    fn single_resource_is_work_conserving(
+        cap in 1.0e6..1.0e9f64,
+        sizes in prop::collection::vec(1.0e6..1.0e9f64, 1..10),
+    ) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource(ResourceSpec::new("r", cap));
+        for s in &sizes {
+            net.add_flow(FlowSpec::new(vec![r], *s));
+        }
+        let agg = net.aggregate_rate();
+        prop_assert!((agg - cap).abs() < cap * 1e-9, "agg {agg} != cap {cap}");
+    }
+
+    /// Completion order on a fair single resource follows size order,
+    /// and the makespan equals total bytes over capacity.
+    #[test]
+    fn single_resource_completion_order(
+        cap in 1.0e6..1.0e8f64,
+        mut sizes in prop::collection::vec(1.0e5..1.0e8f64, 2..8),
+    ) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource(ResourceSpec::new("r", cap));
+        let total: f64 = sizes.iter().sum();
+        for (i, s) in sizes.iter().enumerate() {
+            net.add_flow(FlowSpec::new(vec![r], *s).with_tag(i as u64));
+        }
+        let mut order = Vec::new();
+        let end = net.run_to_completion(|_, c| order.push(c.tag as usize));
+        // Makespan: the resource never idles.
+        prop_assert!((end - total / cap).abs() < end * 1e-6);
+        // Completions sorted by size (ties can go either way).
+        for w in order.windows(2) {
+            prop_assert!(
+                sizes[w[0]] <= sizes[w[1]] * (1.0 + 1e-9),
+                "completion out of size order"
+            );
+        }
+        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interval algebra laws
+// ---------------------------------------------------------------------
+
+fn intervals() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..100.0f64, 0.0..10.0f64), 0..12)
+        .prop_map(|v| v.into_iter().map(|(s, d)| (s, s + d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// |A| = |A ∩ B| + |A \ B| — the decomposition the paper's overlap
+    /// analysis rests on.
+    #[test]
+    fn interval_partition_law(a in intervals(), b in intervals()) {
+        let sa = IntervalSet::from_intervals(a);
+        let sb = IntervalSet::from_intervals(b);
+        let lhs = sa.total();
+        let rhs = sa.intersect(&sb).total() + sa.subtract(&sb).total();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Inclusion–exclusion: |A ∪ B| = |A| + |B| − |A ∩ B|.
+    #[test]
+    fn interval_inclusion_exclusion(a in intervals(), b in intervals()) {
+        let sa = IntervalSet::from_intervals(a);
+        let sb = IntervalSet::from_intervals(b);
+        let lhs = sa.union(&sb).total();
+        let rhs = sa.total() + sb.total() - sa.intersect(&sb).total();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0));
+    }
+
+    /// Inserting one by one equals building at once.
+    #[test]
+    fn insert_equals_batch(a in intervals()) {
+        let batch = IntervalSet::from_intervals(a.clone());
+        let mut inc = IntervalSet::new();
+        for (s, e) in a {
+            inc.insert(s, e);
+        }
+        prop_assert_eq!(batch, inc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner accounting identities
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IOR accounting: bandwidth × slowest-rank duration = total bytes,
+    /// and scaling nodes never lowers aggregate bandwidth on an
+    /// uncontended pool.
+    #[test]
+    fn runner_accounting_identity(
+        pool in 1.0e9..1.0e11f64,
+        nodes in 1u32..12,
+        ppn in 1u32..16,
+        per_rank in 1.0e7..1.0e9f64,
+    ) {
+        let sys = UniformSystem::new("p", pool);
+        let phase = PhaseSpec::seq_read(1.0e6, per_rank);
+        let out = run_phase(&sys, nodes, ppn, &phase);
+        let identity = out.agg_bandwidth * out.duration;
+        prop_assert!((identity - out.total_bytes).abs() < out.total_bytes * 1e-9);
+        prop_assert!(out.agg_bandwidth <= pool * (1.0 + 1e-9));
+
+        if nodes > 1 {
+            let smaller = run_phase(&sys, nodes - 1, ppn, &phase);
+            prop_assert!(out.agg_bandwidth >= smaller.agg_bandwidth * (1.0 - 1e-9));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Serialization round-trips for every public configuration and result
+//! type — the suite's configs are meant to be stored, diffed and
+//! shared as JSON.
+
+use hcs_dlio::{cosmoflow, resnet50, run_dlio};
+use hcs_gpfs::GpfsConfig;
+use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_topology::all_clusters;
+use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn all_storage_configs_round_trip() {
+    for v in [
+        vast_on_lassen(),
+        vast_on_ruby(),
+        vast_on_quartz(),
+        vast_on_wombat(),
+    ] {
+        assert_eq!(round_trip(&v), v);
+    }
+    let g = GpfsConfig::on_lassen();
+    assert_eq!(round_trip(&g), g);
+    for l in [LustreConfig::on_ruby(), LustreConfig::on_quartz()] {
+        assert_eq!(round_trip(&l), l);
+    }
+    let n = LocalNvmeConfig::on_wombat();
+    assert_eq!(round_trip(&n), n);
+}
+
+#[test]
+fn clusters_round_trip() {
+    for c in all_clusters() {
+        assert_eq!(round_trip(&c), c);
+    }
+}
+
+#[test]
+fn benchmark_configs_round_trip() {
+    for w in WorkloadClass::all() {
+        let c = IorConfig::paper_scalability(w, 8, 44);
+        assert_eq!(round_trip(&c), c);
+    }
+    for d in [resnet50(), cosmoflow()] {
+        assert_eq!(round_trip(&d), d);
+    }
+}
+
+#[test]
+fn results_round_trip() {
+    let sys = vast_on_wombat();
+    let rep = run_ior(&sys, &IorConfig::smoke(WorkloadClass::Scientific, 2, 4));
+    assert_eq!(round_trip(&rep), rep);
+
+    let dlio = run_dlio(&GpfsConfig::on_lassen(), &resnet50().smoke(), 1);
+    assert_eq!(round_trip(&dlio), dlio);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_disk_format() {
+    let result = run_dlio(&vast_on_lassen(), &resnet50().smoke(), 1);
+    let json = hcs_dftrace::chrome::to_json(&result.tracer);
+    let back = hcs_dftrace::chrome::from_json(&json).expect("parse");
+    assert_eq!(back.len(), result.tracer.len());
+    // The re-derived decomposition matches.
+    let orig = hcs_dftrace::decompose(&result.tracer, None);
+    let re = hcs_dftrace::decompose(&back, None);
+    assert!((orig.io_total - re.io_total).abs() < 1e-9);
+    assert!((orig.overlapping_io - re.overlapping_io).abs() < 1e-9);
+}
