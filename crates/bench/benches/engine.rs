@@ -21,27 +21,27 @@ fn bench_flownet(c: &mut Criterion) {
                 let mut net = FlowNet::new();
                 let shared = net.add_resource(ResourceSpec::new("pool", 1e10));
                 for i in 0..n {
-                    let mount =
-                        net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
+                    let mount = net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
                     net.add_flow(FlowSpec::new(vec![mount, shared], 1e9));
                 }
                 black_box(net.aggregate_rate())
             })
         });
-        g.bench_with_input(BenchmarkId::new("run_to_completion", flows), &flows, |b, &n| {
-            b.iter(|| {
-                let mut net = FlowNet::new();
-                let shared = net.add_resource(ResourceSpec::new("pool", 1e10));
-                for i in 0..n {
-                    let mount =
-                        net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
-                    net.add_flow(
-                        FlowSpec::new(vec![mount, shared], 1e8 + i as f64 * 1e6),
-                    );
-                }
-                black_box(net.run_to_completion(|_, _| {}))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("run_to_completion", flows),
+            &flows,
+            |b, &n| {
+                b.iter(|| {
+                    let mut net = FlowNet::new();
+                    let shared = net.add_resource(ResourceSpec::new("pool", 1e10));
+                    for i in 0..n {
+                        let mount = net.add_resource(ResourceSpec::new(format!("m{i}"), 2e9));
+                        net.add_flow(FlowSpec::new(vec![mount, shared], 1e8 + i as f64 * 1e6));
+                    }
+                    black_box(net.run_to_completion(|_, _| {}))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -55,8 +55,7 @@ fn bench_ior(c: &mut Criterion) {
             BenchmarkId::new("vast_scalability", nodes),
             &nodes,
             |b, &n| {
-                let mut cfg =
-                    IorConfig::paper_scalability(WorkloadClass::Scientific, n, 44);
+                let mut cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, n, 44);
                 cfg.reps = 1;
                 b.iter(|| black_box(run_ior(&vast, &cfg)))
             },
@@ -65,8 +64,7 @@ fn bench_ior(c: &mut Criterion) {
             BenchmarkId::new("gpfs_scalability", nodes),
             &nodes,
             |b, &n| {
-                let mut cfg =
-                    IorConfig::paper_scalability(WorkloadClass::MachineLearning, n, 44);
+                let mut cfg = IorConfig::paper_scalability(WorkloadClass::MachineLearning, n, 44);
                 cfg.reps = 1;
                 b.iter(|| black_box(run_ior(&gpfs, &cfg)))
             },

@@ -99,7 +99,10 @@ fn main() {
         "systems" => {
             for name in all_system_names() {
                 let (sys, ppn) = system(name).expect("listed name resolves");
-                println!("{name:<16} {:<56} (full node: {ppn} ppn)", sys.description());
+                println!(
+                    "{name:<16} {:<56} (full node: {ppn} ppn)",
+                    sys.description()
+                );
             }
         }
         "table1" => print!("{}", hcs_experiments::figures::table1::render()),
@@ -174,7 +177,10 @@ fn main() {
                 ppn,
                 out.agg_bandwidth / 1e9
             );
-            println!("{:<20} {:>14} {:>14} {:>8}", "resource", "allocated", "capacity", "util");
+            println!(
+                "{:<20} {:>14} {:>14} {:>8}",
+                "resource", "allocated", "capacity", "util"
+            );
             let mut rows = out.utilization.clone();
             rows.sort_by(|a, b| {
                 (b.1 / b.2.max(1e-12))
@@ -209,7 +215,9 @@ fn main() {
             }
         }
         "replay" => {
-            let path = args.get(1).unwrap_or_else(|| die("replay: missing trace path"));
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| die("replay: missing trace path"));
             let (sys, _) = args
                 .get(2)
                 .and_then(|s| system(s))

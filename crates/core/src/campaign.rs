@@ -65,8 +65,7 @@ impl JobScript {
             });
             steps.push(JobStep::Io {
                 label: "checkpoint".into(),
-                phase: PhaseSpec::seq_write(transfer_size, state_bytes_per_rank)
-                    .with_fsync(true),
+                phase: PhaseSpec::seq_write(transfer_size, state_bytes_per_rank).with_fsync(true),
             });
         }
         JobScript {
@@ -195,7 +194,7 @@ mod tests {
     fn accounting_adds_up() {
         let sys = toy();
         let job = JobScript::checkpoint_restart(50.0, 4, GIB, MIB);
-        let out = job.run(&sys, 2, 8, );
+        let out = job.run(&sys, 2, 8);
         assert!((out.compute - 200.0).abs() < 1e-9);
         assert!((out.total - out.compute - out.io).abs() < 1e-9);
         assert!(out.io > 0.0);

@@ -1,0 +1,611 @@
+//! Declarative deployment graphs.
+//!
+//! A [`DeploymentGraph`] describes a storage deployment as a sequence of
+//! typed [`Stage`]s — the funnels a byte crosses between a client rank
+//! and the media: mount connection, gateway uplink, operation-rate
+//! pool, server pool, fabric, media array. One shared planner
+//! ([`DeploymentGraph::provision`]) compiles the graph into
+//! [`FlowNet`] resources and per-node paths, so every backend declares
+//! *what its deployment is* and none of them re-implements *how a
+//! deployment becomes a flow network*.
+//!
+//! The planner's contract, which the golden parity fixtures in
+//! `tests/graph_parity.rs` pin bit-for-bit:
+//!
+//! * **Resource order** — shared and sharded stages first, in
+//!   declaration order (a sharded stage expands to `count` resources
+//!   `name0..nameN`), then the per-node stages node by node, again in
+//!   declaration order (`name0` for node 0, …).
+//! * **Path order** — each node's path visits its stages sorted by
+//!   [`StageKind`] (client side first, media last), ties broken by
+//!   declaration order. Sharded stages are assigned round-robin:
+//!   node `i` crosses shard `i % count`.
+//! * **Ops-pool conversion** — an [`Capacity::OpsRate`] stage is an
+//!   operation-rate ceiling; the planner converts it to byte units for
+//!   the phase at hand by dividing by [`PhaseSpec::ops_per_byte`].
+//!
+//! Because deployments are now data, reconfiguration is an edit, not a
+//! new backend: the mutators ([`DeploymentGraph::widen_gateway`],
+//! [`DeploymentGraph::swap_transport`],
+//! [`DeploymentGraph::scale_pool`]) and the [`Reconfigured`] wrapper
+//! turn the paper's what-if questions — "what if Lassen's gateway were
+//! wider?" (§VII), "what does `nconnect` buy?" — into generic graph
+//! edits that work against any backend.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use hcs_netsim::TransportSpec;
+use hcs_simkit::{FlowNet, ResourceSpec};
+
+use crate::phase::PhaseSpec;
+use crate::system::{Provisioned, StorageSystem};
+
+/// The category of a deployment stage — the shared vocabulary used by
+/// bottleneck attribution, `hcs explain` output and figure legends.
+///
+/// The declaration order is the canonical client→media path order:
+/// a node path visits its stages sorted by this enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// A client node's mount connection (NIC, TCP/RDMA connection pool,
+    /// client-side I/O engine).
+    ClientMount,
+    /// A protocol gateway funnel between the compute fabric and the
+    /// storage system (the Lassen 2×100 GbE gateway).
+    Gateway,
+    /// An operation-rate ceiling (NFS RPC termination, MDS/RPC pools),
+    /// expressed in ops/s and converted per phase.
+    OpsPool,
+    /// The server-side processing pool (CNodes, NSD servers, OSSs,
+    /// user-level I/O server threads).
+    ServerPool,
+    /// The internal fabric between servers and enclosures.
+    Fabric,
+    /// The media tier itself (SCM/QLC arrays, HDD arrays, local NVMe).
+    Media,
+}
+
+impl StageKind {
+    /// Human-readable label for reports and legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::ClientMount => "client mount",
+            StageKind::Gateway => "gateway",
+            StageKind::OpsPool => "ops pool",
+            StageKind::ServerPool => "server pool",
+            StageKind::Fabric => "fabric",
+            StageKind::Media => "media",
+        }
+    }
+
+    /// Every kind, in canonical path order.
+    pub fn all() -> [StageKind; 6] {
+        [
+            StageKind::ClientMount,
+            StageKind::Gateway,
+            StageKind::OpsPool,
+            StageKind::ServerPool,
+            StageKind::Fabric,
+            StageKind::Media,
+        ]
+    }
+}
+
+/// How many resources a stage expands to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageScope {
+    /// One resource shared by every node (a server pool, a fabric).
+    Shared,
+    /// `count` parallel resources; node `i` is assigned shard
+    /// `i % count` (a gateway group).
+    Sharded {
+        /// Number of parallel shards.
+        count: u32,
+    },
+    /// One resource per client node (a mount connection, a node-local
+    /// drive array).
+    PerNode,
+}
+
+/// A stage's capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Capacity {
+    /// Byte throughput, bytes/s.
+    Bandwidth(f64),
+    /// Operation rate, ops/s; the planner converts it to bytes/s for a
+    /// phase by dividing by [`PhaseSpec::ops_per_byte`].
+    OpsRate(f64),
+}
+
+impl Capacity {
+    /// The raw capacity value (bytes/s or ops/s).
+    pub fn raw(self) -> f64 {
+        match self {
+            Capacity::Bandwidth(b) => b,
+            Capacity::OpsRate(r) => r,
+        }
+    }
+
+    /// Byte-unit capacity for a phase.
+    fn for_phase(self, phase: &PhaseSpec) -> f64 {
+        match self {
+            Capacity::Bandwidth(b) => b,
+            Capacity::OpsRate(r) => r / phase.ops_per_byte(),
+        }
+    }
+
+    fn scaled(self, factor: f64) -> Capacity {
+        match self {
+            Capacity::Bandwidth(b) => Capacity::Bandwidth(b * factor),
+            Capacity::OpsRate(r) => Capacity::OpsRate(r * factor),
+        }
+    }
+}
+
+/// One stage of a deployment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Base resource name; the planner appends the shard or node index
+    /// for sharded and per-node stages ("vast:gw" → "vast:gw0").
+    pub name: String,
+    /// Category, used for path ordering and bottleneck attribution.
+    pub kind: StageKind,
+    /// Expansion rule.
+    pub scope: StageScope,
+    /// Capacity.
+    pub capacity: Capacity,
+}
+
+impl Stage {
+    /// A shared bandwidth stage.
+    pub fn shared(name: impl Into<String>, kind: StageKind, bw: f64) -> Self {
+        Stage {
+            name: name.into(),
+            kind,
+            scope: StageScope::Shared,
+            capacity: Capacity::Bandwidth(bw),
+        }
+    }
+
+    /// A sharded bandwidth stage (`count` parallel resources,
+    /// round-robin node assignment).
+    pub fn sharded(name: impl Into<String>, kind: StageKind, count: u32, bw: f64) -> Self {
+        Stage {
+            name: name.into(),
+            kind,
+            scope: StageScope::Sharded {
+                count: count.max(1),
+            },
+            capacity: Capacity::Bandwidth(bw),
+        }
+    }
+
+    /// A per-node bandwidth stage.
+    pub fn per_node(name: impl Into<String>, kind: StageKind, bw: f64) -> Self {
+        Stage {
+            name: name.into(),
+            kind,
+            scope: StageScope::PerNode,
+            capacity: Capacity::Bandwidth(bw),
+        }
+    }
+
+    /// A shared operation-rate stage.
+    pub fn ops_pool(name: impl Into<String>, ops_per_s: f64) -> Self {
+        Stage {
+            name: name.into(),
+            kind: StageKind::OpsPool,
+            scope: StageScope::Shared,
+            capacity: Capacity::OpsRate(ops_per_s),
+        }
+    }
+}
+
+/// A storage deployment as data: stages plus the stream-level
+/// parameters that do not map to shared resources.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentGraph {
+    /// Stages in declaration order (client side first by convention).
+    pub stages: Vec<Stage>,
+    /// Peak bandwidth of one blocking client stream, bytes/s
+    /// (`f64::INFINITY` when unconstrained).
+    pub per_stream_bw: f64,
+    /// Fixed per-operation latency, seconds.
+    pub per_op_latency: f64,
+    /// Per-file metadata latency, seconds.
+    pub metadata_latency: f64,
+}
+
+impl DeploymentGraph {
+    /// An empty graph with the given stream parameters.
+    pub fn new(per_stream_bw: f64, per_op_latency: f64, metadata_latency: f64) -> Self {
+        DeploymentGraph {
+            stages: Vec::new(),
+            per_stream_bw,
+            per_op_latency,
+            metadata_latency,
+        }
+    }
+
+    /// Appends a stage (builder style).
+    pub fn stage(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// All stages of a kind.
+    pub fn stages_of(&self, kind: StageKind) -> impl Iterator<Item = &Stage> {
+        self.stages.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Raw capacity of the first stage of a kind, if any.
+    pub fn capacity_of(&self, kind: StageKind) -> Option<f64> {
+        self.stages_of(kind).next().map(|s| s.capacity.raw())
+    }
+
+    /// Validates the graph, panicking with a clear message on the
+    /// degenerate configurations that would otherwise stall the flow
+    /// engine (zero-capacity stages, zero-capacity streams).
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive stage capacity, a
+    /// non-positive or NaN per-stream bandwidth, or negative latencies.
+    pub fn validate(&self) {
+        for stage in &self.stages {
+            let c = stage.capacity.raw();
+            assert!(
+                c.is_finite() && c > 0.0,
+                "deployment graph: stage '{}' ({}) has capacity {c}; a zero- or \
+                 infinite-capacity stage cannot be provisioned (flows crossing it \
+                 would stall or the resource would be meaningless)",
+                stage.name,
+                stage.kind.label(),
+            );
+            if let StageScope::Sharded { count } = stage.scope {
+                assert!(
+                    count >= 1,
+                    "deployment graph: sharded stage '{}' needs at least one shard",
+                    stage.name
+                );
+            }
+        }
+        assert!(
+            !self.per_stream_bw.is_nan() && self.per_stream_bw > 0.0,
+            "deployment graph: per-stream bandwidth is {}; zero-capacity streams \
+             would stall every rank (use f64::INFINITY for 'unconstrained')",
+            self.per_stream_bw
+        );
+        assert!(
+            self.per_op_latency.is_finite() && self.per_op_latency >= 0.0,
+            "deployment graph: per-op latency is {}",
+            self.per_op_latency
+        );
+        assert!(
+            self.metadata_latency.is_finite() && self.metadata_latency >= 0.0,
+            "deployment graph: metadata latency is {}",
+            self.metadata_latency
+        );
+    }
+
+    /// Compiles the graph into `net` for a run with `nodes` client
+    /// nodes, returning the provisioning contract the runner consumes.
+    ///
+    /// # Panics
+    /// Panics if the graph fails [`Self::validate`].
+    pub fn provision(&self, net: &mut FlowNet, nodes: u32, phase: &PhaseSpec) -> Provisioned {
+        self.validate();
+
+        // Shared and sharded stages, in declaration order. `compiled`
+        // records, per stage, the resource ids it expanded to at this
+        // point (per-node stages are filled per node below).
+        let mut stage_kinds = Vec::new();
+        let mut shared_ids: Vec<Option<Vec<hcs_simkit::ResourceId>>> =
+            vec![None; self.stages.len()];
+        for (si, stage) in self.stages.iter().enumerate() {
+            match stage.scope {
+                StageScope::Shared => {
+                    let id = net.add_resource(ResourceSpec::new(
+                        stage.name.clone(),
+                        stage.capacity.for_phase(phase),
+                    ));
+                    stage_kinds.push((id, stage.kind));
+                    shared_ids[si] = Some(vec![id]);
+                }
+                StageScope::Sharded { count } => {
+                    let ids = (0..count.max(1))
+                        .map(|i| {
+                            let id = net.add_resource(ResourceSpec::new(
+                                format!("{}{i}", stage.name),
+                                stage.capacity.for_phase(phase),
+                            ));
+                            stage_kinds.push((id, stage.kind));
+                            id
+                        })
+                        .collect();
+                    shared_ids[si] = Some(ids);
+                }
+                StageScope::PerNode => {}
+            }
+        }
+
+        // Stage visit order for paths: client side first (StageKind
+        // order), declaration order within a kind.
+        let mut order: Vec<usize> = (0..self.stages.len()).collect();
+        order.sort_by_key(|&si| (self.stages[si].kind, si));
+
+        let node_paths = (0..nodes)
+            .map(|node| {
+                // Per-node resources for this node, declaration order.
+                let per_node: Vec<_> = self
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.scope == StageScope::PerNode)
+                    .map(|(si, s)| {
+                        let id = net.add_resource(ResourceSpec::new(
+                            format!("{}{node}", s.name),
+                            s.capacity.for_phase(phase),
+                        ));
+                        stage_kinds.push((id, s.kind));
+                        (si, id)
+                    })
+                    .collect();
+                order
+                    .iter()
+                    .map(|&si| match self.stages[si].scope {
+                        StageScope::Shared => shared_ids[si].as_ref().expect("compiled")[0],
+                        StageScope::Sharded { .. } => {
+                            let shards = shared_ids[si].as_ref().expect("compiled");
+                            shards[node as usize % shards.len()]
+                        }
+                        StageScope::PerNode => {
+                            per_node
+                                .iter()
+                                .find(|(i, _)| *i == si)
+                                .expect("per-node stage compiled for this node")
+                                .1
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Provisioned {
+            node_paths,
+            per_stream_bw: self.per_stream_bw,
+            per_op_latency: self.per_op_latency,
+            metadata_latency: self.metadata_latency,
+            stage_kinds,
+        }
+    }
+
+    /// Sets every gateway stage's shard count to `count` — the §VII
+    /// future-work experiment ("deploying a custom VAST configuration"):
+    /// more parallel gateway nodes widen the funnel without touching the
+    /// per-gateway uplink.
+    pub fn widen_gateway(&mut self, count: u32) {
+        for stage in &mut self.stages {
+            if stage.kind == StageKind::Gateway {
+                stage.scope = StageScope::Sharded {
+                    count: count.max(1),
+                };
+            }
+        }
+    }
+
+    /// Swaps the client transport: every [`StageKind::ClientMount`]
+    /// stage's capacity becomes the new transport's connection-pool
+    /// bandwidth (clipped by `client_nic_bw`), and the per-stream
+    /// ceiling and metadata latency follow the transport.
+    ///
+    /// Per-operation latency is left untouched — backends fold media
+    /// and commit latencies into it that a transport alone cannot
+    /// re-derive.
+    pub fn swap_transport(&mut self, transport: &TransportSpec, client_nic_bw: f64) {
+        let pool = transport.node_connection_bw(client_nic_bw);
+        for stage in &mut self.stages {
+            if stage.kind == StageKind::ClientMount {
+                stage.capacity = Capacity::Bandwidth(pool);
+            }
+        }
+        self.per_stream_bw = transport.per_stream_bw;
+        self.metadata_latency = transport.metadata_latency;
+    }
+
+    /// Multiplies the capacity of every stage of `kind` by `factor`
+    /// (ops-rate stages scale their operation rate).
+    pub fn scale_pool(&mut self, kind: StageKind, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale_pool: factor must be positive and finite, got {factor}"
+        );
+        for stage in &mut self.stages {
+            if stage.kind == kind {
+                stage.capacity = stage.capacity.scaled(factor);
+            }
+        }
+    }
+}
+
+/// A storage system with a graph edit applied on top: the base system
+/// plans its deployment, the edit mutates the graph, the planner
+/// compiles the result. This is how ablations reconfigure a deployment
+/// without a per-backend special case.
+#[derive(Clone)]
+pub struct Reconfigured<S> {
+    base: S,
+    edit: Arc<dyn Fn(&mut DeploymentGraph) + Send + Sync>,
+}
+
+impl<S: StorageSystem> Reconfigured<S> {
+    /// Wraps `base`, applying `edit` to every plan it produces.
+    pub fn new(base: S, edit: impl Fn(&mut DeploymentGraph) + Send + Sync + 'static) -> Self {
+        Reconfigured {
+            base,
+            edit: Arc::new(edit),
+        }
+    }
+}
+
+impl<S: StorageSystem> StorageSystem for Reconfigured<S> {
+    fn name(&self) -> &str {
+        self.base.name()
+    }
+
+    fn description(&self) -> String {
+        format!("{} (reconfigured)", self.base.description())
+    }
+
+    fn plan(&self, nodes: u32, ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        let mut graph = self.base.plan(nodes, ppn, phase);
+        (self.edit)(&mut graph);
+        graph
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.base.noise_sigma()
+    }
+
+    fn metadata_profile(&self) -> crate::system::MetadataProfile {
+        self.base.metadata_profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_simkit::units::MIB;
+
+    fn toy_graph() -> DeploymentGraph {
+        DeploymentGraph::new(1e9, 0.0, 0.0)
+            .stage(Stage::sharded("toy:gw", StageKind::Gateway, 2, 10e9))
+            .stage(Stage::shared("toy:pool", StageKind::ServerPool, 20e9))
+            .stage(Stage::ops_pool("toy:ops", 1e6))
+            .stage(Stage::per_node("toy:mount", StageKind::ClientMount, 2e9))
+    }
+
+    fn phase() -> PhaseSpec {
+        PhaseSpec::seq_write(MIB, 64.0 * MIB)
+    }
+
+    #[test]
+    fn resource_order_is_shared_then_per_node() {
+        let mut net = FlowNet::new();
+        toy_graph().provision(&mut net, 3, &phase());
+        let names: Vec<String> = net
+            .resource_utilization()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "toy:gw0",
+                "toy:gw1",
+                "toy:pool",
+                "toy:ops",
+                "toy:mount0",
+                "toy:mount1",
+                "toy:mount2"
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_visit_kinds_in_order_with_round_robin_shards() {
+        let mut net = FlowNet::new();
+        let prov = toy_graph().provision(&mut net, 3, &phase());
+        // Path order: mount (ClientMount) < gw (Gateway) < ops (OpsPool)
+        // < pool (ServerPool).
+        for (node, path) in prov.node_paths.iter().enumerate() {
+            let names: Vec<&str> = path.iter().map(|&id| net.resource_name(id)).collect();
+            assert_eq!(names[0], format!("toy:mount{node}"));
+            assert_eq!(names[1], format!("toy:gw{}", node % 2));
+            assert_eq!(names[2], "toy:ops");
+            assert_eq!(names[3], "toy:pool");
+        }
+    }
+
+    #[test]
+    fn ops_pool_converts_to_byte_units() {
+        let mut net = FlowNet::new();
+        let p = phase();
+        let prov = toy_graph().provision(&mut net, 1, &p);
+        let ops_id = prov.node_paths[0][2];
+        let expected = 1e6 / p.ops_per_byte();
+        assert_eq!(net.resource_capacity(ops_id), expected);
+    }
+
+    #[test]
+    fn stage_kinds_cover_every_resource() {
+        let mut net = FlowNet::new();
+        let prov = toy_graph().provision(&mut net, 4, &phase());
+        assert_eq!(prov.stage_kinds.len(), net.resource_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 0")]
+    fn zero_capacity_stage_rejected() {
+        let g = DeploymentGraph::new(1e9, 0.0, 0.0).stage(Stage::shared(
+            "bad:pool",
+            StageKind::ServerPool,
+            0.0,
+        ));
+        g.provision(&mut FlowNet::new(), 1, &phase());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-stream bandwidth is 0")]
+    fn zero_stream_bw_rejected() {
+        let g = DeploymentGraph::new(0.0, 0.0, 0.0).stage(Stage::shared(
+            "toy:pool",
+            StageKind::ServerPool,
+            1e9,
+        ));
+        g.provision(&mut FlowNet::new(), 1, &phase());
+    }
+
+    #[test]
+    fn widen_gateway_adds_shards() {
+        let mut g = toy_graph();
+        g.widen_gateway(8);
+        let mut net = FlowNet::new();
+        let prov = g.provision(&mut net, 16, &phase());
+        let gw_count = prov
+            .stage_kinds
+            .iter()
+            .filter(|(_, k)| *k == StageKind::Gateway)
+            .count();
+        assert_eq!(gw_count, 8);
+    }
+
+    #[test]
+    fn scale_pool_multiplies_capacity() {
+        let mut g = toy_graph();
+        g.scale_pool(StageKind::ServerPool, 2.0);
+        assert_eq!(g.capacity_of(StageKind::ServerPool), Some(40e9));
+        // Ops pools scale their rate.
+        g.scale_pool(StageKind::OpsPool, 0.5);
+        assert_eq!(g.capacity_of(StageKind::OpsPool), Some(0.5e6));
+    }
+
+    #[test]
+    fn swap_transport_rewrites_the_client_side() {
+        let mut g = toy_graph();
+        let t = TransportSpec::nfs_rdma(16, 2);
+        g.swap_transport(&t, 12.5e9);
+        assert_eq!(g.capacity_of(StageKind::ClientMount), Some(12.5e9));
+        assert_eq!(g.per_stream_bw, t.per_stream_bw);
+        assert_eq!(g.metadata_latency, t.metadata_latency);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = toy_graph();
+        let back: DeploymentGraph =
+            serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -10,10 +10,11 @@
 //!    access pattern, transfer size, bytes per rank, synchronization.
 //! 2. **What the storage system is** — an implementation of
 //!    [`StorageSystem`] (see the `hcs-vast`, `hcs-gpfs`, `hcs-lustre`
-//!    and `hcs-nvme` crates) that *provisions* a
-//!    [`hcs_simkit::FlowNet`] with the resources an I/O path crosses:
-//!    mount connections, gateway funnels, server pools, fabric links,
-//!    media arrays.
+//!    and `hcs-nvme` crates) that *plans* a [`DeploymentGraph`]: the
+//!    typed stages an I/O path crosses — mount connections, gateway
+//!    funnels, server pools, fabric links, media arrays. One shared
+//!    planner ([`graph`]) compiles every graph into
+//!    [`hcs_simkit::FlowNet`] resources.
 //! 3. **How they meet** — the [`runner`], which places one flow group
 //!    per client node into the provisioned network, lets the flow engine
 //!    divide bandwidth max-min fairly, and reports IOR-style aggregate
@@ -35,14 +36,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;
+pub mod graph;
 pub mod outcome;
 pub mod phase;
 pub mod runner;
 pub mod system;
 pub mod testing;
 
-pub use hcs_devices::{AccessPattern, IoOp};
 pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
-pub use outcome::PhaseOutcome;
+pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
+pub use hcs_devices::{AccessPattern, IoOp};
+pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
 pub use system::{MetadataProfile, Provisioned, StorageSystem};

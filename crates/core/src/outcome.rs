@@ -1,8 +1,32 @@
 //! Phase outcomes and repeated-run reports.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use hcs_simkit::Summary;
+
+use crate::graph::StageKind;
+
+/// The binding constraint of a run, attributed to a deployment stage.
+///
+/// One vocabulary for everything downstream: `hcs explain` prints it,
+/// trace replay retargets what-if questions with it, figure legends
+/// label saturation with it. `kind` is the stage category (gateway,
+/// server pool, media...); `name` is the specific resource ("vast:gw0").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bottleneck {
+    /// Stage category of the saturated resource.
+    pub kind: StageKind,
+    /// Resource name, as provisioned.
+    pub name: String,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind.label())
+    }
+}
 
 /// The result of running one phase at one scale.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -25,9 +49,11 @@ pub struct PhaseOutcome {
     #[serde(default)]
     pub utilization: Vec<(String, f64, f64)>,
     /// The binding constraint: the most-utilized resource at steady
-    /// state, when any resource is ≥99 % allocated.
+    /// state, when any resource is ≥99 % allocated. Ties break
+    /// deterministically toward the earliest stage in the deployment
+    /// graph (client side first).
     #[serde(default)]
-    pub bottleneck: Option<String>,
+    pub bottleneck: Option<Bottleneck>,
 }
 
 impl PhaseOutcome {

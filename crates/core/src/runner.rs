@@ -10,7 +10,7 @@
 
 use hcs_simkit::{FlowNet, FlowSpec, SimRng};
 
-use crate::outcome::{PhaseOutcome, RepeatedOutcome};
+use crate::outcome::{Bottleneck, PhaseOutcome, RepeatedOutcome};
 use crate::phase::PhaseSpec;
 use crate::system::StorageSystem;
 
@@ -78,16 +78,31 @@ pub fn run_phase(
     // Steady-state snapshot with every rank active: which resource
     // binds? (Rate caps are per-flow constraints, not resources; if no
     // resource saturates, the streams themselves are the limit.)
+    // Ties on the utilization ratio break toward the earliest resource
+    // in provisioning order — client side first — so attribution is a
+    // function of the deployment graph, not of iterator internals.
     let utilization = net.resource_utilization();
-    let bottleneck = utilization
+    let kind_of: std::collections::HashMap<usize, crate::graph::StageKind> = prov
+        .stage_kinds
         .iter()
-        .filter(|(_, alloc, cap)| *cap > 0.0 && alloc / cap >= 0.99)
-        .max_by(|a, b| {
-            (a.1 / a.2)
-                .partial_cmp(&(b.1 / b.2))
-                .expect("finite utilization")
-        })
-        .map(|(name, _, _)| name.clone());
+        .map(|(id, kind)| (id.index(), *kind))
+        .collect();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (_, alloc, cap)) in utilization.iter().enumerate() {
+        if *cap <= 0.0 {
+            continue;
+        }
+        let ratio = alloc / cap;
+        if ratio >= 0.99 && best.is_none_or(|(_, r)| ratio > r) {
+            best = Some((i, ratio));
+        }
+    }
+    let bottleneck = best.map(|(i, _)| Bottleneck {
+        kind: *kind_of
+            .get(&i)
+            .unwrap_or_else(|| panic!("resource {} missing from stage_kinds", utilization[i].0)),
+        name: utilization[i].0.clone(),
+    });
 
     let mut per_node_end = vec![0.0_f64; nodes as usize];
     net.run_to_completion(|_, c| {
@@ -185,10 +200,7 @@ mod tests {
         let sys = UniformSystem::new("toy", 10.0 * GIB);
         let phase = PhaseSpec::seq_read(MIB, GIB);
         let out = run_phase(&sys, 2, 2, &phase);
-        let max = out
-            .per_node_duration
-            .iter()
-            .fold(0.0_f64, |a, &b| a.max(b));
+        let max = out.per_node_duration.iter().fold(0.0_f64, |a, &b| a.max(b));
         assert!((out.duration - max).abs() < 1e-9);
     }
 
@@ -223,13 +235,16 @@ mod tests {
         n1.file_per_proc = false;
         let bw_nn = run_phase(&sys, 4, 16, &nn).agg_bandwidth;
         let bw_n1 = run_phase(&sys, 4, 16, &n1).agg_bandwidth;
-        assert!(bw_n1 < 0.8 * bw_nn, "N-1 write contention: {bw_n1} vs {bw_nn}");
+        assert!(
+            bw_n1 < 0.8 * bw_nn,
+            "N-1 write contention: {bw_n1} vs {bw_nn}"
+        );
 
         // And the gap widens with scale.
-        let gap_small = run_phase(&sys, 1, 4, &n1).agg_bandwidth
-            / run_phase(&sys, 1, 4, &nn).agg_bandwidth;
-        let gap_large = run_phase(&sys, 16, 16, &n1).agg_bandwidth
-            / run_phase(&sys, 16, 16, &nn).agg_bandwidth;
+        let gap_small =
+            run_phase(&sys, 1, 4, &n1).agg_bandwidth / run_phase(&sys, 1, 4, &nn).agg_bandwidth;
+        let gap_large =
+            run_phase(&sys, 16, 16, &n1).agg_bandwidth / run_phase(&sys, 16, 16, &nn).agg_bandwidth;
         assert!(gap_large < gap_small, "{gap_large} vs {gap_small}");
     }
 
@@ -241,7 +256,10 @@ mod tests {
         n1.file_per_proc = false;
         let bw_nn = run_phase(&sys, 4, 16, &nn).agg_bandwidth;
         let bw_n1 = run_phase(&sys, 4, 16, &n1).agg_bandwidth;
-        assert!(bw_n1 > 0.85 * bw_nn, "reads barely contend: {bw_n1} vs {bw_nn}");
+        assert!(
+            bw_n1 > 0.85 * bw_nn,
+            "reads barely contend: {bw_n1} vs {bw_nn}"
+        );
     }
 
     #[test]

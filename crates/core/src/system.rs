@@ -2,6 +2,7 @@
 
 use hcs_simkit::{FlowNet, ResourceId};
 
+use crate::graph::{DeploymentGraph, StageKind};
 use crate::phase::PhaseSpec;
 
 /// Metadata-path performance of a storage system, consumed by
@@ -32,22 +33,39 @@ pub struct Provisioned {
     pub per_op_latency: f64,
     /// Fixed latency per file open (metadata round trips), seconds.
     pub metadata_latency: f64,
+    /// Which deployment stage each provisioned resource belongs to,
+    /// `(resource, kind)` in provisioning order. Lets the runner
+    /// attribute a saturated resource to a stage category without
+    /// parsing names, and stays correct when several systems share one
+    /// [`FlowNet`] (resource ids are absolute, not zero-based).
+    pub stage_kinds: Vec<(ResourceId, StageKind)>,
 }
 
 impl Provisioned {
     /// The effective per-stream bandwidth for back-to-back operations of
     /// `transfer_size` bytes, folding [`Self::per_op_latency`] into
     /// [`Self::per_stream_bw`].
+    ///
+    /// # Panics
+    /// Panics if the per-stream bandwidth is not positive: a
+    /// zero-capacity stream would make every rank crossing it stall
+    /// forever, which used to surface as a silent 0.0 rate cap and a
+    /// hung `run_to_completion`. [`DeploymentGraph::validate`] rejects
+    /// such graphs at planning time; this is the backstop for
+    /// hand-built `Provisioned` values.
     pub fn effective_stream_bw(&self, transfer_size: f64) -> f64 {
         assert!(transfer_size > 0.0, "transfer size must be positive");
+        assert!(
+            !self.per_stream_bw.is_nan() && self.per_stream_bw > 0.0,
+            "per-stream bandwidth is {}; a zero-capacity stream would stall \
+             every flow (use f64::INFINITY for 'unconstrained')",
+            self.per_stream_bw
+        );
         if self.per_op_latency <= 0.0 {
             return self.per_stream_bw;
         }
         if !self.per_stream_bw.is_finite() {
             return transfer_size / self.per_op_latency;
-        }
-        if self.per_stream_bw <= 0.0 {
-            return 0.0;
         }
         transfer_size / (transfer_size / self.per_stream_bw + self.per_op_latency)
     }
@@ -55,12 +73,15 @@ impl Provisioned {
 
 /// A storage system deployment, bound to a specific machine.
 ///
-/// Implementations translate a [`PhaseSpec`] into flow-network
-/// resources: which links and pools a request crosses, and how much
+/// Implementations translate a [`PhaseSpec`] into a
+/// [`DeploymentGraph`]: which stages a request crosses, and how much
 /// capacity each has *for that phase's op/pattern/transfer/fsync
 /// combination*. Capacities are phase-dependent because media and cache
 /// behaviour are pattern-dependent (an HDD array is 15× slower for
-/// random 1 MiB reads; fsync collapses consumer NVMe writes).
+/// random 1 MiB reads; fsync collapses consumer NVMe writes). The
+/// shared planner ([`DeploymentGraph::provision`]) turns the graph into
+/// flow-network resources — backends declare deployments, they do not
+/// build networks.
 /// Systems are plain calibration data, so they are required to be
 /// thread-safe — experiment sweeps run configurations in parallel.
 pub trait StorageSystem: Send + Sync {
@@ -72,16 +93,19 @@ pub trait StorageSystem: Send + Sync {
         self.name().to_string()
     }
 
-    /// Builds the resources for a run with `nodes` client nodes of
-    /// `ppn` ranks each, returning the per-node paths and stream
-    /// parameters.
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned;
+    /// Describes the deployment for a run with `nodes` client nodes of
+    /// `ppn` ranks each as a declarative stage graph. Capacities may
+    /// depend on the phase (cache blending, working-set effects), so
+    /// the phase is an input to planning, not only to compilation.
+    fn plan(&self, nodes: u32, ppn: u32, phase: &PhaseSpec) -> DeploymentGraph;
+
+    /// Builds the resources for a run, returning the per-node paths and
+    /// stream parameters. Provided: compiles [`Self::plan`] through the
+    /// shared planner. Consumers (the runner, trace replay, the DLIO
+    /// pipeline) call this; backends implement [`Self::plan`].
+    fn provision(&self, net: &mut FlowNet, nodes: u32, ppn: u32, phase: &PhaseSpec) -> Provisioned {
+        self.plan(nodes, ppn, phase).provision(net, nodes, phase)
+    }
 
     /// Run-to-run variability (multiplicative sigma) observed on this
     /// deployment — shared parallel file systems wobble more than
@@ -113,6 +137,7 @@ mod tests {
             per_stream_bw: 1e9,
             per_op_latency: 1e-3,
             metadata_latency: 0.0,
+            stage_kinds: vec![],
         };
         // 1 MB ops: 1e6 / (1e-3 + 1e-3) = 500 MB/s.
         let eff = p.effective_stream_bw(1e6);
@@ -126,6 +151,7 @@ mod tests {
             per_stream_bw: f64::INFINITY,
             per_op_latency: 1e-3,
             metadata_latency: 0.0,
+            stage_kinds: vec![],
         };
         assert!((p.effective_stream_bw(1e6) - 1e9).abs() < 1.0);
     }
@@ -137,7 +163,21 @@ mod tests {
             per_stream_bw: 2e9,
             per_op_latency: 0.0,
             metadata_latency: 0.0,
+            stage_kinds: vec![],
         };
         assert_eq!(p.effective_stream_bw(4096.0), 2e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-stream bandwidth is 0")]
+    fn zero_stream_bw_is_rejected_not_stalled() {
+        let p = Provisioned {
+            node_paths: vec![],
+            per_stream_bw: 0.0,
+            per_op_latency: 1e-3,
+            metadata_latency: 0.0,
+            stage_kinds: vec![],
+        };
+        p.effective_stream_bw(1e6);
     }
 }

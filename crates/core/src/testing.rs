@@ -5,10 +5,9 @@
 //! benchmarks of the runner itself. Real systems live in the
 //! `hcs-vast`/`hcs-gpfs`/`hcs-lustre`/`hcs-nvme` crates.
 
-use hcs_simkit::{FlowNet, ResourceSpec};
-
+use crate::graph::{DeploymentGraph, Stage, StageKind};
 use crate::phase::PhaseSpec;
-use crate::system::{Provisioned, StorageSystem};
+use crate::system::StorageSystem;
 
 /// A storage system with a single shared pool of fixed capacity and an
 /// optional per-node mount limit and per-stream ceiling.
@@ -57,33 +56,21 @@ impl StorageSystem for UniformSystem {
         &self.name
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        _ppn: u32,
-        _phase: &PhaseSpec,
-    ) -> Provisioned {
-        let pool = net.add_resource(ResourceSpec::new(format!("{}:pool", self.name), self.pool_bw));
-        let node_paths = (0..nodes)
-            .map(|i| {
-                if self.node_bw.is_finite() {
-                    let mount = net.add_resource(ResourceSpec::new(
-                        format!("{}:mount{}", self.name, i),
-                        self.node_bw,
-                    ));
-                    vec![mount, pool]
-                } else {
-                    vec![pool]
-                }
-            })
-            .collect();
-        Provisioned {
-            node_paths,
-            per_stream_bw: self.stream_bw,
-            per_op_latency: self.per_op_latency,
-            metadata_latency: 0.0,
+    fn plan(&self, _nodes: u32, _ppn: u32, _phase: &PhaseSpec) -> DeploymentGraph {
+        let mut graph =
+            DeploymentGraph::new(self.stream_bw, self.per_op_latency, 0.0).stage(Stage::shared(
+                format!("{}:pool", self.name),
+                StageKind::ServerPool,
+                self.pool_bw,
+            ));
+        if self.node_bw.is_finite() {
+            graph = graph.stage(Stage::per_node(
+                format!("{}:mount", self.name),
+                StageKind::ClientMount,
+                self.node_bw,
+            ));
         }
+        graph
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -114,6 +101,9 @@ mod tests {
         let phase = PhaseSpec::seq_read(MIB, 100.0 * MIB);
         let f = run_phase(&fast, 1, 1, &phase).agg_bandwidth;
         let s = run_phase(&slow, 1, 1, &phase).agg_bandwidth;
-        assert!(s < f * 0.6, "latency should halve 1 MiB streams: {s} vs {f}");
+        assert!(
+            s < f * 0.6,
+            "latency should halve 1 MiB streams: {s} vs {f}"
+        );
     }
 }

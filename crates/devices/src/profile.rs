@@ -281,13 +281,19 @@ mod tests {
         let d = DeviceProfile::qlc_ssd();
         let seq = d.effective_bandwidth(IoOp::Read, AccessPattern::Sequential, MIB, false);
         let rand = d.effective_bandwidth(IoOp::Read, AccessPattern::Random, MIB, false);
-        assert!(rand > 0.75 * seq, "flash random reads stay close: {rand} vs {seq}");
+        assert!(
+            rand > 0.75 * seq,
+            "flash random reads stay close: {rand} vs {seq}"
+        );
     }
 
     #[test]
     fn reads_never_pay_sync_latency() {
         let d = DeviceProfile::nvme_970_pro();
-        assert_eq!(d.op_latency(IoOp::Read, true), d.op_latency(IoOp::Read, false));
+        assert_eq!(
+            d.op_latency(IoOp::Read, true),
+            d.op_latency(IoOp::Read, false)
+        );
     }
 
     #[test]
@@ -303,7 +309,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_transfer_size_rejected() {
-        DeviceProfile::dram().effective_bandwidth(IoOp::Read, AccessPattern::Sequential, 0.0, false);
+        DeviceProfile::dram().effective_bandwidth(
+            IoOp::Read,
+            AccessPattern::Sequential,
+            0.0,
+            false,
+        );
     }
 
     #[test]

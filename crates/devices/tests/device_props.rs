@@ -6,13 +6,13 @@ use hcs_devices::{blend_bandwidth, AccessPattern, DeviceArray, DeviceProfile, Io
 
 fn any_profile() -> impl Strategy<Value = DeviceProfile> {
     (
-        1.0e6..1.0e10f64,  // seq read
-        1.0e6..1.0e10f64,  // seq write
-        1.0e6..1.0e10f64,  // rand read
-        1.0e6..1.0e10f64,  // rand write
-        0.0..1.0e-2f64,    // read latency
-        0.0..1.0e-2f64,    // write latency
-        0.0..1.0e-2f64,    // sync latency
+        1.0e6..1.0e10f64, // seq read
+        1.0e6..1.0e10f64, // seq write
+        1.0e6..1.0e10f64, // rand read
+        1.0e6..1.0e10f64, // rand write
+        0.0..1.0e-2f64,   // read latency
+        0.0..1.0e-2f64,   // write latency
+        0.0..1.0e-2f64,   // sync latency
     )
         .prop_map(|(sr, sw, rr, rw, rl, wl, sl)| DeviceProfile {
             name: "gen".into(),

@@ -108,7 +108,14 @@ mod tests {
         let mut t = Tracer::new();
         t.complete("read_sample", EventCategory::Read, 3, 1, 0.25, 0.75);
         t.complete("train", EventCategory::Compute, 3, 0, 0.5, 1.5);
-        t.complete("ckpt", EventCategory::Other("checkpoint".into()), 4, 0, 2.0, 2.5);
+        t.complete(
+            "ckpt",
+            EventCategory::Other("checkpoint".into()),
+            4,
+            0,
+            2.0,
+            2.5,
+        );
         let json = to_json(&t);
         let back = from_json(&json).unwrap();
         assert_eq!(back.len(), 3);
@@ -116,7 +123,10 @@ mod tests {
         assert_eq!(back.events()[0].cat, EventCategory::Read);
         assert!((back.events()[0].ts - 0.25).abs() < 1e-12);
         assert!((back.events()[0].dur - 0.5).abs() < 1e-12);
-        assert_eq!(back.events()[2].cat, EventCategory::Other("checkpoint".into()));
+        assert_eq!(
+            back.events()[2].cat,
+            EventCategory::Other("checkpoint".into())
+        );
     }
 
     #[test]

@@ -85,6 +85,9 @@ mod tests {
     #[test]
     fn category_display() {
         assert_eq!(EventCategory::Read.to_string(), "read");
-        assert_eq!(EventCategory::Other("checkpoint".into()).to_string(), "checkpoint");
+        assert_eq!(
+            EventCategory::Other("checkpoint".into()).to_string(),
+            "checkpoint"
+        );
     }
 }

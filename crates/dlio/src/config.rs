@@ -117,8 +117,7 @@ impl DlioConfig {
     /// buffered, 1 MiB transfers or the whole checkpoint if smaller).
     pub fn checkpoint_phase(&self) -> PhaseSpec {
         let ts = 1_048_576.0_f64.min(self.checkpoint_bytes.max(1.0));
-        PhaseSpec::seq_write(ts, self.checkpoint_bytes.max(ts))
-            .with_client_cache_defeated(false)
+        PhaseSpec::seq_write(ts, self.checkpoint_bytes.max(ts)).with_client_cache_defeated(false)
     }
 
     /// Enables synchronous checkpointing (builder style).

@@ -143,7 +143,10 @@ pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> 
     let max_events = config.total_sample_reads(nodes) * 6 + 1000;
     loop {
         guard += 1;
-        assert!(guard <= max_events, "DLIO pipeline exceeded its event budget");
+        assert!(
+            guard <= max_events,
+            "DLIO pipeline exceeded its event budget"
+        );
 
         let t_flow = net.next_completion_time();
         let t_compute = states
@@ -233,8 +236,7 @@ pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> 
                         t - config.compute_time_per_batch,
                         t,
                     );
-                    s.consumed +=
-                        (s.per_epoch - s.consumed).min(config.batch_size as u64);
+                    s.consumed += (s.per_epoch - s.consumed).min(config.batch_size as u64);
                     // Synchronous checkpoint every N batches: the
                     // trainer blocks while the model state streams to
                     // storage over the write path.
@@ -303,9 +305,7 @@ pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> 
     }
 
     let duration = tracer.span().map(|(a, b)| b - a).unwrap_or(0.0);
-    let per_node: Vec<IoDecomposition> = (0..nodes)
-        .map(|n| decompose(&tracer, Some(n)))
-        .collect();
+    let per_node: Vec<IoDecomposition> = (0..nodes).map(|n| decompose(&tracer, Some(n))).collect();
     let mut mean = IoDecomposition::default();
     for d in &per_node {
         mean.accumulate(d);
@@ -330,8 +330,7 @@ pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> 
     let mut app = 0.0;
     let mut sys = 0.0;
     for (n, d) in per_node.iter().enumerate() {
-        let samples =
-            (config.samples_per_node(nodes, n as u32) * config.epochs as u64) as f64;
+        let samples = (config.samples_per_node(nodes, n as u32) * config.epochs as u64) as f64;
         app += d.app_throughput(samples);
         sys += d.system_throughput(samples);
     }
@@ -364,10 +363,7 @@ fn start_reads(
     next_tid: &mut [u32],
     now: f64,
 ) {
-    while s.idle_threads > 0
-        && s.to_fetch > 0
-        && (s.queued + s.in_flight) < config.prefetch_depth
-    {
+    while s.idle_threads > 0 && s.to_fetch > 0 && (s.queued + s.in_flight) < config.prefetch_depth {
         let tid = next_tid[node as usize] % config.read_threads;
         next_tid[node as usize] += 1;
         let mut spec = FlowSpec::new(path.to_vec(), config.sample_bytes);
@@ -391,7 +387,10 @@ fn try_start_compute(
     now: f64,
 ) {
     let _ = node;
-    if s.computing.is_some() || s.checkpointing || s.consumed >= s.per_epoch || s.epoch >= config.epochs
+    if s.computing.is_some()
+        || s.checkpointing
+        || s.consumed >= s.per_epoch
+        || s.epoch >= config.epochs
     {
         return;
     }
@@ -416,10 +415,7 @@ mod tests {
         let cfg = resnet50().smoke();
         let r = run_dlio(&sys, &cfg, 2);
         assert_eq!(r.samples_processed, cfg.samples * 2);
-        let reads = r
-            .tracer
-            .by_category(&EventCategory::Read)
-            .count() as u64;
+        let reads = r.tracer.by_category(&EventCategory::Read).count() as u64;
         assert_eq!(reads, cfg.samples * 2);
         let steps = r.tracer.by_category(&EventCategory::Compute).count() as u64;
         assert_eq!(steps, cfg.samples * 2);
@@ -473,7 +469,12 @@ mod tests {
         let gpfs = GpfsConfig::on_lassen();
         let rv = run_dlio(&vast, &resnet50(), 4);
         let rg = run_dlio(&gpfs, &resnet50(), 4);
-        assert!(rv.io_total() > rg.io_total(), "{} vs {}", rv.io_total(), rg.io_total());
+        assert!(
+            rv.io_total() > rg.io_total(),
+            "{} vs {}",
+            rv.io_total(),
+            rg.io_total()
+        );
         assert!(
             rv.overlapping_io() > rv.non_overlapping_io(),
             "most VAST I/O hides behind compute: {} vs {}",

@@ -6,15 +6,16 @@
 //! test this" — the gateway-width hypothesis the authors could not test
 //! on production hardware, and the simulator can).
 
+use hcs_core::{Reconfigured, StageKind};
+use hcs_dlio::{cosmoflow, run_dlio};
+use hcs_gpfs::GpfsConfig;
 use hcs_ior::{run_ior, IorConfig, WorkloadClass};
 use hcs_lustre::LustreConfig;
 use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
 use hcs_nvme::LocalNvmeConfig;
+use hcs_simkit::units::gbit_per_s;
 use hcs_unifyfs::UnifyFsConfig;
 use hcs_vast::{vast_on_lassen, vast_on_wombat};
-use hcs_gpfs::GpfsConfig;
-use hcs_dlio::{cosmoflow, run_dlio};
-use hcs_simkit::units::gbit_per_s;
 
 use crate::series::{Figure, Point, Series};
 use crate::sweep::{parallel_sweep, Scale};
@@ -30,10 +31,15 @@ pub fn gateway_width_sweep(scale: Scale) -> Figure {
         "aggregate bandwidth (GB/s)",
     );
     let points = parallel_sweep(widths.to_vec(), |&gb| {
-        let mut v = vast_on_lassen();
-        if let Some(g) = &mut v.gateway {
-            g.uplink.bandwidth = gbit_per_s(gb);
-        }
+        // A pure deployment-graph edit: retarget the gateway stage's
+        // uplink to `gb` Gb without touching the backend config.
+        let target = gbit_per_s(gb);
+        let v = Reconfigured::new(vast_on_lassen(), move |g| {
+            let current = g
+                .capacity_of(StageKind::Gateway)
+                .expect("Lassen VAST plans a gateway stage");
+            g.scale_pool(StageKind::Gateway, target / current);
+        });
         let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
         cfg.reps = scale.reps();
         Point::new(gb, run_ior(&v, &cfg).mean_bandwidth() / 1e9)
@@ -56,8 +62,14 @@ pub fn nconnect_sweep(scale: Scale) -> Figure {
         "per-node bandwidth (GB/s)",
     );
     let points = parallel_sweep(counts.to_vec(), |&n| {
-        let mut v = vast_on_wombat();
-        v.transport.nconnect = n;
+        // Swap the transport in the deployment graph: same RDMA spec,
+        // different connection count — the client-mount capacity and
+        // per-stream ceiling follow.
+        let base = vast_on_wombat();
+        let mut t = base.transport.clone();
+        t.nconnect = n;
+        let nic = base.client_nic_bw;
+        let v = Reconfigured::new(base, move |g| g.swap_transport(&t, nic));
         let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 48);
         cfg.reps = scale.reps();
         Point::new(n as f64, run_ior(&v, &cfg).mean_bandwidth() / 1e9)

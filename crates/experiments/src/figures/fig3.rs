@@ -75,8 +75,22 @@ pub fn generate(scale: Scale) -> Vec<Figure> {
     let mut figs = Vec::new();
     for w in [WorkloadClass::Scientific, WorkloadClass::DataAnalytics] {
         figs.push(panel("fig3a", "Lassen", &[&vast_l, &gpfs], &procs, w, reps));
-        figs.push(panel("fig3b", "Quartz", &[&vast_q, &lustre_q], &procs, w, reps));
-        figs.push(panel("fig3c", "Ruby", &[&vast_r, &lustre_r], &procs, w, reps));
+        figs.push(panel(
+            "fig3b",
+            "Quartz",
+            &[&vast_q, &lustre_q],
+            &procs,
+            w,
+            reps,
+        ));
+        figs.push(panel(
+            "fig3c",
+            "Ruby",
+            &[&vast_r, &lustre_r],
+            &procs,
+            w,
+            reps,
+        ));
         figs.push(panel("fig3d", "Wombat", &[&vast_w, &nvme], &procs, w, reps));
     }
     figs
@@ -122,9 +136,21 @@ mod tests {
         assert!(shapes::saturates_from(vast, 4.0, 0.25));
 
         // VAST single-node ordering across machines: Lassen > Ruby > Quartz.
-        let va = get("fig3a.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
-        let vr = get("fig3c.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
-        let vq = get("fig3b.analytics").series_named("VAST").unwrap().y_at(32.0).unwrap();
+        let va = get("fig3a.analytics")
+            .series_named("VAST")
+            .unwrap()
+            .y_at(32.0)
+            .unwrap();
+        let vr = get("fig3c.analytics")
+            .series_named("VAST")
+            .unwrap()
+            .y_at(32.0)
+            .unwrap();
+        let vq = get("fig3b.analytics")
+            .series_named("VAST")
+            .unwrap()
+            .y_at(32.0)
+            .unwrap();
         assert!(va > vr && vr > vq, "ordering: {va} {vr} {vq}");
     }
 }

@@ -93,7 +93,10 @@ mod tests {
             let v_io = p.y + v_non.y_at(x).unwrap();
             let g_io = g_over.y_at(x).unwrap() + g_non.y_at(x).unwrap();
             assert!(v_io > g_io, "VAST I/O time exceeds GPFS at {x} nodes");
-            assert!(p.y > v_non.y_at(x).unwrap(), "VAST I/O mostly hidden at {x}");
+            assert!(
+                p.y > v_non.y_at(x).unwrap(),
+                "VAST I/O mostly hidden at {x}"
+            );
         }
 
         // (b) Cosmoflow: the VAST non-overlapping share dominates its

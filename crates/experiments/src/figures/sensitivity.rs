@@ -124,9 +124,8 @@ pub fn analyze(scale: Scale) -> Vec<SensitivityCase> {
 
 /// Renders the study as a table.
 pub fn render(cases: &[SensitivityCase]) -> String {
-    let mut out = String::from(
-        "calibration sensitivity — the §VII claims under ±25% perturbations\n",
-    );
+    let mut out =
+        String::from("calibration sensitivity — the §VII claims under ±25% perturbations\n");
     out.push_str(&format!(
         "{:<28} {:>12} {:>10} {:>12} {:>8}\n",
         "case", "RDMA/TCP", "GPFS drop", "VAST/NVMe", "claims"

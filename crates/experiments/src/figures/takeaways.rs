@@ -108,18 +108,40 @@ pub fn render(r: &TakeawayReport) -> String {
          {:<52} {:>8} {:>10.2}\n\
          {:<52} {:>8} {:>10.1}x\n\
          {:<52} {:>8} {:>10.0}%\n",
-        "takeaway", "paper", "measured",
+        "takeaway",
+        "paper",
+        "measured",
         "",
-        "TCP VAST per-node write (GB/s)", "~1", r.tcp_per_node_write,
-        "RDMA VAST per-node write (GB/s)", "~8", r.rdma_per_node_write,
-        "RDMA over TCP per-node advantage", "up to 8", r.rdma_over_tcp,
-        "GPFS per-node seq read (GB/s)", "14.5", r.gpfs_seq_read,
-        "GPFS per-node random read (GB/s)", "1.4", r.gpfs_rand_read,
-        "GPFS seq->random drop", "90", r.gpfs_drop * 100.0,
-        "RDMA VAST per-node seq read (GB/s)", "9", r.vast_seq_read,
-        "RDMA VAST per-node random read (GB/s)", "7", r.vast_rand_read,
-        "VAST over NVMe, single-node fsync write", "5", r.vast_over_nvme,
-        "ResNet-50 compute-only runtime fraction", "97", r.resnet_compute_fraction * 100.0,
+        "TCP VAST per-node write (GB/s)",
+        "~1",
+        r.tcp_per_node_write,
+        "RDMA VAST per-node write (GB/s)",
+        "~8",
+        r.rdma_per_node_write,
+        "RDMA over TCP per-node advantage",
+        "up to 8",
+        r.rdma_over_tcp,
+        "GPFS per-node seq read (GB/s)",
+        "14.5",
+        r.gpfs_seq_read,
+        "GPFS per-node random read (GB/s)",
+        "1.4",
+        r.gpfs_rand_read,
+        "GPFS seq->random drop",
+        "90",
+        r.gpfs_drop * 100.0,
+        "RDMA VAST per-node seq read (GB/s)",
+        "9",
+        r.vast_seq_read,
+        "RDMA VAST per-node random read (GB/s)",
+        "7",
+        r.vast_rand_read,
+        "VAST over NVMe, single-node fsync write",
+        "5",
+        r.vast_over_nvme,
+        "ResNet-50 compute-only runtime fraction",
+        "97",
+        r.resnet_compute_fraction * 100.0,
     )
 }
 
@@ -130,15 +152,43 @@ mod tests {
     #[test]
     fn takeaways_land_in_paper_bands() {
         let r = measure(Scale::Smoke);
-        assert!((0.5..1.6).contains(&r.tcp_per_node_write), "tcp write {}", r.tcp_per_node_write);
-        assert!((4.0..10.0).contains(&r.rdma_per_node_write), "rdma write {}", r.rdma_per_node_write);
-        assert!((4.0..13.0).contains(&r.rdma_over_tcp), "rdma/tcp {}", r.rdma_over_tcp);
-        assert!((10.0..17.0).contains(&r.gpfs_seq_read), "gpfs seq {}", r.gpfs_seq_read);
-        assert!((0.8..2.6).contains(&r.gpfs_rand_read), "gpfs rand {}", r.gpfs_rand_read);
+        assert!(
+            (0.5..1.6).contains(&r.tcp_per_node_write),
+            "tcp write {}",
+            r.tcp_per_node_write
+        );
+        assert!(
+            (4.0..10.0).contains(&r.rdma_per_node_write),
+            "rdma write {}",
+            r.rdma_per_node_write
+        );
+        assert!(
+            (4.0..13.0).contains(&r.rdma_over_tcp),
+            "rdma/tcp {}",
+            r.rdma_over_tcp
+        );
+        assert!(
+            (10.0..17.0).contains(&r.gpfs_seq_read),
+            "gpfs seq {}",
+            r.gpfs_seq_read
+        );
+        assert!(
+            (0.8..2.6).contains(&r.gpfs_rand_read),
+            "gpfs rand {}",
+            r.gpfs_rand_read
+        );
         assert!((0.75..0.97).contains(&r.gpfs_drop), "drop {}", r.gpfs_drop);
         assert!(r.vast_rand_read > 0.6 * r.vast_seq_read, "vast consistency");
-        assert!((3.0..8.0).contains(&r.vast_over_nvme), "vast/nvme {}", r.vast_over_nvme);
-        assert!(r.resnet_compute_fraction > 0.9, "compute frac {}", r.resnet_compute_fraction);
+        assert!(
+            (3.0..8.0).contains(&r.vast_over_nvme),
+            "vast/nvme {}",
+            r.vast_over_nvme
+        );
+        assert!(
+            r.resnet_compute_fraction > 0.9,
+            "compute frac {}",
+            r.resnet_compute_fraction
+        );
     }
 
     #[test]

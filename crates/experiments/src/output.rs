@@ -63,8 +63,8 @@ mod tests {
     #[test]
     fn write_and_reload() {
         let dir = std::env::temp_dir().join("hcs-output-test");
-        let f = Figure::new("roundtrip", "t", "x", "y")
-            .with_series(Series::from_xy("a", [(1.0, 2.0)]));
+        let f =
+            Figure::new("roundtrip", "t", "x", "y").with_series(Series::from_xy("a", [(1.0, 2.0)]));
         write_figure(&f, &dir).unwrap();
         let json = std::fs::read_to_string(dir.join("roundtrip.json")).unwrap();
         let back: Figure = serde_json::from_str(&json).unwrap();

@@ -53,7 +53,10 @@ impl Series {
 
     /// Largest y.
     pub fn y_max(&self) -> f64 {
-        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

@@ -10,9 +10,7 @@ use crate::series::Series;
 
 /// `true` if the series never decreases by more than `tol` (relative).
 pub fn is_nondecreasing(s: &Series, tol: f64) -> bool {
-    s.points
-        .windows(2)
-        .all(|w| w[1].y >= w[0].y * (1.0 - tol))
+    s.points.windows(2).all(|w| w[1].y >= w[0].y * (1.0 - tol))
 }
 
 /// `true` if each doubling of x multiplies y by at least `factor`
@@ -74,7 +72,10 @@ mod tests {
 
     #[test]
     fn nondecreasing_with_tolerance() {
-        assert!(is_nondecreasing(&s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 1.99)]), 0.02));
+        assert!(is_nondecreasing(
+            &s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 1.99)]),
+            0.02
+        ));
         assert!(!is_nondecreasing(&s(&[(1.0, 2.0), (2.0, 1.0)]), 0.02));
     }
 
@@ -88,7 +89,13 @@ mod tests {
 
     #[test]
     fn saturation_detection() {
-        let sat = s(&[(1.0, 1.0), (2.0, 2.0), (4.0, 2.6), (8.0, 2.62), (16.0, 2.61)]);
+        let sat = s(&[
+            (1.0, 1.0),
+            (2.0, 2.0),
+            (4.0, 2.6),
+            (8.0, 2.62),
+            (16.0, 2.61),
+        ]);
         assert!(saturates_from(&sat, 4.0, 0.05));
         assert!(!saturates_from(&sat, 1.0, 0.05));
     }

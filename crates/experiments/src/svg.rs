@@ -23,8 +23,7 @@ const COLORS: [&str; 6] = [
 ];
 
 fn is_pow2ish(xs: &[f64]) -> bool {
-    xs.len() >= 3
-        && xs.windows(2).all(|w| w[0] > 0.0 && w[1] / w[0] >= 1.5)
+    xs.len() >= 3 && xs.windows(2).all(|w| w[0] > 0.0 && w[1] / w[0] >= 1.5)
 }
 
 /// Renders a figure as an SVG line chart. The x axis goes log-2 when
@@ -149,7 +148,10 @@ pub fn to_svg(fig: &Figure) -> String {
             r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
         );
         for (x, y) in &pts {
-            let _ = write!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#);
+            let _ = write!(
+                svg,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#
+            );
         }
         // Error bars.
         for p in &s.points {
@@ -192,7 +194,9 @@ fn format_tick(y: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Writes `<id>.svg` for a figure under `dir`.
@@ -214,10 +218,26 @@ mod tests {
             .with_series(Series {
                 label: "VAST".into(),
                 points: vec![
-                    Point { x: 1.0, y: 1.0, y_std: 0.1 },
-                    Point { x: 2.0, y: 2.0, y_std: 0.2 },
-                    Point { x: 4.0, y: 4.0, y_std: 0.0 },
-                    Point { x: 8.0, y: 4.1, y_std: 0.0 },
+                    Point {
+                        x: 1.0,
+                        y: 1.0,
+                        y_std: 0.1,
+                    },
+                    Point {
+                        x: 2.0,
+                        y: 2.0,
+                        y_std: 0.2,
+                    },
+                    Point {
+                        x: 4.0,
+                        y: 4.0,
+                        y_std: 0.0,
+                    },
+                    Point {
+                        x: 8.0,
+                        y: 4.1,
+                        y_std: 0.0,
+                    },
                 ],
             })
             .with_series(Series::from_xy("GPFS", [(1.0, 3.0), (8.0, 24.0)]))
@@ -256,8 +276,7 @@ mod tests {
 
     #[test]
     fn single_point_series_renders() {
-        let f = Figure::new("one", "t", "x", "y")
-            .with_series(Series::from_xy("a", [(4.0, 2.0)]));
+        let f = Figure::new("one", "t", "x", "y").with_series(Series::from_xy("a", [(4.0, 2.0)]));
         let svg = to_svg(&f);
         assert!(svg.contains("<circle"));
     }

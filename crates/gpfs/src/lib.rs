@@ -28,10 +28,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_core::{DeploymentGraph, PhaseSpec, Stage, StageKind, StorageSystem};
 use hcs_devices::{AccessPattern, CacheTier, DeviceArray, DeviceProfile, IoOp, RaidLayout};
 use hcs_simkit::units::gbit_per_s;
-use hcs_simkit::{FlowNet, ResourceSpec};
 
 /// A GPFS deployment.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -218,38 +217,24 @@ impl StorageSystem for GpfsConfig {
         self.label.clone()
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned {
+    fn plan(&self, nodes: u32, ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
         let working_set = phase.total_bytes(nodes, ppn);
-        let pool = net.add_resource(ResourceSpec::new(
+        DeploymentGraph::new(
+            self.per_stream_bw,
+            self.op_latency(phase, working_set),
+            self.metadata_latency,
+        )
+        .stage(Stage::shared(
             "gpfs:server-pool",
+            StageKind::ServerPool,
             self.server_pool_bw(phase, working_set),
-        ));
-        let iops = net.add_resource(ResourceSpec::new(
-            "gpfs:ops",
-            self.ops_pool / phase.ops_per_byte(),
-        ));
-        let engine_bw = self
-            .client_engine_bw(phase.op)
-            .min(self.client_nic_bw);
-        let node_paths = (0..nodes)
-            .map(|i| {
-                let mount =
-                    net.add_resource(ResourceSpec::new(format!("gpfs:client{i}"), engine_bw));
-                vec![mount, iops, pool]
-            })
-            .collect();
-        Provisioned {
-            node_paths,
-            per_stream_bw: self.per_stream_bw,
-            per_op_latency: self.op_latency(phase, working_set),
-            metadata_latency: self.metadata_latency,
-        }
+        ))
+        .stage(Stage::ops_pool("gpfs:ops", self.ops_pool))
+        .stage(Stage::per_node(
+            "gpfs:client",
+            StageKind::ClientMount,
+            self.client_engine_bw(phase.op).min(self.client_nic_bw),
+        ))
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -288,7 +273,10 @@ mod tests {
         let g = GpfsConfig::on_lassen();
         let out = run_phase(&g, 1, 44, &ior_phase("da"));
         let gbs = out.agg_bandwidth / 1e9;
-        assert!((10.0..16.0).contains(&gbs), "seq read per node = {gbs} GB/s");
+        assert!(
+            (10.0..16.0).contains(&gbs),
+            "seq read per node = {gbs} GB/s"
+        );
     }
 
     #[test]
@@ -296,7 +284,10 @@ mod tests {
         let g = GpfsConfig::on_lassen();
         let out = run_phase(&g, 4, 44, &ior_phase("ml"));
         let gbs = out.per_node_bandwidth() / 1e9;
-        assert!((0.8..2.5).contains(&gbs), "random read per node = {gbs} GB/s");
+        assert!(
+            (0.8..2.5).contains(&gbs),
+            "random read per node = {gbs} GB/s"
+        );
     }
 
     #[test]
@@ -369,8 +360,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let g = GpfsConfig::on_lassen();
-        let back: GpfsConfig =
-            serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        let back: GpfsConfig = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
         assert_eq!(back, g);
     }
 }

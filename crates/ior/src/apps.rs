@@ -110,10 +110,16 @@ mod tests {
             match name {
                 "CM1" | "HACC-I/O" => assert_eq!(phase.op, IoOp::Write, "{name}"),
                 "BD-CATS" | "KMeans" => {
-                    assert_eq!((phase.op, phase.pattern), (IoOp::Read, AccessPattern::Sequential))
+                    assert_eq!(
+                        (phase.op, phase.pattern),
+                        (IoOp::Read, AccessPattern::Sequential)
+                    )
                 }
                 "Cosmic Tagger" => {
-                    assert_eq!((phase.op, phase.pattern), (IoOp::Read, AccessPattern::Random))
+                    assert_eq!(
+                        (phase.op, phase.pattern),
+                        (IoOp::Read, AccessPattern::Random)
+                    )
                 }
                 _ => unreachable!(),
             }

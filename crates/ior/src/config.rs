@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn workload_to_phase_mapping() {
         let sci = IorConfig::smoke(WorkloadClass::Scientific, 1, 4).phase();
-        assert_eq!((sci.op, sci.pattern), (IoOp::Write, AccessPattern::Sequential));
+        assert_eq!(
+            (sci.op, sci.pattern),
+            (IoOp::Write, AccessPattern::Sequential)
+        );
         let da = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4).phase();
         assert_eq!((da.op, da.pattern), (IoOp::Read, AccessPattern::Sequential));
         let ml = IorConfig::smoke(WorkloadClass::MachineLearning, 1, 4).phase();

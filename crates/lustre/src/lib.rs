@@ -17,10 +17,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_core::{DeploymentGraph, PhaseSpec, Stage, StageKind, StorageSystem};
 use hcs_devices::{AccessPattern, DeviceArray, DeviceProfile, IoOp, RaidLayout};
 use hcs_simkit::units::gbit_per_s;
-use hcs_simkit::{FlowNet, ResourceSpec};
 
 /// A Lustre deployment.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -174,35 +173,23 @@ impl StorageSystem for LustreConfig {
         self.label.clone()
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        _ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned {
-        let pool = net.add_resource(ResourceSpec::new(
+    fn plan(&self, _nodes: u32, _ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        DeploymentGraph::new(
+            self.stream_bw(),
+            self.op_latency(phase),
+            self.metadata_latency,
+        )
+        .stage(Stage::shared(
             "lustre:oss-pool",
+            StageKind::ServerPool,
             self.server_pool_bw(phase),
-        ));
-        let iops = net.add_resource(ResourceSpec::new(
-            "lustre:ops",
-            self.ops_pool / phase.ops_per_byte(),
-        ));
-        let engine = self.client_bw.min(self.client_nic_bw);
-        let node_paths = (0..nodes)
-            .map(|i| {
-                let mount =
-                    net.add_resource(ResourceSpec::new(format!("lustre:client{i}"), engine));
-                vec![mount, iops, pool]
-            })
-            .collect();
-        Provisioned {
-            node_paths,
-            per_stream_bw: self.stream_bw(),
-            per_op_latency: self.op_latency(phase),
-            metadata_latency: self.metadata_latency,
-        }
+        ))
+        .stage(Stage::ops_pool("lustre:ops", self.ops_pool))
+        .stage(Stage::per_node(
+            "lustre:client",
+            StageKind::ClientMount,
+            self.client_bw.min(self.client_nic_bw),
+        ))
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -281,13 +268,16 @@ mod tests {
     #[test]
     fn striping_raises_per_rank_bandwidth_until_client_cap() {
         let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
-        let one = run_phase(&LustreConfig::on_ruby().with_stripe_count(1), 1, 1, &phase)
-            .agg_bandwidth;
-        let four = run_phase(&LustreConfig::on_ruby().with_stripe_count(4), 1, 1, &phase)
-            .agg_bandwidth;
-        let wide = run_phase(&LustreConfig::on_ruby().with_stripe_count(64), 1, 1, &phase)
-            .agg_bandwidth;
-        assert!(four > 2.5 * one, "stripes parallelize one stream: {one} vs {four}");
+        let one =
+            run_phase(&LustreConfig::on_ruby().with_stripe_count(1), 1, 1, &phase).agg_bandwidth;
+        let four =
+            run_phase(&LustreConfig::on_ruby().with_stripe_count(4), 1, 1, &phase).agg_bandwidth;
+        let wide =
+            run_phase(&LustreConfig::on_ruby().with_stripe_count(64), 1, 1, &phase).agg_bandwidth;
+        assert!(
+            four > 2.5 * one,
+            "stripes parallelize one stream: {one} vs {four}"
+        );
         assert!(
             wide <= LustreConfig::on_ruby().per_stream_bw * 1.01,
             "client ceiling: {wide}"
@@ -297,8 +287,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let l = LustreConfig::on_quartz();
-        let back: LustreConfig =
-            serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        let back: LustreConfig = serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
         assert_eq!(back, l);
     }
 }

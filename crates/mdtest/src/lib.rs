@@ -205,7 +205,11 @@ mod tests {
         let r = run_mdtest(&sys, &cfg);
         let expected = 1.0 / sys.transport.metadata_latency;
         // Stat rate ≈ 1/latency for one blocking rank.
-        assert!((r.stat.mean / expected - 1.0).abs() < 0.1, "{}", r.stat.mean);
+        assert!(
+            (r.stat.mean / expected - 1.0).abs() < 0.1,
+            "{}",
+            r.stat.mean
+        );
     }
 
     #[test]
@@ -216,7 +220,10 @@ mod tests {
         let big = MdtestConfig::new(128, 44);
         let r = run_mdtest(&sys, &big);
         assert!(r.stat.mean <= pool * 1.1, "{} vs pool {pool}", r.stat.mean);
-        assert!(r.stat.mean > pool * 0.7, "should be pool-bound at 5,632 ranks");
+        assert!(
+            r.stat.mean > pool * 0.7,
+            "should be pool-bound at 5,632 ranks"
+        );
     }
 
     #[test]
@@ -257,8 +264,7 @@ mod tests {
         let a = run_mdtest(&GpfsConfig::on_lassen(), &cfg);
         let b = run_mdtest(&GpfsConfig::on_lassen(), &cfg);
         assert_eq!(a, b);
-        let back: MdtestReport =
-            serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        let back: MdtestReport = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
         assert_eq!(back, a);
     }
 

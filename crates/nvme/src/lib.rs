@@ -26,10 +26,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_core::{DeploymentGraph, PhaseSpec, Stage, StageKind, StorageSystem};
 use hcs_devices::{DeviceArray, DeviceProfile, IoOp};
 use hcs_netsim::TransportSpec;
-use hcs_simkit::{FlowNet, ResourceSpec};
 
 /// A node-local NVMe configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -103,26 +102,17 @@ impl StorageSystem for LocalNvmeConfig {
         self.label.clone()
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        _ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned {
-        let bw = self.node_media_bw(phase);
-        let node_paths = (0..nodes)
-            .map(|i| {
-                let media = net.add_resource(ResourceSpec::new(format!("nvme:node{i}"), bw));
-                vec![media]
-            })
-            .collect();
-        Provisioned {
-            node_paths,
-            per_stream_bw: f64::INFINITY,
-            per_op_latency: self.op_latency(phase),
-            metadata_latency: self.transport.metadata_latency,
-        }
+    fn plan(&self, _nodes: u32, _ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        DeploymentGraph::new(
+            f64::INFINITY,
+            self.op_latency(phase),
+            self.transport.metadata_latency,
+        )
+        .stage(Stage::per_node(
+            "nvme:node",
+            StageKind::Media,
+            self.node_media_bw(phase),
+        ))
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -176,8 +166,12 @@ mod tests {
     fn buffered_write_far_above_fsync_write() {
         let n = LocalNvmeConfig::on_wombat();
         let buffered = run_phase(&n, 1, 32, &PhaseSpec::seq_write(MIB, 128.0 * MIB));
-        let synced =
-            run_phase(&n, 1, 32, &PhaseSpec::seq_write(MIB, 128.0 * MIB).with_fsync(true));
+        let synced = run_phase(
+            &n,
+            1,
+            32,
+            &PhaseSpec::seq_write(MIB, 128.0 * MIB).with_fsync(true),
+        );
         assert!(
             buffered.agg_bandwidth > 4.0 * synced.agg_bandwidth,
             "{} vs {}",

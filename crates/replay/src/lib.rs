@@ -139,11 +139,7 @@ struct ProcState {
 ///
 /// # Panics
 /// Panics if the trace contains no replayable reads.
-pub fn replay(
-    tracer: &Tracer,
-    system: &dyn StorageSystem,
-    config: &ReplayConfig,
-) -> ReplayResult {
+pub fn replay(tracer: &Tracer, system: &dyn StorageSystem, config: &ReplayConfig) -> ReplayResult {
     let profiles = extract_profiles(tracer);
     assert!(
         !profiles.is_empty(),
@@ -151,7 +147,10 @@ pub fn replay(
     );
     let nodes = profiles.len() as u32;
 
-    let all_reads: Vec<f64> = profiles.iter().flat_map(|p| p.reads.iter().copied()).collect();
+    let all_reads: Vec<f64> = profiles
+        .iter()
+        .flat_map(|p| p.reads.iter().copied())
+        .collect();
     let ts = config.transfer_size.unwrap_or_else(|| median(&all_reads));
     let max_read = all_reads.iter().copied().fold(0.0_f64, f64::max);
     let bytes_per_rank: f64 = profiles
@@ -163,13 +162,15 @@ pub fn replay(
     let phase = PhaseSpec::random_read(ts.min(bytes_per_rank), bytes_per_rank)
         .with_client_cache_defeated(false);
 
-    let file_per_read = config
-        .file_per_read
-        .unwrap_or(ts < 1024.0 * 1024.0);
+    let file_per_read = config.file_per_read.unwrap_or(ts < 1024.0 * 1024.0);
     let mut net = FlowNet::new();
     let prov = system.provision(&mut net, nodes, 1, &phase);
     let stream_cap = prov.effective_stream_bw(ts);
-    let meta = if file_per_read { prov.metadata_latency } else { 0.0 };
+    let meta = if file_per_read {
+        prov.metadata_latency
+    } else {
+        0.0
+    };
 
     let mut states: Vec<ProcState> = profiles
         .iter()
@@ -227,16 +228,17 @@ pub fn replay(
         }
     };
 
-    let try_compute = |i: usize, states: &mut [ProcState], now: f64, profiles: &[ProcessProfile]| {
-        let s = &mut states[i];
-        let p = &profiles[i];
-        if s.computing.is_none() && s.queued >= 1 && s.next_compute < p.computes.len() {
-            s.queued -= 1;
-            let dur = p.computes[s.next_compute];
-            s.next_compute += 1;
-            s.computing = Some((now + dur, dur));
-        }
-    };
+    let try_compute =
+        |i: usize, states: &mut [ProcState], now: f64, profiles: &[ProcessProfile]| {
+            let s = &mut states[i];
+            let p = &profiles[i];
+            if s.computing.is_none() && s.queued >= 1 && s.next_compute < p.computes.len() {
+                s.queued -= 1;
+                let dur = p.computes[s.next_compute];
+                s.next_compute += 1;
+                s.computing = Some((now + dur, dur));
+            }
+        };
 
     for i in 0..profiles.len() {
         start_reads(
@@ -251,11 +253,17 @@ pub fn replay(
         );
     }
 
-    let total_events: usize = profiles.iter().map(|p| p.reads.len() + p.computes.len()).sum();
+    let total_events: usize = profiles
+        .iter()
+        .map(|p| p.reads.len() + p.computes.len())
+        .sum();
     let mut guard = 0usize;
     loop {
         guard += 1;
-        assert!(guard <= total_events * 4 + 100, "replay exceeded event budget");
+        assert!(
+            guard <= total_events * 4 + 100,
+            "replay exceeded event budget"
+        );
         let t_flow = net.next_completion_time().unwrap_or(f64::INFINITY);
         let t_compute = states
             .iter()

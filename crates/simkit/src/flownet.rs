@@ -373,7 +373,10 @@ impl FlowNet {
     /// # Panics
     /// Panics if flows stall (every remaining flow has rate zero), which
     /// indicates a zero-capacity resource on every path.
-    pub fn run_to_completion(&mut self, mut on_complete: impl FnMut(&mut FlowNet, Completion)) -> f64 {
+    pub fn run_to_completion(
+        &mut self,
+        mut on_complete: impl FnMut(&mut FlowNet, Completion),
+    ) -> f64 {
         while self.active_flow_count() > 0 {
             let t = self
                 .next_completion_time()

@@ -149,10 +149,7 @@ mod tests {
     fn split_labels_independent() {
         let root = SimRng::new(7);
         assert_ne!(root.split("a").seed(), root.split("b").seed());
-        assert_ne!(
-            root.split_idx("n", 0).seed(),
-            root.split_idx("n", 1).seed()
-        );
+        assert_ne!(root.split_idx("n", 0).seed(), root.split_idx("n", 1).seed());
     }
 
     #[test]

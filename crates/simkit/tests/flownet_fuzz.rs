@@ -9,16 +9,28 @@ use hcs_simkit::{FlowNet, FlowSpec, ResourceSpec};
 /// A randomized action stream against one network.
 #[derive(Clone, Debug)]
 enum Action {
-    AddFlow { path_mask: u8, bytes: f64, mult: u32 },
-    Advance { dt: f64 },
-    Degrade { resource: u8, factor: f64 },
+    AddFlow {
+        path_mask: u8,
+        bytes: f64,
+        mult: u32,
+    },
+    Advance {
+        dt: f64,
+    },
+    Degrade {
+        resource: u8,
+        factor: f64,
+    },
     CancelOldest,
 }
 
 fn actions() -> impl Strategy<Value = Vec<Action>> {
     let one = prop_oneof![
-        (1u8..15, 1.0e4..1.0e8f64, 1u32..4)
-            .prop_map(|(path_mask, bytes, mult)| Action::AddFlow { path_mask, bytes, mult }),
+        (1u8..15, 1.0e4..1.0e8f64, 1u32..4).prop_map(|(path_mask, bytes, mult)| Action::AddFlow {
+            path_mask,
+            bytes,
+            mult
+        }),
         (1.0e-3..5.0f64).prop_map(|dt| Action::Advance { dt }),
         (0u8..4, 0.1..1.0f64).prop_map(|(resource, factor)| Action::Degrade { resource, factor }),
         Just(Action::CancelOldest),

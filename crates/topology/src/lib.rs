@@ -14,4 +14,4 @@ pub mod cluster;
 pub mod clusters;
 
 pub use cluster::{ClusterSpec, NodeSpec};
-pub use clusters::{lassen, quartz, ruby, wombat, all_clusters};
+pub use clusters::{all_clusters, lassen, quartz, ruby, wombat};

@@ -32,10 +32,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use hcs_core::{MetadataProfile, PhaseSpec, Provisioned, StorageSystem};
+use hcs_core::{DeploymentGraph, MetadataProfile, PhaseSpec, Stage, StageKind, StorageSystem};
 use hcs_devices::{DeviceArray, DeviceProfile, IoOp};
 use hcs_simkit::units::gbit_per_s;
-use hcs_simkit::{FlowNet, ResourceSpec};
 
 /// Where writes land.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,8 +166,7 @@ impl UnifyFsConfig {
                 // One flush per group_commit_batch appends.
                 let flush = self.drive.sync_latency / self.group_commit_batch();
                 let per_dev = base / self.drives_per_node as f64;
-                let eff = phase.transfer_size
-                    / (phase.transfer_size / per_dev.max(1.0) + flush);
+                let eff = phase.transfer_size / (phase.transfer_size / per_dev.max(1.0) + flush);
                 eff * self.drives_per_node as f64
             } else {
                 base
@@ -193,60 +191,46 @@ impl StorageSystem for UnifyFsConfig {
         self.label.clone()
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        _ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned {
-        let media_bw = self.node_media_bw(phase);
-        let server_bw = self.server_pool_bw();
+    fn plan(&self, _nodes: u32, _ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
         let remote = self.is_remote(phase);
-        let node_paths = (0..nodes)
-            .map(|i| {
-                let mut path = Vec::with_capacity(3);
-                if remote {
-                    // Data crosses the reader's NIC; the symmetric
-                    // all-to-all pattern loads every NIC equally, so
-                    // one NIC resource per node captures it.
-                    let nic = net.add_resource(ResourceSpec::new(
-                        format!("unifyfs:nic{i}"),
-                        self.nic_bw,
-                    ));
-                    path.push(nic);
+        let per_op_latency = self.per_op_latency
+            + if remote { 15e-6 } else { 0.0 }
+            + match phase.op {
+                // Log append: device write latency only; the flush
+                // amortizes across the commit group.
+                IoOp::Write => {
+                    self.drive.op_latency(IoOp::Write, false)
+                        + if phase.fsync {
+                            self.drive.sync_latency / self.group_commit_batch()
+                        } else {
+                            0.0
+                        }
                 }
-                let servers = net.add_resource(ResourceSpec::new(
-                    format!("unifyfs:servers{i}"),
-                    server_bw,
-                ));
-                let media =
-                    net.add_resource(ResourceSpec::new(format!("unifyfs:media{i}"), media_bw));
-                path.push(servers);
-                path.push(media);
-                path
-            })
-            .collect();
-        Provisioned {
-            node_paths,
-            per_stream_bw: self.per_server_bw,
-            per_op_latency: self.per_op_latency
-                + if remote { 15e-6 } else { 0.0 }
-                + match phase.op {
-                    // Log append: device write latency only; the flush
-                    // amortizes across the commit group.
-                    IoOp::Write => {
-                        self.drive.op_latency(IoOp::Write, false)
-                            + if phase.fsync {
-                                self.drive.sync_latency / self.group_commit_batch()
-                            } else {
-                                0.0
-                            }
-                    }
-                    IoOp::Read => self.drive.op_latency(IoOp::Read, false),
-                },
-            metadata_latency: self.metadata_latency,
+                IoOp::Read => self.drive.op_latency(IoOp::Read, false),
+            };
+        let mut graph =
+            DeploymentGraph::new(self.per_server_bw, per_op_latency, self.metadata_latency);
+        if remote {
+            // Data crosses the reader's NIC; the symmetric all-to-all
+            // pattern loads every NIC equally, so one NIC resource per
+            // node captures it.
+            graph = graph.stage(Stage::per_node(
+                "unifyfs:nic",
+                StageKind::ClientMount,
+                self.nic_bw,
+            ));
         }
+        graph
+            .stage(Stage::per_node(
+                "unifyfs:servers",
+                StageKind::ServerPool,
+                self.server_pool_bw(),
+            ))
+            .stage(Stage::per_node(
+                "unifyfs:media",
+                StageKind::Media,
+                self.node_media_bw(phase),
+            ))
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -266,6 +250,7 @@ mod tests {
     use super::*;
     use hcs_core::runner::run_phase;
     use hcs_simkit::units::MIB;
+    use hcs_simkit::FlowNet;
 
     fn write_phase() -> PhaseSpec {
         PhaseSpec::seq_write(MIB, 512.0 * MIB)

@@ -2,10 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use hcs_core::{PhaseSpec, Provisioned, StorageSystem};
+use hcs_core::{DeploymentGraph, PhaseSpec, Stage, StageKind, StorageSystem};
 use hcs_devices::{CacheTier, DeviceArray, DeviceProfile, IoOp};
 use hcs_netsim::{GatewayGroup, TransportSpec};
-use hcs_simkit::{FlowNet, ResourceSpec};
 
 /// A VAST deployment bound to one machine.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -198,69 +197,50 @@ impl StorageSystem for VastConfig {
         self.label.clone()
     }
 
-    fn provision(
-        &self,
-        net: &mut FlowNet,
-        nodes: u32,
-        ppn: u32,
-        phase: &PhaseSpec,
-    ) -> Provisioned {
+    fn plan(&self, nodes: u32, ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
         let working_set = phase.total_bytes(nodes, ppn);
 
+        let mut graph = DeploymentGraph::new(
+            self.transport.per_stream_bw,
+            self.op_latency(phase),
+            self.transport.metadata_latency,
+        );
         // Shared stages, client → media.
-        let gateways: Vec<_> = match &self.gateway {
-            Some(g) => (0..g.count.max(1))
-                .map(|i| {
-                    net.add_resource(ResourceSpec::new(
-                        format!("vast:gw{i}"),
-                        g.uplink.bandwidth,
-                    ))
-                })
-                .collect(),
-            None => Vec::new(),
-        };
-        let cnode_pool = net.add_resource(ResourceSpec::new(
-            "vast:cnode-pool",
-            self.cnode_pool_bw(phase.op),
-        ));
-        let fabric = net.add_resource(ResourceSpec::new("vast:fabric", self.fabric_bw()));
-        let media = net.add_resource(ResourceSpec::new(
-            "vast:media",
-            self.media_pool_bw(phase, working_set),
-        ));
-        // Operation-rate ceiling expressed in byte units for this
-        // phase's ops-per-byte density.
-        let iops = net.add_resource(ResourceSpec::new(
-            "vast:nfs-ops",
-            self.nfs_ops_pool / phase.ops_per_byte(),
-        ));
-
-        // Per-node mount connections (the TCP-vs-RDMA story lives here).
-        let node_conn_bw = self.transport.node_connection_bw(self.client_nic_bw);
-        let node_paths = (0..nodes)
-            .map(|i| {
-                let mount = net.add_resource(ResourceSpec::new(
-                    format!("vast:mount{i}"),
-                    node_conn_bw,
-                ));
-                let mut path = vec![mount];
-                if !gateways.is_empty() {
-                    path.push(gateways[i as usize % gateways.len()]);
-                }
-                path.push(iops);
-                path.push(cnode_pool);
-                path.push(fabric);
-                path.push(media);
-                path
-            })
-            .collect();
-
-        Provisioned {
-            node_paths,
-            per_stream_bw: self.transport.per_stream_bw,
-            per_op_latency: self.op_latency(phase),
-            metadata_latency: self.transport.metadata_latency,
+        if let Some(g) = &self.gateway {
+            graph = graph.stage(Stage::sharded(
+                "vast:gw",
+                StageKind::Gateway,
+                g.count,
+                g.uplink.bandwidth,
+            ));
         }
+        graph = graph
+            .stage(Stage::shared(
+                "vast:cnode-pool",
+                StageKind::ServerPool,
+                self.cnode_pool_bw(phase.op),
+            ))
+            .stage(Stage::shared(
+                "vast:fabric",
+                StageKind::Fabric,
+                self.fabric_bw(),
+            ))
+            .stage(Stage::shared(
+                "vast:media",
+                StageKind::Media,
+                self.media_pool_bw(phase, working_set),
+            ))
+            // Operation-rate ceiling; the planner converts it to byte
+            // units for this phase's ops-per-byte density.
+            .stage(Stage::ops_pool("vast:nfs-ops", self.nfs_ops_pool))
+            // Per-node mount connections (the TCP-vs-RDMA story lives
+            // here).
+            .stage(Stage::per_node(
+                "vast:mount",
+                StageKind::ClientMount,
+                self.transport.node_connection_bw(self.client_nic_bw),
+            ));
+        graph
     }
 
     fn noise_sigma(&self) -> f64 {
@@ -339,7 +319,10 @@ mod tests {
         let at32 = run_phase(&v, 32, 44, &phase).agg_bandwidth;
         let at128 = run_phase(&v, 128, 44, &phase).agg_bandwidth;
         // §V.A: flat beyond the gateway's ~25 GB/s.
-        assert!(at128 < at32 * 1.1, "VAST@Lassen must not scale past the gateway");
+        assert!(
+            at128 < at32 * 1.1,
+            "VAST@Lassen must not scale past the gateway"
+        );
         assert!(at128 < 30.0 * GIB);
     }
 
@@ -356,8 +339,12 @@ mod tests {
     fn fsync_is_cheap_on_scm() {
         let v = vast_on_wombat();
         let plain = run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 512.0 * MIB));
-        let synced =
-            run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 512.0 * MIB).with_fsync(true));
+        let synced = run_phase(
+            &v,
+            1,
+            32,
+            &PhaseSpec::seq_write(MIB, 512.0 * MIB).with_fsync(true),
+        );
         assert!(synced.agg_bandwidth > 0.7 * plain.agg_bandwidth);
     }
 
@@ -371,7 +358,10 @@ mod tests {
         let phase = PhaseSpec::seq_write(MIB, 512.0 * MIB);
         // Media-side demand shrinks when reduction is on.
         let ws = phase.total_bytes(8, 48);
-        assert!(on.media_pool_bw(&phase, ws) > off.media_pool_bw(&phase, ws) / on.data_reduction_ratio * 0.99);
+        assert!(
+            on.media_pool_bw(&phase, ws)
+                > off.media_pool_bw(&phase, ws) / on.data_reduction_ratio * 0.99
+        );
     }
 
     #[test]

@@ -154,8 +154,8 @@ pub fn vast_on_wombat() -> VastConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcs_core::{PhaseSpec, StorageSystem};
     use hcs_core::runner::run_phase;
+    use hcs_core::{PhaseSpec, StorageSystem};
     use hcs_simkit::units::{to_gib_per_s, MIB};
 
     #[test]
@@ -181,7 +181,12 @@ mod tests {
     #[test]
     fn wombat_single_node_fsync_write_near_5_8() {
         let v = vast_on_wombat();
-        let out = run_phase(&v, 1, 32, &PhaseSpec::seq_write(MIB, 256.0 * MIB).with_fsync(true));
+        let out = run_phase(
+            &v,
+            1,
+            32,
+            &PhaseSpec::seq_write(MIB, 256.0 * MIB).with_fsync(true),
+        );
         let gbs = to_gib_per_s(out.agg_bandwidth);
         // §V.A: "maximum performance is reached at 5.8 GB/s ... 32
         // processes per node".

@@ -45,7 +45,10 @@ fn main() {
     // time goes to checkpoints on each target?
     println!("\n# Cosmoflow (4 nodes) + 2 GB checkpoint every 64 batches\n");
     let cfg = cosmoflow().with_checkpointing(64, 2e9);
-    println!("{:<56} {:>12} {:>14}", "system", "ckpt s/node", "app samples/s");
+    println!(
+        "{:<56} {:>12} {:>14}",
+        "system", "ckpt s/node", "app samples/s"
+    );
     for sys in &systems {
         let r = run_dlio(*sys, &cfg, 4);
         println!(

@@ -16,20 +16,26 @@ fn report(r: &DlioResult) {
     println!("    wall time           {:8.2} s", r.duration);
     println!("    I/O total           {:8.2} s per node", d.io_total);
     println!("      overlapping       {:8.2} s", d.overlapping_io);
-    println!("      non-overlapping   {:8.2} s  <- the pipeline stall", d.non_overlapping_io);
+    println!(
+        "      non-overlapping   {:8.2} s  <- the pipeline stall",
+        d.non_overlapping_io
+    );
     println!("    compute             {:8.2} s", d.compute_total);
-    println!("    compute-only frac   {:8.1} %", d.compute_fraction() * 100.0);
+    println!(
+        "    compute-only frac   {:8.1} %",
+        d.compute_fraction() * 100.0
+    );
     println!("    app throughput      {:8.1} samples/s", r.app_throughput);
-    println!("    system throughput   {:8.1} samples/s", r.system_throughput);
+    println!(
+        "    system throughput   {:8.1} samples/s",
+        r.system_throughput
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workload = args.first().map(String::as_str).unwrap_or("resnet50");
-    let nodes: u32 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let nodes: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     let cfg = match workload {
         "resnet50" | "resnet" => resnet50(),

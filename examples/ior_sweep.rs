@@ -33,7 +33,10 @@ fn main() {
 
     let (systems, nodes, ppn): (Vec<Box<dyn StorageSystem>>, Vec<u32>, u32) = match machine {
         "lassen" => (
-            vec![Box::new(vast_on_lassen()), Box::new(GpfsConfig::on_lassen())],
+            vec![
+                Box::new(vast_on_lassen()),
+                Box::new(GpfsConfig::on_lassen()),
+            ],
             vec![1, 2, 4, 8, 16, 32, 64, 128],
             44,
         ),
@@ -51,7 +54,12 @@ fn main() {
         }
     };
 
-    println!("# {} — {} ({} ppn, IOR 1 MiB x 3000 segments, 10 reps)", machine, workload.label(), ppn);
+    println!(
+        "# {} — {} ({} ppn, IOR 1 MiB x 3000 segments, 10 reps)",
+        machine,
+        workload.label(),
+        ppn
+    );
     print!("{:>7}", "nodes");
     for s in &systems {
         print!(" {:>14}", s.name());

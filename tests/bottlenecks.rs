@@ -3,14 +3,21 @@
 //! than prose. Each test pins one of the paper's attributions.
 
 use hcs_core::runner::run_phase;
-use hcs_core::PhaseSpec;
+use hcs_core::{Bottleneck, PhaseSpec, StageKind};
 use hcs_gpfs::GpfsConfig;
 use hcs_ior::{IorConfig, WorkloadClass};
-use hcs_vast::{vast_on_lassen, vast_on_wombat};
 use hcs_simkit::units::MIB;
+use hcs_vast::{vast_on_lassen, vast_on_wombat};
 
 fn phase_of(cfg: &IorConfig) -> PhaseSpec {
     cfg.phase()
+}
+
+fn bn(kind: StageKind, name: &str) -> Bottleneck {
+    Bottleneck {
+        kind,
+        name: name.into(),
+    }
 }
 
 #[test]
@@ -19,7 +26,7 @@ fn lassen_vast_at_scale_is_gateway_bound() {
     // deployment on Lassen" — the single gateway.
     let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
     let out = run_phase(&vast_on_lassen(), 64, 44, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("vast:gw0"), "{:?}", out.bottleneck);
+    assert_eq!(out.bottleneck, Some(bn(StageKind::Gateway, "vast:gw0")));
 }
 
 #[test]
@@ -27,7 +34,10 @@ fn lassen_vast_single_node_is_mount_bound() {
     // One node never fills the gateway; the single TCP connection does.
     let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 44);
     let out = run_phase(&vast_on_lassen(), 1, 44, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("vast:mount0"));
+    assert_eq!(
+        out.bottleneck,
+        Some(bn(StageKind::ClientMount, "vast:mount0"))
+    );
 }
 
 #[test]
@@ -36,7 +46,7 @@ fn wombat_vast_reads_at_scale_are_dnode_bound() {
     // model, the BlueField DNode forwarding pool.
     let cfg = IorConfig::paper_scalability(WorkloadClass::MachineLearning, 8, 48);
     let out = run_phase(&vast_on_wombat(), 8, 48, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("vast:media"), "{:?}", out.bottleneck);
+    assert_eq!(out.bottleneck, Some(bn(StageKind::Media, "vast:media")));
 }
 
 #[test]
@@ -44,7 +54,10 @@ fn wombat_vast_writes_are_cnode_bound() {
     // The similarity-reduction write path on eight CNodes.
     let cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, 8, 48);
     let out = run_phase(&vast_on_wombat(), 8, 48, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("vast:cnode-pool"));
+    assert_eq!(
+        out.bottleneck,
+        Some(bn(StageKind::ServerPool, "vast:cnode-pool"))
+    );
 }
 
 #[test]
@@ -52,7 +65,10 @@ fn gpfs_single_node_reads_are_client_engine_bound() {
     // The §VII 14.5 GB/s per node is a client-side ceiling.
     let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 44);
     let out = run_phase(&GpfsConfig::on_lassen(), 1, 44, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("gpfs:client0"));
+    assert_eq!(
+        out.bottleneck,
+        Some(bn(StageKind::ClientMount, "gpfs:client0"))
+    );
 }
 
 #[test]
@@ -60,7 +76,10 @@ fn gpfs_seq_reads_at_scale_are_server_bound() {
     // The 32-node saturation of Fig 2a is the NSD pool.
     let cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
     let out = run_phase(&GpfsConfig::on_lassen(), 64, 44, &phase_of(&cfg));
-    assert_eq!(out.bottleneck.as_deref(), Some("gpfs:server-pool"));
+    assert_eq!(
+        out.bottleneck,
+        Some(bn(StageKind::ServerPool, "gpfs:server-pool"))
+    );
 }
 
 #[test]
@@ -84,6 +103,35 @@ fn utilization_is_reported_for_every_resource() {
 }
 
 #[test]
+fn gateway_widening_is_a_graph_edit() {
+    // The README's worked example: §V.A diagnoses the Lassen gateway;
+    // a generic graph edit widens it, the ceiling lifts ~2×, and the
+    // bottleneck moves inward to the media pool — widening one funnel
+    // exposes the next one, which is the point of typed attribution.
+    use hcs_core::Reconfigured;
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    let stock = run_phase(&vast_on_lassen(), 64, 44, &phase);
+    assert_eq!(
+        stock.bottleneck.as_ref().map(|b| b.kind),
+        Some(StageKind::Gateway)
+    );
+    let wider = Reconfigured::new(vast_on_lassen(), |g| g.scale_pool(StageKind::Gateway, 4.0));
+    let out = run_phase(&wider, 64, 44, &phase);
+    assert!(
+        out.agg_bandwidth > 1.9 * stock.agg_bandwidth,
+        "4x gateway should at least double throughput: {} vs {}",
+        out.agg_bandwidth,
+        stock.agg_bandwidth
+    );
+    assert_eq!(
+        out.bottleneck.as_ref().map(|b| b.kind),
+        Some(StageKind::Media),
+        "the next funnel inward should now bind: {:?}",
+        out.bottleneck
+    );
+}
+
+#[test]
 fn degraded_gateway_moves_the_bottleneck() {
     // Failure injection changes the attribution, not just the number.
     let mut v = vast_on_lassen();
@@ -92,5 +140,5 @@ fn degraded_gateway_moves_the_bottleneck() {
     }
     let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
     let out = run_phase(&v, 1, 44, &phase);
-    assert_eq!(out.bottleneck.as_deref(), Some("vast:gw0"));
+    assert_eq!(out.bottleneck, Some(bn(StageKind::Gateway, "vast:gw0")));
 }

@@ -5,9 +5,9 @@
 use hcs_core::{young_interval, JobScript};
 use hcs_gpfs::GpfsConfig;
 use hcs_nvme::LocalNvmeConfig;
+use hcs_simkit::units::{GIB, MIB};
 use hcs_unifyfs::UnifyFsConfig;
 use hcs_vast::vast_on_wombat;
-use hcs_simkit::units::{GIB, MIB};
 
 #[test]
 fn checkpoint_campaign_orders_storage_systems() {

@@ -57,7 +57,10 @@ fn seeds_matter_but_only_seeds() {
     b.seed = a.seed + 1;
     let ra = run_ior(&sys, &a);
     let rb = run_ior(&sys, &b);
-    assert_ne!(ra.outcome.bandwidths, rb.outcome.bandwidths, "seed changes noise");
+    assert_ne!(
+        ra.outcome.bandwidths, rb.outcome.bandwidths,
+        "seed changes noise"
+    );
     // But the underlying (noise-free) mean is stable within noise.
     let ratio = ra.mean_bandwidth() / rb.mean_bandwidth();
     assert!((0.8..1.2).contains(&ratio), "means stay close: {ratio}");

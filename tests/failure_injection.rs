@@ -3,10 +3,10 @@
 //! disabled. These exercise the model's causal structure — removing a
 //! component must hurt exactly the metrics that depend on it.
 
+use hcs_gpfs::GpfsConfig;
 use hcs_ior::{run_ior, IorConfig, WorkloadClass};
 use hcs_simkit::{FlowNet, FlowSpec, ResourceSpec};
 use hcs_vast::{vast_on_lassen, vast_on_wombat};
-use hcs_gpfs::GpfsConfig;
 
 #[test]
 fn mid_run_link_degradation_slows_flows() {
@@ -74,7 +74,11 @@ fn gateway_outage_throttles_lassen_vast_only_at_scale() {
     let single = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 44);
     let f1 = run_ior(&full, &single).mean_bandwidth();
     let d1 = run_ior(&degraded, &single).mean_bandwidth();
-    assert!((d1 / f1 - 1.0).abs() < 0.05, "single node unaffected: {}", d1 / f1);
+    assert!(
+        (d1 / f1 - 1.0).abs() < 0.05,
+        "single node unaffected: {}",
+        d1 / f1
+    );
 
     // 64 nodes: the funnel is the bottleneck; losing lanes bites fully.
     let wide = IorConfig::smoke(WorkloadClass::DataAnalytics, 64, 44);
@@ -97,7 +101,10 @@ fn gpfs_without_nsd_servers_loses_aggregate_not_per_node() {
     let single = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 44);
     let f1 = run_ior(&full, &single).mean_bandwidth();
     let d1 = run_ior(&degraded, &single).mean_bandwidth();
-    assert!(d1 > 0.9 * f1, "one client is engine-bound, not server-bound");
+    assert!(
+        d1 > 0.9 * f1,
+        "one client is engine-bound, not server-bound"
+    );
 
     let wide = IorConfig::smoke(WorkloadClass::DataAnalytics, 64, 44);
     let fw = run_ior(&full, &wide).mean_bandwidth();

@@ -1,0 +1,161 @@
+//! Golden parity fixtures for the deployment-graph port.
+//!
+//! The refactor that moved every backend's `provision()` onto the shared
+//! [`hcs_core::graph`] planner must not change a single bit of any
+//! simulated outcome: the figures, takeaways and calibration tests all
+//! sit on top of `run_phase`. This test pins that guarantee. Fixtures
+//! were captured from the pre-port imperative implementations (every
+//! backend × every `PhaseSpec` preset × several scales) with every
+//! float stored as its exact IEEE-754 bit pattern; the current code must
+//! reproduce them byte-for-byte.
+//!
+//! Regenerate (only when an *intentional* physics change lands) with:
+//!
+//! ```text
+//! HCS_BLESS_PARITY=1 cargo test -p hcs-apps --test graph_parity
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::runner::run_phase;
+use hcs_core::{PhaseSpec, StorageSystem};
+use hcs_gpfs::GpfsConfig;
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_simkit::units::MIB;
+use hcs_unifyfs::{DataPlacement, UnifyFsConfig};
+use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/graph_parity.json"
+);
+
+/// One `run_phase` call and everything numeric it produced, with floats
+/// as hex bit patterns so JSON round-trips cannot lose precision.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ParityRecord {
+    system: String,
+    phase: String,
+    nodes: u32,
+    ppn: u32,
+    total_bytes: String,
+    duration: String,
+    agg_bandwidth: String,
+    per_node_duration: Vec<String>,
+    /// `(resource name, allocated bits, capacity bits)` in provisioning
+    /// order — pins resource names, count and order too.
+    utilization: Vec<(String, String, String)>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ParityFile {
+    records: Vec<ParityRecord>,
+}
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn systems() -> Vec<(String, Box<dyn StorageSystem>)> {
+    vec![
+        (
+            "vast-lassen".into(),
+            Box::new(vast_on_lassen()) as Box<dyn StorageSystem>,
+        ),
+        ("vast-ruby".into(), Box::new(vast_on_ruby())),
+        ("vast-quartz".into(), Box::new(vast_on_quartz())),
+        ("vast-wombat".into(), Box::new(vast_on_wombat())),
+        ("gpfs-lassen".into(), Box::new(GpfsConfig::on_lassen())),
+        ("lustre-ruby".into(), Box::new(LustreConfig::on_ruby())),
+        ("lustre-quartz".into(), Box::new(LustreConfig::on_quartz())),
+        ("nvme-wombat".into(), Box::new(LocalNvmeConfig::on_wombat())),
+        ("unifyfs-local".into(), Box::new(UnifyFsConfig::on_wombat())),
+        (
+            "unifyfs-rr".into(),
+            Box::new(UnifyFsConfig::on_wombat().with_placement(DataPlacement::RoundRobin)),
+        ),
+    ]
+}
+
+fn phases() -> Vec<(String, PhaseSpec)> {
+    let bytes = 256.0 * MIB;
+    vec![
+        ("seq_write".into(), PhaseSpec::seq_write(MIB, bytes)),
+        ("seq_read".into(), PhaseSpec::seq_read(MIB, bytes)),
+        ("random_read".into(), PhaseSpec::random_read(MIB, bytes)),
+        (
+            "seq_write_fsync".into(),
+            PhaseSpec::seq_write(MIB, bytes).with_fsync(true),
+        ),
+        ("shared_file_write".into(), {
+            let mut p = PhaseSpec::seq_write(MIB, bytes);
+            p.file_per_proc = false;
+            p
+        }),
+        (
+            // File-per-sample DL input pipeline: exercises the ops-pool
+            // byte-capacity conversion.
+            "meta_heavy_read".into(),
+            PhaseSpec::random_read(0.25 * MIB, bytes)
+                .with_metadata_ops_per_byte(3.0 / (0.25 * MIB)),
+        ),
+    ]
+}
+
+fn scales() -> Vec<(u32, u32)> {
+    vec![(1, 4), (2, 8), (4, 16)]
+}
+
+fn capture() -> ParityFile {
+    let mut records = Vec::new();
+    for (sys_name, sys) in systems() {
+        for (phase_name, phase) in phases() {
+            for (nodes, ppn) in scales() {
+                let out = run_phase(sys.as_ref(), nodes, ppn, &phase);
+                records.push(ParityRecord {
+                    system: sys_name.clone(),
+                    phase: phase_name.clone(),
+                    nodes,
+                    ppn,
+                    total_bytes: bits(out.total_bytes),
+                    duration: bits(out.duration),
+                    agg_bandwidth: bits(out.agg_bandwidth),
+                    per_node_duration: out.per_node_duration.iter().copied().map(bits).collect(),
+                    utilization: out
+                        .utilization
+                        .iter()
+                        .map(|(name, alloc, cap)| (name.clone(), bits(*alloc), bits(*cap)))
+                        .collect(),
+                });
+            }
+        }
+    }
+    ParityFile { records }
+}
+
+#[test]
+fn outcomes_match_pre_port_fixtures() {
+    let current = capture();
+    if std::env::var_os("HCS_BLESS_PARITY").is_some() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixtures");
+        std::fs::write(FIXTURE_PATH, json + "\n").expect("write fixtures");
+        return;
+    }
+    let json = std::fs::read_to_string(FIXTURE_PATH).unwrap_or_else(|e| {
+        panic!("missing parity fixtures at {FIXTURE_PATH} ({e}); run with HCS_BLESS_PARITY=1")
+    });
+    let golden: ParityFile = serde_json::from_str(&json).expect("parse fixtures");
+    assert_eq!(
+        golden.records.len(),
+        current.records.len(),
+        "fixture record count changed"
+    );
+    for (want, got) in golden.records.iter().zip(current.records.iter()) {
+        assert_eq!(
+            want, got,
+            "bit-level outcome drift for {} / {} @ {}x{}",
+            want.system, want.phase, want.nodes, want.ppn
+        );
+    }
+}

@@ -33,16 +33,19 @@ fn fig2_full_scale_shapes() {
 #[ignore = "full paper geometry; run with --ignored"]
 fn fig3_full_scale_shapes() {
     let figs = fig3::generate(Scale::Paper);
-    let d = figs
-        .iter()
-        .find(|f| f.id == "fig3d.scientific")
-        .unwrap();
+    let d = figs.iter().find(|f| f.id == "fig3d.scientific").unwrap();
     let vast = d.series_named("VAST").unwrap();
     let nvme = d.series_named("NVMe").unwrap();
     // The §V.A numbers at full repetition count.
     let ratio = vast.y_at(32.0).unwrap() / nvme.y_at(32.0).unwrap();
-    assert!((4.0..7.5).contains(&ratio), "5x takeaway at full scale: {ratio}");
-    assert!((5.0..7.5).contains(&vast.y_at(32.0).unwrap()), "~5.8 GB/s peak");
+    assert!(
+        (4.0..7.5).contains(&ratio),
+        "5x takeaway at full scale: {ratio}"
+    );
+    assert!(
+        (5.0..7.5).contains(&vast.y_at(32.0).unwrap()),
+        "~5.8 GB/s peak"
+    );
 }
 
 #[test]

@@ -24,8 +24,15 @@ fn fig2a_lassen_vast_flat_gpfs_scaling() {
     let gpfs = sci.series_named("GPFS").unwrap();
     let vast = sci.series_named("VAST").unwrap();
     assert!(shapes::scales_with_factor(gpfs, 1.6), "GPFS write scaling");
-    assert!(shapes::saturates_from(vast, 32.0, 0.10), "VAST gateway ceiling");
-    assert!(vast.y_max() < 30.0, "ceiling ~25 GB/s, got {}", vast.y_max());
+    assert!(
+        shapes::saturates_from(vast, 32.0, 0.10),
+        "VAST gateway ceiling"
+    );
+    assert!(
+        vast.y_max() < 30.0,
+        "ceiling ~25 GB/s, got {}",
+        vast.y_max()
+    );
 
     // Data analytics: GPFS saturates high; VAST stays under the gateway.
     let da = get(&figs, "fig2a.analytics");
@@ -58,7 +65,10 @@ fn fig2b_wombat_vast_saturates_nvme_scales() {
     // "saturates on eight nodes" (§V.C).
     assert!(vast.y_at(1.0).unwrap() > nvme.y_at(1.0).unwrap());
     assert!(shapes::saturates_from(vast, 4.0, 0.10));
-    assert!(shapes::scales_with_factor(nvme, 1.95), "local drives scale linearly");
+    assert!(
+        shapes::scales_with_factor(nvme, 1.95),
+        "local drives scale linearly"
+    );
     assert!(nvme.y_at(8.0).unwrap() > vast.y_at(8.0).unwrap());
 
     // Global ceiling ≈ 22.5 GB/s (§V.C).
@@ -75,8 +85,14 @@ fn fig3_single_node_fsync_shapes() {
 
     // Lustre ramps near-linearly on both Quartz and Ruby and behaves
     // similarly on the two (Fig 3b/3c).
-    let q = get(&figs, "fig3b.scientific").series_named("Lustre").unwrap().clone();
-    let r = get(&figs, "fig3c.scientific").series_named("Lustre").unwrap().clone();
+    let q = get(&figs, "fig3b.scientific")
+        .series_named("Lustre")
+        .unwrap()
+        .clone();
+    let r = get(&figs, "fig3c.scientific")
+        .series_named("Lustre")
+        .unwrap()
+        .clone();
     assert!(shapes::scales_with_factor(&q, 1.5));
     assert!(shapes::scales_with_factor(&r, 1.5));
     for p in &q.points {
@@ -92,9 +108,21 @@ fn fig3_single_node_fsync_shapes() {
     assert!((4.0..7.5).contains(&vast.y_at(32.0).unwrap()));
 
     // VAST single-node ordering across the LC machines (§V.A).
-    let a = get(&figs, "fig3a.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
-    let c = get(&figs, "fig3c.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
-    let b = get(&figs, "fig3b.scientific").series_named("VAST").unwrap().y_at(32.0).unwrap();
+    let a = get(&figs, "fig3a.scientific")
+        .series_named("VAST")
+        .unwrap()
+        .y_at(32.0)
+        .unwrap();
+    let c = get(&figs, "fig3c.scientific")
+        .series_named("VAST")
+        .unwrap()
+        .y_at(32.0)
+        .unwrap();
+    let b = get(&figs, "fig3b.scientific")
+        .series_named("VAST")
+        .unwrap()
+        .y_at(32.0)
+        .unwrap();
     assert!(a > c && c > b, "Lassen {a} > Ruby {c} > Quartz {b}");
 }
 
@@ -108,7 +136,11 @@ fn fig4_io_time_decomposition_shapes() {
     let v_over = a.series_named("VAST overlapping").unwrap();
     let v_non = a.series_named("VAST non-overlapping").unwrap();
     for p in &v_over.points {
-        assert!(p.y > v_non.y_at(p.x).unwrap(), "overlap dominates at {}", p.x);
+        assert!(
+            p.y > v_non.y_at(p.x).unwrap(),
+            "overlap dominates at {}",
+            p.x
+        );
     }
 
     // Cosmoflow: VAST's non-overlap dwarfs GPFS's.
@@ -121,7 +153,11 @@ fn fig4_io_time_decomposition_shapes() {
     // And Cosmoflow (minutes of I/O) dwarfs ResNet-50 (seconds) on
     // VAST — §VI.C.
     let resnet_io = v_over.y_at(1.0).unwrap() + v_non.y_at(1.0).unwrap();
-    let cosmo_io = b.series_named("VAST overlapping").unwrap().y_at(1.0).unwrap()
+    let cosmo_io = b
+        .series_named("VAST overlapping")
+        .unwrap()
+        .y_at(1.0)
+        .unwrap()
         + vb.y_at(1.0).unwrap();
     assert!(cosmo_io > 5.0 * resnet_io, "{cosmo_io} vs {resnet_io}");
 }
@@ -136,23 +172,49 @@ fn fig5_fig6_throughput_shapes() {
         / app.series_named("VAST").unwrap().y_at(x).unwrap();
     let sys_gap = sys.series_named("GPFS").unwrap().y_at(x).unwrap()
         / sys.series_named("VAST").unwrap().y_at(x).unwrap();
-    assert!(app_gap < 1.4, "app throughput only slightly apart: {app_gap}");
+    assert!(
+        app_gap < 1.4,
+        "app throughput only slightly apart: {app_gap}"
+    );
     assert!(sys_gap > 2.0, "system throughput very different: {sys_gap}");
 
     let f6 = fig6::generate(Scale::Smoke);
     let app6 = get(&f6, "fig6a");
     for p in &app6.series_named("GPFS").unwrap().points {
         let v = app6.series_named("VAST").unwrap().y_at(p.x).unwrap();
-        assert!(p.y > 1.2 * v, "GPFS serves Cosmoflow better at {} nodes", p.x);
+        assert!(
+            p.y > 1.2 * v,
+            "GPFS serves Cosmoflow better at {} nodes",
+            p.x
+        );
     }
 }
 
 #[test]
 fn section7_takeaways() {
     let t = takeaways::measure(Scale::Smoke);
-    assert!((4.0..13.0).contains(&t.rdma_over_tcp), "8x takeaway: {}", t.rdma_over_tcp);
-    assert!((0.75..0.97).contains(&t.gpfs_drop), "90% drop: {}", t.gpfs_drop);
-    assert!((3.0..8.0).contains(&t.vast_over_nvme), "5x takeaway: {}", t.vast_over_nvme);
-    assert!(t.resnet_compute_fraction > 0.9, "97% compute: {}", t.resnet_compute_fraction);
-    assert!(t.vast_rand_read > 0.6 * t.vast_seq_read, "VAST pattern consistency");
+    assert!(
+        (4.0..13.0).contains(&t.rdma_over_tcp),
+        "8x takeaway: {}",
+        t.rdma_over_tcp
+    );
+    assert!(
+        (0.75..0.97).contains(&t.gpfs_drop),
+        "90% drop: {}",
+        t.gpfs_drop
+    );
+    assert!(
+        (3.0..8.0).contains(&t.vast_over_nvme),
+        "5x takeaway: {}",
+        t.vast_over_nvme
+    );
+    assert!(
+        t.resnet_compute_fraction > 0.9,
+        "97% compute: {}",
+        t.resnet_compute_fraction
+    );
+    assert!(
+        t.vast_rand_read > 0.6 * t.vast_seq_read,
+        "VAST pattern consistency"
+    );
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use hcs_core::runner::run_phase;
 use hcs_core::testing::UniformSystem;
-use hcs_core::PhaseSpec;
+use hcs_core::{DeploymentGraph, PhaseSpec, Stage, StageKind, StageScope};
 use hcs_simkit::{FlowNet, FlowSpec, IntervalSet, ResourceSpec};
 
 // ---------------------------------------------------------------------
@@ -22,9 +22,9 @@ fn flow_world() -> impl Strategy<Value = (Vec<f64>, Vec<GenFlow>)> {
         let n = caps.len();
         let flow = (
             prop::collection::vec(0..n, 1..=n.min(4)),
-            1.0e3..1.0e8f64,            // bytes
-            0.1..8.0f64,                // weight
-            1u32..5,                    // multiplicity
+            1.0e3..1.0e8f64,                   // bytes
+            0.1..8.0f64,                       // weight
+            1u32..5,                           // multiplicity
             prop::option::of(1.0e5..1.0e9f64), // rate cap
         );
         (Just(caps), prop::collection::vec(flow, 1..12))
@@ -155,6 +155,112 @@ proptest! {
             inc.insert(s, e);
         }
         prop_assert_eq!(batch, inc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deployment-graph planner invariants
+// ---------------------------------------------------------------------
+
+/// An arbitrary deployment graph: 1–6 stages of random kind, scope and
+/// capacity, with a positive per-stream ceiling.
+fn deployment_graph() -> impl Strategy<Value = DeploymentGraph> {
+    let kind = prop_oneof![
+        Just(StageKind::ClientMount),
+        Just(StageKind::Gateway),
+        Just(StageKind::OpsPool),
+        Just(StageKind::ServerPool),
+        Just(StageKind::Fabric),
+        Just(StageKind::Media),
+    ];
+    let scope = prop_oneof![
+        Just(StageScope::Shared),
+        (1u32..5).prop_map(|count| StageScope::Sharded { count }),
+        Just(StageScope::PerNode),
+    ];
+    let stage = (kind, scope, 1.0e8..1.0e11f64);
+    (
+        prop::collection::vec(stage, 1..=6),
+        1.0e8..1.0e10f64, // per_stream_bw
+        0.0..1.0e-3f64,   // per_op_latency
+    )
+        .prop_map(|(stages, stream, lat)| {
+            let mut g = DeploymentGraph::new(stream, lat, 0.0);
+            for (i, (kind, scope, bw)) in stages.into_iter().enumerate() {
+                g.stages.push(Stage {
+                    name: format!("s{i}:"),
+                    kind,
+                    scope,
+                    capacity: hcs_core::Capacity::Bandwidth(bw),
+                });
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner conserves capacity at every stage: no resource is
+    /// allocated past what the graph declares, every resource carries a
+    /// stage kind, and every node path visits its stages client→media.
+    #[test]
+    fn planner_conserves_stage_capacity(
+        graph in deployment_graph(),
+        nodes in 1u32..6,
+        ppn in 1u32..8,
+    ) {
+        let phase = PhaseSpec::seq_read(1.0e6, 6.4e7);
+        let out = run_phase(&GraphSystem(graph.clone()), nodes, ppn, &phase);
+
+        // Resource count is exactly what the scopes promise.
+        let expected: usize = graph.stages.iter().map(|s| match s.scope {
+            StageScope::Shared => 1,
+            StageScope::Sharded { count } => count as usize,
+            StageScope::PerNode => nodes as usize,
+        }).sum();
+        prop_assert_eq!(out.utilization.len(), expected);
+
+        // Conservation: allocation never exceeds the declared capacity.
+        for (name, alloc, cap) in &out.utilization {
+            prop_assert!(
+                *alloc <= cap * (1.0 + 1e-6),
+                "{} over-allocated: {} > {}", name, alloc, cap
+            );
+        }
+
+        // Paths visit stage kinds in client→media order.
+        let mut net = FlowNet::new();
+        let prov = graph.provision(&mut net, nodes, &phase);
+        prop_assert_eq!(prov.stage_kinds.len(), expected);
+        for path in &prov.node_paths {
+            let kinds: Vec<StageKind> = path
+                .iter()
+                .map(|id| {
+                    prov.stage_kinds
+                        .iter()
+                        .find(|(rid, _)| rid == id)
+                        .expect("path resource has a stage kind")
+                        .1
+                })
+                .collect();
+            for w in kinds.windows(2) {
+                prop_assert!(w[0] <= w[1], "path out of stage order: {:?}", kinds);
+            }
+        }
+    }
+}
+
+/// Minimal `StorageSystem` around a fixed graph, for planner tests.
+struct GraphSystem(DeploymentGraph);
+
+impl hcs_core::StorageSystem for GraphSystem {
+    fn name(&self) -> &str {
+        "graph-under-test"
+    }
+
+    fn plan(&self, _nodes: u32, _ppn: u32, _phase: &PhaseSpec) -> DeploymentGraph {
+        self.0.clone()
     }
 }
 

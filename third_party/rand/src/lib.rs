@@ -1,0 +1,215 @@
+//! Vendored minimal `rand` replacement (0.9-flavoured API).
+//!
+//! The workspace only needs deterministic seeded streams —
+//! `StdRng::seed_from_u64`, `.random::<f64>()` and
+//! `.random_range(0..n)` — so that is all this crate implements. The
+//! generator is xoshiro256** seeded through SplitMix64; the exact
+//! stream differs from upstream `rand`'s ChaCha-based `StdRng`, which
+//! is fine because the workspace's own tests only rely on
+//! same-seed ⇒ same-stream determinism.
+
+use std::ops::Range;
+
+/// Raw 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `u64` convenience constructor).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`f64` ⇒ uniform in `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the standard distribution.
+pub trait StandardSample: Sized {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce one uniform sample.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+/// Unbiased integer sampling in `[0, span)` by rejection.
+fn uniform_below<G: RngCore + ?Sized>(g: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = g.next_u64();
+        let r = x % span;
+        // Reject draws from the final partial block.
+        if x - r <= u64::MAX - (span - 1) {
+            return r;
+        }
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(g, span) as $t
+            }
+        }
+    )*};
+}
+int_range_impls!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::sample(g)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: expands a 64-bit seed into initial state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard generator: xoshiro256**.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be degenerate; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(r.random_range(0u64..10) < 10);
+            let f = r.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+}

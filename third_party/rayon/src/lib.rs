@@ -1,0 +1,151 @@
+//! Vendored minimal `rayon` replacement.
+//!
+//! Implements the one pattern this workspace uses —
+//! `items.par_iter().map(f).collect::<Vec<_>>()` — with real
+//! parallelism: the input slice is split into contiguous chunks, one
+//! per available core, mapped on scoped threads, and reassembled in
+//! order.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The glob-import surface: `use rayon::prelude::*;`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Conversion of `&self` into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The produced item type.
+    type Item: Send + 'data;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iteration over references to the elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel pipelines that can be driven to an ordered `Vec`.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the pipeline, preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+    fn drive(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'data, T, R, F> ParallelIterator for ParMap<ParIter<'data, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map_slice(self.inner.slice, &self.f)
+    }
+}
+
+/// Number of worker threads to use for `len` items.
+fn thread_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Order-preserving parallel map over a slice using scoped threads.
+fn parallel_map_slice<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count(n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon (vendored): worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Vendored minimal `serde` replacement.
+//!
+//! The build environment has no route to crates.io, so this crate
+//! provides exactly the serde surface the workspace uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on named-field structs and on
+//!   enums with unit, newtype and struct variants (externally tagged);
+//! * the field attributes `#[serde(default)]`, `#[serde(rename = "…")]`
+//!   and `#[serde(skip_serializing_if = "…")]`;
+//! * `serde::Serialize`, `serde::Deserialize` and
+//!   `serde::de::DeserializeOwned` bounds.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! JSON-shaped [`Value`] tree: `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one. `serde_json` (also vendored)
+//! prints and parses that tree. Maps preserve insertion order so output
+//! is deterministic and fields round-trip in declaration order.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree: the intermediate data model every `Serialize`
+/// renders into and every `Deserialize` reads from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key-value pairs in insertion order (declaration order for derived
+    /// structs), so serialization is deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map value.
+    pub fn get_field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Looks up `key` in a slice of map entries (used by derived
+/// `Deserialize` impls).
+pub fn map_get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` into the value data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of the value data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization-side re-exports, mirroring serde's module layout.
+    pub use crate::Error;
+
+    /// Marker for deserializable types that own all their data. Every
+    /// `Deserialize` impl in this vendored model qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization-side re-exports, mirroring serde's module layout.
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(Error::msg("expected number")),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(Error::msg(concat!(
+                        "expected integer ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::msg("tuple arity mismatch"));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::msg("expected sequence for tuple")),
+                }
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

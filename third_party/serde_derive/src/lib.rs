@@ -1,0 +1,484 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` crate's `Value` data model, parsing the
+//! item's token stream by hand (no `syn`/`quote` — the build environment
+//! cannot fetch them). Supported shapes are exactly the ones this
+//! workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with unit variants, newtype variants and struct variants
+//!   (serialized externally tagged, serde's default);
+//! * field attributes `#[serde(default)]`, `#[serde(rename = "…")]`,
+//!   `#[serde(skip_serializing_if = "path")]`;
+//! * `Option<T>` fields tolerate a missing key (deserialize to `None`).
+//!
+//! Generics, tuple structs, unions and the remaining serde attributes
+//! are rejected with a compile-time panic naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    /// Rust field name.
+    name: String,
+    /// Serialized key (`rename` attribute, else the field name).
+    key: String,
+    /// `#[serde(default)]`.
+    has_default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    skip_if: Option<String>,
+    /// Whether the declared type's head is `Option`.
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------
+// Token parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes one `#[…]` attribute if present; returns its bracketed
+    /// tokens.
+    fn take_attr(&mut self) -> Option<TokenStream> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+            _ => return None,
+        }
+        self.pos += 1;
+        match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => Some(g.stream()),
+            other => panic!("serde_derive: malformed attribute near {other:?}"),
+        }
+    }
+
+    /// Consumes `pub` / `pub(crate)` style visibility if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!("serde_derive: expected `{c}`, found {other:?}"),
+        }
+    }
+
+    fn consume_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// serde field attributes accumulated while scanning a field.
+#[derive(Default)]
+struct SerdeAttrs {
+    has_default: bool,
+    rename: Option<String>,
+    skip_if: Option<String>,
+}
+
+/// Parses the contents of one `#[serde(…)]` attribute into `attrs`.
+fn parse_serde_attr(body: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cur = Cursor::new(body);
+    // `body` is `serde ( … )`.
+    match cur.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive: malformed #[serde] attribute near {other:?}"),
+    };
+    let mut cur = Cursor::new(inner);
+    while let Some(tok) = cur.next() {
+        let word = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde_derive: unexpected token in #[serde(…)]: {other:?}"),
+        };
+        match word.as_str() {
+            "default" => attrs.has_default = true,
+            "rename" | "skip_serializing_if" => {
+                cur.expect_punct('=');
+                let lit = match cur.next() {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!("serde_derive: expected string after `{word} =`, found {other:?}"),
+                };
+                let stripped = lit.trim_matches('"').to_string();
+                if word == "rename" {
+                    attrs.rename = Some(stripped);
+                } else {
+                    attrs.skip_if = Some(stripped);
+                }
+            }
+            other => panic!(
+                "serde_derive (vendored): unsupported serde attribute `{other}` — \
+                 only default / rename / skip_serializing_if are implemented"
+            ),
+        }
+    }
+}
+
+/// Collects leading attributes, extracting serde ones.
+fn take_field_attrs(cur: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(body) = cur.take_attr() {
+        parse_serde_attr(body, &mut attrs);
+    }
+    attrs
+}
+
+/// Parses `name: Type` fields from the body of a struct or struct
+/// variant.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = take_field_attrs(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        cur.expect_punct(':');
+        // Scan the type: ends at a comma outside angle brackets.
+        let mut depth = 0i32;
+        let mut first_ty_tok: Option<String> = None;
+        while let Some(tok) = cur.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {
+                    if first_ty_tok.is_none() {
+                        first_ty_tok = Some(tok.to_string());
+                    }
+                }
+            }
+            cur.pos += 1;
+        }
+        cur.consume_punct(',');
+        let is_option = first_ty_tok.as_deref() == Some("Option");
+        fields.push(Field {
+            key: attrs.rename.clone().unwrap_or_else(|| name.clone()),
+            name,
+            has_default: attrs.has_default,
+            skip_if: attrs.skip_if,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// Parses variants from an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _attrs = take_field_attrs(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                cur.pos += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        cur.consume_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parses the derive input down to the supported item shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    while cur.take_attr().is_some() {}
+    cur.skip_visibility();
+    let keyword = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body \
+             (tuple/unit structs unsupported), found {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let push = format!(
+                    "m.push((\"{key}\".to_string(), ::serde::Serialize::to_value(&self.{name})));\n",
+                    key = f.key,
+                    name = f.name
+                );
+                if let Some(pred) = &f.skip_if {
+                    body.push_str(&format!("if !({pred}(&self.{name})) {{ {push} }}\n", name = f.name));
+                } else {
+                    body.push_str(&push);
+                }
+            }
+            body.push_str("::serde::Value::Map(m)\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.push((\"{key}\".to_string(), ::serde::Serialize::to_value({name})));\n",
+                                key = f.key,
+                                name = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut fm: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {inner}\
+                                 ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(fm))])\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Generates the expression reconstructing one field from map `m` of the
+/// surrounding struct or struct variant.
+fn field_expr(owner: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        // serde treats a missing `Option` field as `None`.
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"missing field `{key}` in {owner}\"))",
+            key = f.key
+        )
+    };
+    format!(
+        "{name}: match ::serde::map_get(m, \"{key}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},\n",
+        name = f.name,
+        key = f.key
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&field_expr(name, f));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected map for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&field_expr(name, f));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let m = inner.as_map().ok_or_else(|| ::serde::Error::msg(\
+                                     \"expected map for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, inner) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                 \"invalid enum value for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
