@@ -10,10 +10,11 @@
 //! hcs takeaways [--smoke]                   §VII paper-vs-measured
 //! ```
 
+use hcs_core::telemetry::Recorder;
 use hcs_core::StorageSystem;
-use hcs_dlio::{cosmoflow, resnet50, run_dlio};
+use hcs_dlio::{cosmoflow, resnet50, run_dlio, run_dlio_traced};
 use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
+use hcs_ior::{run_ior, run_ior_traced, IorConfig, WorkloadClass};
 use hcs_lustre::LustreConfig;
 use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
 use hcs_nvme::LocalNvmeConfig;
@@ -26,7 +27,7 @@ usage: hcs <command> [args]
 
 commands:
   systems                                list storage deployments
-  ior <system> <workload> [nodes] [ppn]  run the IOR-equivalent benchmark
+  ior <system> <workload> [nodes] [ppn] [--smoke]  run the IOR-equivalent benchmark
   dlio <system> <workload> [nodes]       run the DLIO-equivalent (resnet50|cosmoflow)
   mdtest <system> [nodes] [ppn]          run the MDTest-equivalent
   explain <system> <workload> [nodes] [ppn]  show resources, utilization and the bottleneck
@@ -37,7 +38,12 @@ commands:
 
 systems: vast-lassen vast-ruby vast-quartz vast-wombat gpfs lustre-ruby
          lustre-quartz nvme unifyfs
-workloads (ior): scientific | analytics | ml";
+workloads (ior): scientific | analytics | ml
+
+options:
+  --trace <path>   (ior, dlio) dump a Chrome trace of the run — flows,
+                   per-resource utilization, bottleneck hand-offs — and
+                   print the telemetry summary";
 
 /// Resolves a system name to a deployment and its machine's full-node
 /// process count.
@@ -92,8 +98,60 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Splits `--trace <path>` out of the arg list, returning the
+/// remaining positional args and the path (if given).
+fn trace_flag(args: &[String]) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            match it.next() {
+                Some(p) => path = Some(p.clone()),
+                None => die("--trace: missing path"),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, path)
+}
+
+/// Writes the recorder's Chrome trace to `path` and prints the metrics
+/// summary (busy fractions, time-weighted bottleneck attribution).
+fn dump_trace(recorder: &Recorder, path: &str) {
+    let json = recorder.to_chrome_json();
+    std::fs::write(path, &json)
+        .unwrap_or_else(|e| die(&format!("--trace: cannot write {path}: {e}")));
+    let m = recorder.metrics_summary();
+    println!(
+        "\n[trace] {} events over {:.2}s -> {path}",
+        recorder.tracer().len(),
+        m.span
+    );
+    for r in m.resources.iter().filter(|r| r.busy_seconds > 0.0) {
+        println!(
+            "  {:<24} busy {:>5.1}%  mean util {:>5.1}%",
+            r.name,
+            r.busy_fraction * 100.0,
+            r.mean_utilization * 100.0
+        );
+    }
+    for b in &m.bottlenecks {
+        let stage = b.kind.map(|k| k.label()).unwrap_or("?");
+        println!(
+            "  bottleneck {:<13} {:<24} {:>6.2}s ({:>4.1}%)",
+            stage,
+            b.name,
+            b.seconds,
+            b.share * 100.0
+        );
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, trace) = trace_flag(&raw);
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "systems" => {
@@ -117,8 +175,16 @@ fn main() {
                 .unwrap_or_else(|| die("ior: unknown workload"));
             let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
             let ppn: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
-            let cfg = IorConfig::paper_scalability(w, nodes, ppn);
-            let rep = run_ior(sys.as_ref(), &cfg);
+            let cfg = if args.iter().any(|a| a == "--smoke") {
+                IorConfig::smoke(w, nodes, ppn)
+            } else {
+                IorConfig::paper_scalability(w, nodes, ppn)
+            };
+            let mut recorder = Recorder::new();
+            let rep = match &trace {
+                Some(_) => run_ior_traced(sys.as_ref(), &cfg, &mut recorder),
+                None => run_ior(sys.as_ref(), &cfg),
+            };
             println!(
                 "{} — {} @ {} nodes x {} ppn:\n  {:.2} GB/s aggregate ({:.2} GB/s per node, ±{:.2} over {} reps)",
                 rep.system,
@@ -130,6 +196,9 @@ fn main() {
                 rep.outcome.summary.std_dev / 1e9,
                 cfg.reps
             );
+            if let Some(path) = &trace {
+                dump_trace(&recorder, path);
+            }
         }
         "dlio" => {
             let (sys, _) = args
@@ -142,7 +211,11 @@ fn main() {
                 _ => die("dlio: workload must be resnet50 or cosmoflow"),
             };
             let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
-            let r = run_dlio(sys.as_ref(), &cfg, nodes);
+            let mut recorder = Recorder::new();
+            let r = match &trace {
+                Some(_) => run_dlio_traced(sys.as_ref(), &cfg, nodes, &mut recorder),
+                None => run_dlio(sys.as_ref(), &cfg, nodes),
+            };
             println!(
                 "{} on {} @ {} nodes:\n  io {:.2}s/node (overlap {:.2}s, stall {:.3}s)  compute {:.2}s\n  app {:.1} samples/s   system {:.1} samples/s",
                 r.workload,
@@ -155,6 +228,9 @@ fn main() {
                 r.app_throughput,
                 r.system_throughput
             );
+            if let Some(path) = &trace {
+                dump_trace(&recorder, path);
+            }
         }
         "explain" => {
             let (sys, full_ppn) = args

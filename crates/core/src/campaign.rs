@@ -16,8 +16,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::phase::PhaseSpec;
-use crate::runner::run_phase;
+use crate::runner::{run_phase, run_phase_traced_labeled};
 use crate::system::StorageSystem;
+use crate::telemetry::Recorder;
 
 /// One step of a job.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -76,6 +77,30 @@ impl JobScript {
 
     /// Runs the job against a storage system at the given scale.
     pub fn run(&self, system: &dyn StorageSystem, nodes: u32, ppn: u32) -> JobOutcome {
+        self.run_impl(system, nodes, ppn, None)
+    }
+
+    /// Runs the job while feeding step-labeled telemetry into
+    /// `recorder`: each I/O step becomes a traced phase (flow and
+    /// resource events under the step's label), each compute step a
+    /// compute span. The outcome is bit-identical to [`Self::run`]'s.
+    pub fn run_traced(
+        &self,
+        system: &dyn StorageSystem,
+        nodes: u32,
+        ppn: u32,
+        recorder: &mut Recorder,
+    ) -> JobOutcome {
+        self.run_impl(system, nodes, ppn, Some(recorder))
+    }
+
+    fn run_impl(
+        &self,
+        system: &dyn StorageSystem,
+        nodes: u32,
+        ppn: u32,
+        mut recorder: Option<&mut Recorder>,
+    ) -> JobOutcome {
         let mut per_step = Vec::with_capacity(self.steps.len());
         let mut compute = 0.0;
         let mut io = 0.0;
@@ -83,10 +108,18 @@ impl JobScript {
             match step {
                 JobStep::Compute { seconds } => {
                     compute += seconds;
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.record_compute("compute", *seconds);
+                    }
                     per_step.push(("compute".to_string(), *seconds));
                 }
                 JobStep::Io { label, phase } => {
-                    let out = run_phase(system, nodes, ppn, phase);
+                    let out = match recorder.as_deref_mut() {
+                        Some(rec) => {
+                            run_phase_traced_labeled(label, system, nodes, ppn, phase, rec)
+                        }
+                        None => run_phase(system, nodes, ppn, phase),
+                    };
                     io += out.duration;
                     per_step.push((label.clone(), out.duration));
                 }

@@ -41,6 +41,7 @@ pub mod outcome;
 pub mod phase;
 pub mod runner;
 pub mod system;
+pub mod telemetry;
 pub mod testing;
 
 pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
@@ -49,3 +50,4 @@ pub use hcs_devices::{AccessPattern, IoOp};
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
 pub use system::{MetadataProfile, Provisioned, StorageSystem};
+pub use telemetry::{MetricsSummary, Recorder, UtilizationTimeline};

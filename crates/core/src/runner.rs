@@ -8,11 +8,12 @@
 //! where. Bandwidth is accounted the way IOR reports it: total bytes
 //! over the completion time of the slowest rank.
 
-use hcs_simkit::{FlowNet, FlowSpec, SimRng};
+use hcs_simkit::{FlowLogHandle, FlowNet, FlowSpec, SimRng};
 
 use crate::outcome::{Bottleneck, PhaseOutcome, RepeatedOutcome};
 use crate::phase::PhaseSpec;
 use crate::system::StorageSystem;
+use crate::telemetry::Recorder;
 
 /// Runs one phase at the given scale, noise-free.
 ///
@@ -25,11 +26,52 @@ pub fn run_phase(
     ppn: u32,
     phase: &PhaseSpec,
 ) -> PhaseOutcome {
+    run_phase_impl(system, nodes, ppn, phase, None)
+}
+
+/// Runs one phase while feeding flow/resource telemetry into
+/// `recorder` (see [`crate::telemetry`]). The outcome is bit-identical
+/// to [`run_phase`]'s — the recorder is a pure listener.
+pub fn run_phase_traced(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    recorder: &mut Recorder,
+) -> PhaseOutcome {
+    let label = format!("{} {:?} {}x{}", system.name(), phase.op, nodes, ppn);
+    run_phase_impl(system, nodes, ppn, phase, Some((recorder, &label)))
+}
+
+/// [`run_phase_traced`] with a caller-chosen phase label (job step
+/// names, sweep cell ids...).
+pub fn run_phase_traced_labeled(
+    label: &str,
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    recorder: &mut Recorder,
+) -> PhaseOutcome {
+    run_phase_impl(system, nodes, ppn, phase, Some((recorder, label)))
+}
+
+fn run_phase_impl(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    telemetry: Option<(&mut Recorder, &str)>,
+) -> PhaseOutcome {
     phase.validate();
     assert!(nodes >= 1, "need at least one node");
     assert!(ppn >= 1, "need at least one rank per node");
 
     let mut net = FlowNet::new();
+    // Attached before provisioning so the probe sees every resource
+    // registration; it is a pure listener, so the provisioned network
+    // and everything downstream are bit-identical either way.
+    let probe = telemetry.is_some().then(|| FlowLogHandle::attach(&mut net));
     let prov = system.provision(&mut net, nodes, ppn, phase);
     assert_eq!(
         prov.node_paths.len(),
@@ -110,6 +152,9 @@ pub fn run_phase(
     });
 
     let duration: f64 = per_node_end.iter().fold(0.0_f64, |a, &b| a.max(b)) + meta_cost;
+    if let (Some((recorder, label)), Some(probe)) = (telemetry, probe) {
+        recorder.absorb_phase(label, &probe.snapshot(), &prov.stage_kinds, duration);
+    }
     let total_bytes = phase.total_bytes(nodes, ppn);
     PhaseOutcome {
         nodes,
@@ -155,6 +200,35 @@ pub fn run_phase_repeated(
 ) -> RepeatedOutcome {
     assert!(reps >= 1, "need at least one repetition");
     let base = run_phase(system, nodes, ppn, phase);
+    jittered_outcome(system, &base, reps, rng)
+}
+
+/// [`run_phase_repeated`] with telemetry: the noise-free base run is
+/// traced (noise is applied analytically afterwards, so repetitions add
+/// no flow activity). Bandwidth draws are bit-identical to the untraced
+/// variant's — the rng is consumed identically.
+pub fn run_phase_repeated_traced(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    reps: u32,
+    rng: &mut SimRng,
+    recorder: &mut Recorder,
+) -> RepeatedOutcome {
+    assert!(reps >= 1, "need at least one repetition");
+    let base = run_phase_traced(system, nodes, ppn, phase, recorder);
+    jittered_outcome(system, &base, reps, rng)
+}
+
+/// Applies the system's run-to-run noise to a noise-free base outcome:
+/// one mean-one multiplicative jitter draw per repetition.
+fn jittered_outcome(
+    system: &dyn StorageSystem,
+    base: &PhaseOutcome,
+    reps: u32,
+    rng: &mut SimRng,
+) -> RepeatedOutcome {
     let sigma = system.noise_sigma();
     let bandwidths: Vec<f64> = (0..reps)
         .map(|_| {
@@ -162,7 +236,7 @@ pub fn run_phase_repeated(
             base.total_bytes / (base.duration * factor)
         })
         .collect();
-    RepeatedOutcome::from_bandwidths(nodes, ppn, bandwidths)
+    RepeatedOutcome::from_bandwidths(base.nodes, base.ppn, bandwidths)
 }
 
 #[cfg(test)]

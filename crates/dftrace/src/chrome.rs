@@ -48,6 +48,9 @@ fn cat_from_string(s: &str) -> EventCategory {
         "write" => EventCategory::Write,
         "compute" => EventCategory::Compute,
         "open" => EventCategory::Open,
+        "flow" => EventCategory::Flow,
+        "resource" => EventCategory::Resource,
+        "phase" => EventCategory::Phase,
         other => EventCategory::Other(other.to_string()),
     }
 }

@@ -14,6 +14,13 @@ pub enum EventCategory {
     Compute,
     /// File open / metadata activity.
     Open,
+    /// One flow group's lifetime in the flow engine (telemetry layer).
+    Flow,
+    /// A resource-saturation segment: one step of a utilization
+    /// timeline (telemetry layer).
+    Resource,
+    /// An entire phase span (one `run_phase`, one job step...).
+    Phase,
     /// Anything else, labeled.
     Other(String),
 }
@@ -25,6 +32,9 @@ impl fmt::Display for EventCategory {
             EventCategory::Write => write!(f, "write"),
             EventCategory::Compute => write!(f, "compute"),
             EventCategory::Open => write!(f, "open"),
+            EventCategory::Flow => write!(f, "flow"),
+            EventCategory::Resource => write!(f, "resource"),
+            EventCategory::Phase => write!(f, "phase"),
             EventCategory::Other(s) => write!(f, "{s}"),
         }
     }

@@ -1,0 +1,147 @@
+//! Chrome-trace round-trip properties, covering the telemetry layer's
+//! new `Flow` / `Resource` / `Phase` categories alongside the original
+//! application categories.
+//!
+//! Two guarantees:
+//! - **Value round-trip:** `from_json(to_json(t))` preserves every
+//!   event — names, categories, pids, tids and byte counts exactly,
+//!   timestamps to microsecond-scaling rounding (relative 1e-9).
+//! - **Serialized stability:** one parse → re-serialize cycle is a
+//!   fixed point in the JSON domain (floats print shortest-round-trip,
+//!   so after the first µs-scaling the representation is stable).
+
+use proptest::prelude::*;
+
+use hcs_dftrace::chrome::{from_json, to_json};
+use hcs_dftrace::{EventCategory, TraceEvent, Tracer};
+
+/// Every category, including the telemetry trio and custom labels.
+/// `Other` strings are drawn from labels that do not collide with the
+/// reserved category names (a collision would — correctly — parse back
+/// as the built-in variant, which is not a round-trip bug).
+fn category() -> impl Strategy<Value = EventCategory> {
+    prop_oneof![
+        Just(EventCategory::Read),
+        Just(EventCategory::Write),
+        Just(EventCategory::Compute),
+        Just(EventCategory::Open),
+        Just(EventCategory::Flow),
+        Just(EventCategory::Resource),
+        Just(EventCategory::Phase),
+        (0usize..4).prop_map(|i| EventCategory::Other(
+            ["checkpoint", "shuffle", "preprocess", "evict"][i].to_string()
+        )),
+    ]
+}
+
+/// One arbitrary complete event.
+fn trace_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (0usize..6, category()),
+        0u32..2_000_000, // pid — cover the reserved telemetry pids' range
+        0u32..512,       // tid
+        0.0..1.0e4f64,   // ts, seconds
+        0.0..1.0e3f64,   // dur, seconds
+        prop::option::of(0.0..1.0e12f64), // bytes
+    )
+        .prop_map(|((name_idx, cat), pid, tid, ts, dur, bytes)| TraceEvent {
+            name: [
+                "read_sample",
+                "train",
+                "ckpt",
+                "phase/flow",
+                "vast gw",
+                "s0:",
+            ][name_idx]
+                .to_string(),
+            cat,
+            pid,
+            tid,
+            ts,
+            dur,
+            bytes,
+        })
+}
+
+fn tracer_of(events: Vec<TraceEvent>) -> Tracer {
+    let mut t = Tracer::new();
+    for e in events {
+        t.record(e);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parse-back preserves every field of every event, in order.
+    #[test]
+    fn chrome_json_round_trips_all_categories(
+        events in prop::collection::vec(trace_event(), 0..40),
+    ) {
+        let tracer = tracer_of(events.clone());
+        let back = from_json(&to_json(&tracer)).expect("emitted JSON parses");
+        prop_assert_eq!(back.len(), events.len());
+        for (orig, got) in events.iter().zip(back.events()) {
+            prop_assert_eq!(&orig.name, &got.name);
+            prop_assert_eq!(&orig.cat, &got.cat);
+            prop_assert_eq!(orig.pid, got.pid);
+            prop_assert_eq!(orig.tid, got.tid);
+            prop_assert_eq!(
+                orig.bytes.map(f64::to_bits),
+                got.bytes.map(f64::to_bits),
+                "bytes travel through args untouched"
+            );
+            // Timestamps survive the seconds→µs→seconds scaling to
+            // relative rounding error.
+            prop_assert!(
+                (orig.ts - got.ts).abs() <= orig.ts.abs() * 1e-9,
+                "ts {} -> {}", orig.ts, got.ts
+            );
+            prop_assert!(
+                (orig.dur - got.dur).abs() <= orig.dur.abs() * 1e-9,
+                "dur {} -> {}", orig.dur, got.dur
+            );
+        }
+    }
+
+    /// One cycle reaches a fixed point in the serialized domain: the
+    /// lossless-trace-file guarantee behind `hcs --trace` (re-parsing a
+    /// dumped file and re-dumping it is byte-identical).
+    #[test]
+    fn one_cycle_is_a_serialized_fixed_point(
+        events in prop::collection::vec(trace_event(), 0..40),
+    ) {
+        let first = to_json(&from_json(&to_json(&tracer_of(events))).unwrap());
+        let second = to_json(&from_json(&first).unwrap());
+        prop_assert_eq!(first, second);
+    }
+
+    /// A reserved-name `Other` category collapses onto the built-in
+    /// variant rather than surviving as a string — pinned so the
+    /// namespace collision stays deliberate.
+    #[test]
+    fn reserved_other_labels_collapse(idx in 0usize..7) {
+        let (label, builtin) = [
+            ("read", EventCategory::Read),
+            ("write", EventCategory::Write),
+            ("compute", EventCategory::Compute),
+            ("open", EventCategory::Open),
+            ("flow", EventCategory::Flow),
+            ("resource", EventCategory::Resource),
+            ("phase", EventCategory::Phase),
+        ][idx].clone();
+        let mut t = Tracer::new();
+        t.record(TraceEvent {
+            name: "e".into(),
+            cat: EventCategory::Other(label.to_string()),
+            pid: 0,
+            tid: 0,
+            ts: 0.0,
+            dur: 1.0,
+            bytes: None,
+        });
+        let back = from_json(&to_json(&t)).unwrap();
+        prop_assert_eq!(&back.events()[0].cat, &builtin);
+    }
+}

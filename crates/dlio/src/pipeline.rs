@@ -22,9 +22,10 @@
 
 use std::collections::BTreeMap;
 
+use hcs_core::telemetry::Recorder;
 use hcs_core::StorageSystem;
 use hcs_dftrace::{decompose, EventCategory, IoDecomposition, Tracer};
-use hcs_simkit::{FlowId, FlowNet, FlowSpec, IntervalSet};
+use hcs_simkit::{FlowId, FlowLogHandle, FlowNet, FlowSpec, IntervalSet};
 
 use crate::config::DlioConfig;
 use crate::result::DlioResult;
@@ -65,11 +66,36 @@ impl NodeState {
 /// Panics if the configuration is invalid or the pipeline deadlocks
 /// (which would indicate a simulator bug).
 pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> DlioResult {
+    run_dlio_impl(system, config, nodes, None)
+}
+
+/// [`run_dlio`] with telemetry: the pipeline's application events
+/// (sample reads, train steps, checkpoints) *and* the flow engine's
+/// resource-utilization timelines land in `recorder` on its global
+/// clock. The result is bit-identical to [`run_dlio`]'s.
+pub fn run_dlio_traced(
+    system: &dyn StorageSystem,
+    config: &DlioConfig,
+    nodes: u32,
+    recorder: &mut Recorder,
+) -> DlioResult {
+    run_dlio_impl(system, config, nodes, Some(recorder))
+}
+
+fn run_dlio_impl(
+    system: &dyn StorageSystem,
+    config: &DlioConfig,
+    nodes: u32,
+    recorder: Option<&mut Recorder>,
+) -> DlioResult {
     config.validate();
     assert!(nodes >= 1, "need at least one node");
 
     let phase = config.phase(nodes);
     let mut net = FlowNet::new();
+    // Pure listener — attaching it cannot change the run (pinned by
+    // tests/telemetry_parity.rs).
+    let probe = recorder.is_some().then(|| FlowLogHandle::attach(&mut net));
     let prov = system.provision(&mut net, nodes, 1, &phase);
 
     // Optional checkpoint write path: a second provisioning pass adds
@@ -333,6 +359,18 @@ pub fn run_dlio(system: &dyn StorageSystem, config: &DlioConfig, nodes: u32) -> 
         let samples = (config.samples_per_node(nodes, n as u32) * config.epochs as u64) as f64;
         app += d.app_throughput(samples);
         sys += d.system_throughput(samples);
+    }
+
+    if let (Some(rec), Some(probe)) = (recorder, probe) {
+        // Stage attribution covers both provisioning passes (read path
+        // and, when checkpointing, the write path into the same net).
+        let mut kinds = prov.stage_kinds.clone();
+        if let Some((wprov, _)) = &ckpt {
+            kinds.extend(wprov.stage_kinds.iter().copied());
+        }
+        rec.merge_events(&tracer);
+        let label = format!("dlio {} {}n", config.name, nodes);
+        rec.absorb_phase(&label, &probe.snapshot(), &kinds, duration);
     }
 
     DlioResult {

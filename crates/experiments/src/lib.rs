@@ -28,6 +28,8 @@ pub mod series;
 pub mod shapes;
 pub mod svg;
 pub mod sweep;
+pub mod traced;
 
 pub use series::{Figure, Point, Series};
 pub use sweep::Scale;
+pub use traced::{traced_ior_sweep, TracedPoint, TracedSweep};

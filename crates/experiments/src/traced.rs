@@ -1,0 +1,173 @@
+//! Traced experiment sweeps: figures that can cite their bottleneck.
+//!
+//! [`traced_ior_sweep`] runs the same node sweep a scalability figure
+//! does, but through the telemetry layer ([`hcs_core::telemetry`]): the
+//! whole sweep lands in one [`Recorder`] on a single clock, and every
+//! data point carries the deployment stage that bound it — so a figure
+//! caption can say "flat from 16 nodes: gateway-bound" instead of
+//! leaving the plateau unexplained. The sweep runs serially (one shared
+//! recorder), unlike the `parallel_sweep` figure loops; use it for the
+//! annotated variant of a figure, not for bulk generation.
+
+use hcs_core::telemetry::{MetricsSummary, Recorder};
+use hcs_core::{StageKind, StorageSystem};
+use hcs_ior::{run_ior_traced, IorConfig, WorkloadClass};
+
+use crate::sweep::Scale;
+
+/// One annotated point of a traced sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TracedPoint {
+    /// Client nodes.
+    pub nodes: u32,
+    /// Mean aggregate bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// The stage and resource that bound this point (the resource that
+    /// was the time-weighted bottleneck during the point's run), when
+    /// any resource saturated.
+    pub bound_by: Option<(StageKind, String)>,
+}
+
+/// A node sweep with per-point bottleneck attribution and the full
+/// telemetry of every run.
+#[derive(Debug)]
+pub struct TracedSweep {
+    /// Storage system description.
+    pub system: String,
+    /// The workload class swept.
+    pub workload: WorkloadClass,
+    /// Annotated points, in node order.
+    pub points: Vec<TracedPoint>,
+    /// The recorder holding every run's events and timelines
+    /// end-to-end; dump with [`Recorder::to_chrome_json`].
+    pub recorder: Recorder,
+}
+
+impl TracedSweep {
+    /// Chrome-trace JSON of the whole sweep.
+    pub fn to_chrome_json(&self) -> String {
+        self.recorder.to_chrome_json()
+    }
+
+    /// Metrics roll-up across the whole sweep.
+    pub fn metrics(&self) -> MetricsSummary {
+        self.recorder.metrics_summary()
+    }
+
+    /// One caption line per point: `nodes, GB/s, binding stage`.
+    pub fn annotations(&self) -> Vec<String> {
+        self.points
+            .iter()
+            .map(|p| {
+                let bound = match &p.bound_by {
+                    Some((kind, name)) => format!("{} ({name})", kind.label()),
+                    None => "stream-limited".to_string(),
+                };
+                format!("{} nodes: {:.2} GB/s — {bound}", p.nodes, p.bandwidth / 1e9)
+            })
+            .collect()
+    }
+}
+
+/// Runs an IOR node sweep with telemetry, attributing each point to the
+/// stage that bound it. Bandwidths are bit-identical to the untraced
+/// sweep's (the recorder is a pure listener).
+pub fn traced_ior_sweep(
+    system: &dyn StorageSystem,
+    workload: WorkloadClass,
+    node_counts: &[u32],
+    ppn: u32,
+    scale: Scale,
+) -> TracedSweep {
+    let mut recorder = Recorder::new();
+    let mut points = Vec::with_capacity(node_counts.len());
+    for &nodes in node_counts {
+        let mut cfg = match scale {
+            Scale::Paper => IorConfig::paper_scalability(workload, nodes, ppn),
+            Scale::Smoke => IorConfig::smoke(workload, nodes, ppn),
+        };
+        cfg.reps = scale.reps();
+        // Attribution must be per-point: diff the recorder's bottleneck
+        // accounting across this run by summarizing before and after.
+        let before = recorder.metrics_summary();
+        let report = run_ior_traced(system, &cfg, &mut recorder);
+        let after = recorder.metrics_summary();
+        points.push(TracedPoint {
+            nodes,
+            bandwidth: report.mean_bandwidth(),
+            bound_by: dominant_new_bottleneck(&before, &after),
+        });
+    }
+    TracedSweep {
+        system: system.description(),
+        workload,
+        points,
+        recorder,
+    }
+}
+
+/// The bottleneck that gained the most attributed seconds between two
+/// summaries — i.e. the binding stage of the run(s) in between.
+fn dominant_new_bottleneck(
+    before: &MetricsSummary,
+    after: &MetricsSummary,
+) -> Option<(StageKind, String)> {
+    let prior = |kind: &Option<StageKind>, name: &str| -> f64 {
+        before
+            .bottlenecks
+            .iter()
+            .find(|b| b.kind == *kind && b.name == name)
+            .map_or(0.0, |b| b.seconds)
+    };
+    after
+        .bottlenecks
+        .iter()
+        .filter_map(|b| {
+            let gained = b.seconds - prior(&b.kind, &b.name);
+            (gained > 1e-12).then_some((b.kind, b.name.clone(), gained))
+        })
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .and_then(|(kind, name, _)| kind.map(|k| (k, name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_ior::run_ior;
+    use hcs_vast::vast_on_lassen;
+
+    #[test]
+    fn sweep_matches_untraced_bandwidths_bit_exactly() {
+        let sys = vast_on_lassen();
+        let nodes = [1, 4, 16];
+        let sweep = traced_ior_sweep(&sys, WorkloadClass::DataAnalytics, &nodes, 44, Scale::Smoke);
+        for (i, &n) in nodes.iter().enumerate() {
+            let mut cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, n, 44);
+            cfg.reps = Scale::Smoke.reps();
+            let plain = run_ior(&sys, &cfg);
+            assert_eq!(
+                sweep.points[i].bandwidth.to_bits(),
+                plain.mean_bandwidth().to_bits(),
+                "telemetry must not perturb point {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_points_cite_a_stage() {
+        let sys = vast_on_lassen();
+        let sweep = traced_ior_sweep(
+            &sys,
+            WorkloadClass::DataAnalytics,
+            &[1, 64],
+            44,
+            Scale::Smoke,
+        );
+        // At 64 full nodes the TCP VAST deployment is far past its
+        // saturation point; some stage must be cited.
+        let last = sweep.points.last().unwrap();
+        assert!(last.bound_by.is_some(), "64-node point should saturate");
+        assert_eq!(sweep.annotations().len(), 2);
+        assert!(sweep.to_chrome_json().contains("\"resource\""));
+    }
+}

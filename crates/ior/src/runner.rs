@@ -3,7 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use hcs_core::outcome::RepeatedOutcome;
-use hcs_core::runner::run_phase_repeated;
+use hcs_core::runner::{run_phase_repeated, run_phase_repeated_traced};
+use hcs_core::telemetry::Recorder;
 use hcs_core::StorageSystem;
 use hcs_simkit::SimRng;
 
@@ -57,6 +58,34 @@ pub fn run_ior(system: &dyn StorageSystem, config: &IorConfig) -> IorReport {
         &phase,
         config.reps,
         &mut rng,
+    );
+    IorReport {
+        system: system.description(),
+        config: config.clone(),
+        outcome,
+    }
+}
+
+/// [`run_ior`] with telemetry: the measured phase's flows and resource
+/// utilization land in `recorder` (labeled by system, op and scale).
+/// The report is bit-identical to [`run_ior`]'s — same rng stream,
+/// same noise-free base run.
+pub fn run_ior_traced(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    recorder: &mut Recorder,
+) -> IorReport {
+    config.validate();
+    let phase = config.phase();
+    let mut rng = SimRng::new(config.seed).split("ior-reps");
+    let outcome = run_phase_repeated_traced(
+        system,
+        config.nodes,
+        config.tasks_per_node,
+        &phase,
+        config.reps,
+        &mut rng,
+        recorder,
     );
     IorReport {
         system: system.description(),

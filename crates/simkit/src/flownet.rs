@@ -50,6 +50,55 @@ impl ResourceId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(u64);
 
+impl FlowId {
+    /// The creation-order key of this flow within its `FlowNet`.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Observes a [`FlowNet`]'s lifecycle without perturbing it.
+///
+/// A recorder is a pure listener: the network never reads anything back
+/// from it, so attaching one cannot change a single simulated value —
+/// the zero-perturbation guarantee the telemetry differential tests pin.
+/// Every hook has a no-op default, so recorders implement only what they
+/// need.
+///
+/// Allocation samples ([`FlowRecorder::on_allocation`]) are emitted once
+/// per *rate epoch*: whenever the set of active flows or capacities
+/// changes and the rates are subsequently recomputed. Between two
+/// samples every rate is constant, so the samples form an exact step
+/// function of each resource's utilization over time.
+pub trait FlowRecorder {
+    /// A resource was registered (or replayed at attach time).
+    fn on_resource(&mut self, id: ResourceId, name: &str, capacity: f64) {
+        let _ = (id, name, capacity);
+    }
+
+    /// A resource's capacity changed at `now` (degradation / recovery).
+    fn on_capacity_change(&mut self, now: f64, id: ResourceId, capacity: f64) {
+        let _ = (now, id, capacity);
+    }
+
+    /// A flow (group) was added at `now`.
+    fn on_flow_start(&mut self, now: f64, id: FlowId, spec: &FlowSpec) {
+        let _ = (now, id, spec);
+    }
+
+    /// A flow ended at `now`; `completed` is `false` for cancellations.
+    fn on_flow_end(&mut self, now: f64, id: FlowId, tag: u64, completed: bool) {
+        let _ = (now, id, tag, completed);
+    }
+
+    /// Rates were recomputed at `now`: per-resource allocated throughput
+    /// and capacity, both indexed by [`ResourceId::index`]. The values
+    /// hold from `now` until the next sample.
+    fn on_allocation(&mut self, now: f64, allocated: &[f64], capacity: &[f64]) {
+        let _ = (now, allocated, capacity);
+    }
+}
+
 /// Static description of a resource.
 #[derive(Clone, Debug)]
 pub struct ResourceSpec {
@@ -158,6 +207,8 @@ pub struct FlowNet {
     now: f64,
     rates_valid: bool,
     completed: Vec<Completion>,
+    /// Optional pure listener; never consulted for any computation.
+    recorder: Option<Box<dyn FlowRecorder>>,
 }
 
 impl Default for FlowNet {
@@ -176,12 +227,29 @@ impl FlowNet {
             now: 0.0,
             rates_valid: true,
             completed: Vec::new(),
+            recorder: None,
         }
     }
 
     /// Current simulated time in seconds.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Installs a [`FlowRecorder`]. Resources registered so far are
+    /// replayed into it immediately so attachment order does not matter
+    /// for the resource table; flows already active are *not* replayed —
+    /// attach before adding flows to observe complete lifecycles.
+    pub fn set_recorder(&mut self, mut recorder: Box<dyn FlowRecorder>) {
+        for (i, r) in self.resources.iter().enumerate() {
+            recorder.on_resource(ResourceId(i as u32), &r.name, r.capacity);
+        }
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes and returns the installed recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn FlowRecorder>> {
+        self.recorder.take()
     }
 
     /// Registers a resource and returns its id.
@@ -196,6 +264,10 @@ impl FlowNet {
             spec.capacity
         );
         let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        if let Some(mut rec) = self.recorder.take() {
+            rec.on_resource(id, &spec.name, spec.capacity);
+            self.recorder = Some(rec);
+        }
         self.resources.push(spec);
         id
     }
@@ -224,6 +296,10 @@ impl FlowNet {
         );
         self.resources[id.index()].capacity = capacity;
         self.rates_valid = false;
+        if let Some(mut rec) = self.recorder.take() {
+            rec.on_capacity_change(self.now, id, capacity);
+            self.recorder = Some(rec);
+        }
     }
 
     /// Starts a flow (group). Rates of all flows are re-divided from the
@@ -250,6 +326,10 @@ impl FlowNet {
         }
         let key = self.next_flow;
         self.next_flow += 1;
+        if let Some(mut rec) = self.recorder.take() {
+            rec.on_flow_start(self.now, FlowId(key), &spec);
+            self.recorder = Some(rec);
+        }
         self.flows.insert(
             key,
             Flow {
@@ -268,11 +348,17 @@ impl FlowNet {
 
     /// Cancels an active flow. Returns `true` if it existed.
     pub fn cancel(&mut self, id: FlowId) -> bool {
-        let existed = self.flows.remove(&id.0).is_some();
-        if existed {
+        let removed = self.flows.remove(&id.0);
+        if let Some(f) = removed {
             self.rates_valid = false;
+            if let Some(mut rec) = self.recorder.take() {
+                rec.on_flow_end(self.now, id, f.tag, false);
+                self.recorder = Some(rec);
+            }
+            true
+        } else {
+            false
         }
-        existed
     }
 
     /// Number of active flow groups.
@@ -350,6 +436,10 @@ impl FlowNet {
         if !done.is_empty() {
             for k in done {
                 let f = self.flows.remove(&k).expect("flow disappeared");
+                if let Some(mut rec) = self.recorder.take() {
+                    rec.on_flow_end(self.now, FlowId(k), f.tag, true);
+                    self.recorder = Some(rec);
+                }
                 self.completed.push(Completion {
                     id: FlowId(k),
                     tag: f.tag,
@@ -395,6 +485,22 @@ impl FlowNet {
         }
         self.recompute_rates();
         self.rates_valid = true;
+        // One allocation sample per rate epoch. The recorder is a pure
+        // listener, so emitting (or not emitting) a sample cannot change
+        // any simulated value.
+        if self.recorder.is_some() {
+            let mut alloc = vec![0.0; self.resources.len()];
+            for f in self.flows.values() {
+                let agg = f.rate * f.multiplicity as f64;
+                for r in &f.path {
+                    alloc[r.index()] += agg;
+                }
+            }
+            let caps: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+            let mut rec = self.recorder.take().expect("recorder present");
+            rec.on_allocation(self.now, &alloc, &caps);
+            self.recorder = Some(rec);
+        }
     }
 
     /// Weighted max-min fair allocation by progressive filling.

@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod flowlog;
 pub mod flownet;
 pub mod intervals;
 pub mod rng;
@@ -38,7 +39,8 @@ pub mod time;
 pub mod units;
 
 pub use engine::{EventQueue, Simulation, World};
-pub use flownet::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceSpec};
+pub use flowlog::{AllocSample, FlowLog, FlowLogHandle, FlowRecord};
+pub use flownet::{FlowId, FlowNet, FlowRecorder, FlowSpec, ResourceId, ResourceSpec};
 pub use intervals::IntervalSet;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};

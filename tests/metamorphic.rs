@@ -1,0 +1,295 @@
+//! Metamorphic invariants on deployment edits and telemetry timelines.
+//!
+//! Three relations the simulator must respect regardless of the exact
+//! calibration numbers:
+//!
+//! 1. **Widening helps (or is neutral).** `widen_gateway` adds parallel
+//!    gateway shards without touching per-shard capacity; doubling the
+//!    width must never lower any workload's aggregate bandwidth.
+//! 2. **Scale helps until something saturates.** Doubling the client
+//!    node count never lowers aggregate bandwidth — for any shard count
+//!    `c`, `ceil(2n/c) <= 2*ceil(n/c)`, so the most-loaded shard cannot
+//!    get relatively worse under doubling — and once the sweep flattens
+//!    the outcome must *attribute* the saturation to a stage.
+//! 3. **Timelines are feasible.** The per-epoch utilization samples the
+//!    telemetry layer records never exceed capacity at any timestep —
+//!    the timeline extension of the PR-1 conservation proptest.
+
+use proptest::prelude::*;
+
+use hcs_core::runner::{run_phase, run_phase_traced};
+use hcs_core::telemetry::Recorder;
+use hcs_core::{
+    DeploymentGraph, PhaseSpec, Reconfigured, Stage, StageKind, StageScope, StorageSystem,
+};
+use hcs_gpfs::GpfsConfig;
+use hcs_simkit::units::MIB;
+use hcs_vast::{vast_on_lassen, vast_on_ruby};
+
+// ---------------------------------------------------------------------
+// 1. widen_gateway never lowers bandwidth
+// ---------------------------------------------------------------------
+
+#[test]
+fn widening_the_gateway_never_lowers_bandwidth() {
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    // Doubling widths: round-robin shard assignment cannot penalize a
+    // doubled shard count (the ceil argument in the module docs).
+    for base in [vast_on_lassen, vast_on_ruby] {
+        for nodes in [1u32, 4, 16] {
+            let mut prev = 0.0_f64;
+            for width in [1u32, 2, 4, 8, 16] {
+                let sys = Reconfigured::new(base(), move |g: &mut DeploymentGraph| {
+                    g.widen_gateway(width)
+                });
+                let bw = run_phase(&sys, nodes, 8, &phase).agg_bandwidth;
+                assert!(
+                    bw >= prev * (1.0 - 1e-9),
+                    "widen_gateway lowered bandwidth at {nodes} nodes: width {width} \
+                     gives {bw}, previous width gave {prev}"
+                );
+                prev = bw;
+            }
+        }
+    }
+}
+
+#[test]
+fn widening_helps_where_the_gateway_binds() {
+    // Ruby's VAST deployment funnels through 8×40 GbE gateways; with
+    // enough clients the funnel binds, so doubling it must materially
+    // raise bandwidth — and the narrow run must say the gateway bound it.
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    let narrow = run_phase(&vast_on_ruby(), 128, 8, &phase);
+    assert_eq!(
+        narrow.bottleneck.as_ref().map(|b| b.kind),
+        Some(StageKind::Gateway),
+        "precondition: the narrow Ruby run should be gateway-bound, got {:?}",
+        narrow.bottleneck
+    );
+    let wide_sys = Reconfigured::new(vast_on_ruby(), |g: &mut DeploymentGraph| {
+        g.widen_gateway(16)
+    });
+    let wide = run_phase(&wide_sys, 128, 8, &phase);
+    assert!(
+        wide.agg_bandwidth > narrow.agg_bandwidth * 1.2,
+        "doubling a binding gateway should raise bandwidth materially: \
+         {} vs {}",
+        wide.agg_bandwidth,
+        narrow.agg_bandwidth
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. node scaling is monotone up to the attributed saturation stage
+// ---------------------------------------------------------------------
+
+#[test]
+fn node_doubling_is_monotone_and_saturation_is_attributed() {
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    for (name, sys) in [
+        (
+            "vast-lassen",
+            Box::new(vast_on_lassen()) as Box<dyn StorageSystem>,
+        ),
+        ("vast-ruby", Box::new(vast_on_ruby())),
+        ("gpfs-lassen", Box::new(GpfsConfig::on_lassen())),
+    ] {
+        let counts = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+        let outcomes: Vec<_> = counts
+            .iter()
+            .map(|&n| run_phase(sys.as_ref(), n, 8, &phase))
+            .collect();
+        for (w, pair) in counts.windows(2).zip(outcomes.windows(2)) {
+            assert!(
+                pair[1].agg_bandwidth >= pair[0].agg_bandwidth * (1.0 - 1e-9),
+                "{name}: doubling {} -> {} nodes lowered bandwidth: {} -> {}",
+                w[0],
+                w[1],
+                pair[0].agg_bandwidth,
+                pair[1].agg_bandwidth
+            );
+        }
+        // The sweep must flatten eventually (256 full client nodes dwarf
+        // these deployments), and the flat point must name a *shared*
+        // saturated stage — while scaling is linear, attribution goes to
+        // the per-node client mount, which a bigger job simply brings
+        // more of; the hand-off to a shared stage is the saturation.
+        let last = outcomes.last().unwrap();
+        let prev = &outcomes[outcomes.len() - 2];
+        assert!(
+            last.agg_bandwidth < prev.agg_bandwidth * 1.05,
+            "{name}: still scaling at 256 nodes?"
+        );
+        let kind = last
+            .bottleneck
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: saturated point must attribute a stage"))
+            .kind;
+        assert_ne!(
+            kind,
+            StageKind::ClientMount,
+            "{name}: a flat sweep point cannot be client-bound"
+        );
+    }
+}
+
+#[test]
+fn scaling_is_linear_until_a_shared_stage_is_attributed() {
+    // The "up to the attributed saturation stage" half of the relation:
+    // while the outcome attributes its bottleneck to the per-node client
+    // mount, doubling nodes doubles bandwidth exactly; once a shared
+    // stage takes over the attribution, further doubling is futile.
+    let phase = PhaseSpec::seq_read(MIB, 256.0 * MIB);
+    let counts = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+    for (name, sys) in [
+        (
+            "vast-lassen",
+            Box::new(vast_on_lassen()) as Box<dyn StorageSystem>,
+        ),
+        ("vast-ruby", Box::new(vast_on_ruby())),
+        ("gpfs-lassen", Box::new(GpfsConfig::on_lassen())),
+    ] {
+        let outcomes: Vec<_> = counts
+            .iter()
+            .map(|&n| run_phase(sys.as_ref(), n, 8, &phase))
+            .collect();
+        let mut handed_off = false;
+        for pair in outcomes.windows(2) {
+            let gain = pair[1].agg_bandwidth / pair[0].agg_bandwidth;
+            let kind = |o: &hcs_core::PhaseOutcome| o.bottleneck.as_ref().map(|b| b.kind);
+            if kind(&pair[1]) == Some(StageKind::ClientMount) {
+                // Both points client-bound: perfectly linear regime.
+                assert!(
+                    (gain - 2.0).abs() < 2.0 * 1e-6,
+                    "{name}: client-bound doubling should double bandwidth, got {gain}"
+                );
+            }
+            if kind(&pair[0]).is_some_and(|k| k != StageKind::ClientMount) {
+                // Already saturated on a shared stage: no more scaling,
+                // and attribution never hands back to the client mount.
+                handed_off = true;
+                assert!(
+                    gain < 1.05,
+                    "{name}: doubling past saturation still gained {gain}x"
+                );
+                assert_ne!(kind(&pair[1]), Some(StageKind::ClientMount), "{name}");
+            }
+        }
+        assert!(
+            handed_off,
+            "{name}: sweep never handed off to a shared stage — widen the range"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. per-timestep utilization never exceeds capacity (timelines)
+// ---------------------------------------------------------------------
+
+/// An arbitrary deployment graph, as in `tests/properties.rs`.
+fn deployment_graph() -> impl Strategy<Value = DeploymentGraph> {
+    let kind = prop_oneof![
+        Just(StageKind::ClientMount),
+        Just(StageKind::Gateway),
+        Just(StageKind::OpsPool),
+        Just(StageKind::ServerPool),
+        Just(StageKind::Fabric),
+        Just(StageKind::Media),
+    ];
+    let scope = prop_oneof![
+        Just(StageScope::Shared),
+        (1u32..5).prop_map(|count| StageScope::Sharded { count }),
+        Just(StageScope::PerNode),
+    ];
+    let stage = (kind, scope, 1.0e8..1.0e11f64);
+    (
+        prop::collection::vec(stage, 1..=6),
+        1.0e8..1.0e10f64, // per_stream_bw
+        0.0..1.0e-3f64,   // per_op_latency
+    )
+        .prop_map(|(stages, stream, lat)| {
+            let mut g = DeploymentGraph::new(stream, lat, 0.0);
+            for (i, (kind, scope, bw)) in stages.into_iter().enumerate() {
+                g.stages.push(Stage {
+                    name: format!("s{i}:"),
+                    kind,
+                    scope,
+                    capacity: hcs_core::Capacity::Bandwidth(bw),
+                });
+            }
+            g
+        })
+}
+
+/// Minimal `StorageSystem` around a fixed graph.
+struct GraphSystem(DeploymentGraph);
+
+impl StorageSystem for GraphSystem {
+    fn name(&self) -> &str {
+        "graph-under-test"
+    }
+
+    fn plan(&self, _nodes: u32, _ppn: u32, _phase: &PhaseSpec) -> DeploymentGraph {
+        self.0.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every allocation sample of every recorded timeline is feasible,
+    /// timelines are time-ordered, and tracing the run changes nothing.
+    #[test]
+    fn timelines_never_exceed_capacity(
+        graph in deployment_graph(),
+        nodes in 1u32..6,
+        ppn in 1u32..8,
+    ) {
+        let sys = GraphSystem(graph);
+        let phase = PhaseSpec::seq_read(1.0e6, 6.4e7);
+        let plain = run_phase(&sys, nodes, ppn, &phase);
+        let mut rec = Recorder::new();
+        let traced = run_phase_traced(&sys, nodes, ppn, &phase, &mut rec);
+
+        // Zero perturbation, down to the bits.
+        prop_assert_eq!(plain.duration.to_bits(), traced.duration.to_bits());
+        prop_assert_eq!(plain.agg_bandwidth.to_bits(), traced.agg_bandwidth.to_bits());
+
+        prop_assert!(!rec.timelines().is_empty(), "a traced run records timelines");
+        for tl in rec.timelines() {
+            prop_assert!(!tl.samples.is_empty(), "{}: empty timeline", tl.name);
+            for w in tl.samples.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "{}: samples out of time order", tl.name);
+            }
+            for &(t, alloc, cap) in &tl.samples {
+                prop_assert!(
+                    alloc <= cap * (1.0 + 1e-6),
+                    "{} over capacity at t={}: {} > {}",
+                    tl.name, t, alloc, cap
+                );
+                prop_assert!(alloc >= 0.0 && cap >= 0.0, "{}: negative sample", tl.name);
+            }
+            prop_assert!(
+                tl.end >= tl.samples.last().unwrap().0,
+                "{}: window ends before its last sample", tl.name
+            );
+        }
+
+        // The summary's derived fractions stay in range.
+        let summary = rec.metrics_summary();
+        for r in &summary.resources {
+            prop_assert!(
+                (0.0..=1.0 + 1e-9).contains(&r.busy_fraction),
+                "{}: busy fraction {}", r.name, r.busy_fraction
+            );
+            prop_assert!(
+                (0.0..=1.0 + 1e-6).contains(&r.mean_utilization),
+                "{}: mean utilization {}", r.name, r.mean_utilization
+            );
+        }
+        for b in &summary.bottlenecks {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&b.share), "share {}", b.share);
+        }
+    }
+}

@@ -23,7 +23,11 @@ impl Default for Criterion {
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -69,7 +73,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = if b.iters > 0 {
         b.elapsed / (b.iters as u32).max(1)
@@ -104,12 +111,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id like `name/param`.
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
     }
 
     /// Creates an id from a parameter alone.
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { label: format!("{param}") }
+        BenchmarkId {
+            label: format!("{param}"),
+        }
     }
 }
 

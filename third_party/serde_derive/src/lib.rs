@@ -47,8 +47,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -62,7 +68,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -160,7 +169,9 @@ fn parse_serde_attr(body: TokenStream, attrs: &mut SerdeAttrs) {
                 cur.expect_punct('=');
                 let lit = match cur.next() {
                     Some(TokenTree::Literal(l)) => l.to_string(),
-                    other => panic!("serde_derive: expected string after `{word} =`, found {other:?}"),
+                    other => {
+                        panic!("serde_derive: expected string after `{word} =`, found {other:?}")
+                    }
                 };
                 let stripped = lit.trim_matches('"').to_string();
                 if word == "rename" {
@@ -288,8 +299,14 @@ fn parse_item(input: TokenStream) -> Item {
         ),
     };
     match keyword.as_str() {
-        "struct" => Item::Struct { name, fields: parse_fields(body) },
-        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
         other => panic!("serde_derive: cannot derive for `{other}` items"),
     }
 }
@@ -310,7 +327,10 @@ fn gen_serialize(item: &Item) -> String {
                     name = f.name
                 );
                 if let Some(pred) = &f.skip_if {
-                    body.push_str(&format!("if !({pred}(&self.{name})) {{ {push} }}\n", name = f.name));
+                    body.push_str(&format!(
+                        "if !({pred}(&self.{name})) {{ {push} }}\n",
+                        name = f.name
+                    ));
                 } else {
                     body.push_str(&push);
                 }

@@ -32,7 +32,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses a JSON document into any deserializable type.
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -261,10 +264,7 @@ impl<'a> Parser<'a> {
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -272,7 +272,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 encoded char.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().ok_or_else(|| Error::msg("unterminated string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::msg("unterminated string"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -299,7 +302,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -328,7 +336,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -340,7 +353,14 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        for json in ["null", "true", "false", "\"hi\"", "[1,2.5,-3]", "{\"a\":{\"b\":[]}}"] {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "\"hi\"",
+            "[1,2.5,-3]",
+            "{\"a\":{\"b\":[]}}",
+        ] {
             let v: Value = from_str(json).unwrap();
             assert_eq!(to_string(&v).unwrap(), json.replace("2.5", "2.5"));
         }
@@ -348,7 +368,13 @@ mod tests {
 
     #[test]
     fn floats_roundtrip_bit_exact() {
-        for x in [0.1, 1.0 / 3.0, 25e9, f64::MIN_POSITIVE, 1.7976931348623157e308] {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            25e9,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+        ] {
             let s = to_string(&x).unwrap();
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{s}");
