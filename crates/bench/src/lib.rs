@@ -19,10 +19,17 @@ use hcs_experiments::render::to_table;
 use hcs_experiments::series::Figure;
 use hcs_experiments::Scale;
 
-/// Parses the common CLI convention: `--smoke` selects the reduced
-/// geometry, anything else (or nothing) the paper geometry.
+/// Parses the common CLI convention: `--scale <paper|smoke>` (or the
+/// `--smoke` shorthand) selects the geometry; the default is the paper
+/// geometry.
 pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if let Some(s) = args.get(i + 1).and_then(|v| Scale::parse(v)) {
+            return s;
+        }
+    }
+    if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
     } else {
         Scale::Paper

@@ -6,74 +6,51 @@
 //! hcs dlio  <system> <resnet50|cosmoflow> [nodes]   run DLIO
 //! hcs mdtest <system> [nodes] [ppn]         run the metadata benchmark
 //! hcs replay <trace.json> <system>          what-if replay of a trace
-//! hcs figures [--smoke]                     regenerate every figure
-//! hcs takeaways [--smoke]                   §VII paper-vs-measured
+//! hcs run <deck.json|name> [--scale smoke]  execute a scenario deck
+//! hcs decks [--export <dir>]                list/export the builtin decks
+//! hcs figures [--scale smoke]               regenerate every figure
+//! hcs takeaways [--scale smoke]             §VII paper-vs-measured
 //! ```
 
+use hcs_core::scenario::Scale;
 use hcs_core::telemetry::Recorder;
-use hcs_core::StorageSystem;
+use hcs_core::{Deck, StorageSystem};
 use hcs_dlio::{cosmoflow, resnet50, run_dlio, run_dlio_traced};
-use hcs_gpfs::GpfsConfig;
+use hcs_experiments::registry;
 use hcs_ior::{run_ior, run_ior_traced, IorConfig, WorkloadClass};
-use hcs_lustre::LustreConfig;
 use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
-use hcs_nvme::LocalNvmeConfig;
 use hcs_replay::{replay, ReplayConfig};
-use hcs_unifyfs::UnifyFsConfig;
-use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
 
 const USAGE: &str = "\
 usage: hcs <command> [args]
 
 commands:
   systems                                list storage deployments
-  ior <system> <workload> [nodes] [ppn] [--smoke]  run the IOR-equivalent benchmark
+  ior <system> <workload> [nodes] [ppn]  run the IOR-equivalent benchmark
   dlio <system> <workload> [nodes]       run the DLIO-equivalent (resnet50|cosmoflow)
   mdtest <system> [nodes] [ppn]          run the MDTest-equivalent
   explain <system> <workload> [nodes] [ppn]  show resources, utilization and the bottleneck
   replay <trace.json> <system>           what-if replay of a chrome trace
-  figures [--smoke]                      regenerate every paper figure
-  takeaways [--smoke]                    print §VII paper-vs-measured
+  run <deck.json|scenario.json|name>     execute a scenario deck (see `hcs decks`)
+  decks [--export <dir>]                 list builtin decks / export them as JSON
+  figures                                regenerate every paper figure
+  takeaways                              print §VII paper-vs-measured
   table1                                 print Table I
 
-systems: vast-lassen vast-ruby vast-quartz vast-wombat gpfs lustre-ruby
-         lustre-quartz nvme unifyfs
+systems: see `hcs systems` (the shared registry is the single source)
 workloads (ior): scientific | analytics | ml
 
 options:
-  --trace <path>   (ior, dlio) dump a Chrome trace of the run — flows,
-                   per-resource utilization, bottleneck hand-offs — and
-                   print the telemetry summary";
+  --scale <paper|smoke>  run at paper scale (default) or CI smoke scale
+  --smoke                alias for --scale smoke
+  --trace <path>   (ior, dlio, run) dump a Chrome trace of the run —
+                   flows, per-resource utilization, bottleneck
+                   hand-offs — and print the telemetry summary";
 
-/// Resolves a system name to a deployment and its machine's full-node
-/// process count.
+/// Resolves a system name via the shared registry to a deployment and
+/// its machine's full-node process count.
 fn system(name: &str) -> Option<(Box<dyn StorageSystem>, u32)> {
-    Some(match name {
-        "vast-lassen" => (Box::new(vast_on_lassen()) as Box<dyn StorageSystem>, 44),
-        "vast-ruby" => (Box::new(vast_on_ruby()), 56),
-        "vast-quartz" => (Box::new(vast_on_quartz()), 36),
-        "vast-wombat" => (Box::new(vast_on_wombat()), 48),
-        "gpfs" => (Box::new(GpfsConfig::on_lassen()), 44),
-        "lustre-ruby" => (Box::new(LustreConfig::on_ruby()), 56),
-        "lustre-quartz" => (Box::new(LustreConfig::on_quartz()), 36),
-        "nvme" => (Box::new(LocalNvmeConfig::on_wombat()), 48),
-        "unifyfs" => (Box::new(UnifyFsConfig::on_wombat()), 48),
-        _ => return None,
-    })
-}
-
-fn all_system_names() -> [&'static str; 9] {
-    [
-        "vast-lassen",
-        "vast-ruby",
-        "vast-quartz",
-        "vast-wombat",
-        "gpfs",
-        "lustre-ruby",
-        "lustre-quartz",
-        "nvme",
-        "unifyfs",
-    ]
+    registry::resolve(name).map(|e| (e.build(), e.full_ppn))
 }
 
 fn workload(name: &str) -> Option<WorkloadClass> {
@@ -83,14 +60,6 @@ fn workload(name: &str) -> Option<WorkloadClass> {
         "ml" | "random" => WorkloadClass::MachineLearning,
         _ => return None,
     })
-}
-
-fn scale_flag(args: &[String]) -> hcs_experiments::Scale {
-    if args.iter().any(|a| a == "--smoke") {
-        hcs_experiments::Scale::Smoke
-    } else {
-        hcs_experiments::Scale::Paper
-    }
 }
 
 fn die(msg: &str) -> ! {
@@ -115,6 +84,68 @@ fn trace_flag(args: &[String]) -> (Vec<String>, Option<String>) {
         }
     }
     (rest, path)
+}
+
+/// Splits `--scale <paper|smoke>` (and its `--smoke` shorthand) out of
+/// the arg list, returning the remaining positional args and the scale.
+fn scale_flag(args: &[String]) -> (Vec<String>, Scale) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut scale = Scale::Paper;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--smoke" {
+            scale = Scale::Smoke;
+        } else if a == "--scale" {
+            scale = match it.next() {
+                Some(s) => {
+                    Scale::parse(s).unwrap_or_else(|| die(&format!("--scale: unknown scale '{s}'")))
+                }
+                None => die("--scale: missing value (paper|smoke)"),
+            };
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, scale)
+}
+
+/// Loads a deck: a JSON file holding a `Deck`, a JSON file holding a
+/// bare `Scenario` (wrapped as a single-point deck), or the name of a
+/// builtin deck from the catalog.
+fn load_deck(target: &str, scale: Scale) -> Deck {
+    let path = std::path::Path::new(target);
+    if path.exists() {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("run: cannot read {target}: {e}")));
+        match serde_json::from_str::<Deck>(&json) {
+            Ok(deck) => deck,
+            Err(deck_err) => match serde_json::from_str::<hcs_core::Scenario>(&json) {
+                Ok(sc) => {
+                    let name = if sc.name.is_empty() {
+                        "scenario".to_string()
+                    } else {
+                        sc.name.clone()
+                    };
+                    Deck::single(name, sc)
+                }
+                Err(sc_err) => die(&format!(
+                    "run: {target} parses as neither a deck ({deck_err}) nor a scenario ({sc_err})"
+                )),
+            },
+        }
+    } else {
+        let decks = hcs_experiments::figures::all_decks(scale);
+        match decks.iter().find(|d| d.name == target) {
+            Some(d) => d.clone(),
+            None => {
+                let names: Vec<&str> = decks.iter().map(|d| d.name.as_str()).collect();
+                die(&format!(
+                    "run: '{target}' is neither a file nor a builtin deck; builtins: {}",
+                    names.join(" ")
+                ))
+            }
+        }
+    }
 }
 
 /// Writes the recorder's Chrome trace to `path` and prints the metrics
@@ -151,15 +182,18 @@ fn dump_trace(recorder: &Recorder, path: &str) {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, trace) = trace_flag(&raw);
+    let (raw, trace) = trace_flag(&raw);
+    let (args, scale) = scale_flag(&raw);
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "systems" => {
-            for name in all_system_names() {
-                let (sys, ppn) = system(name).expect("listed name resolves");
+            for e in registry::entries() {
                 println!(
-                    "{name:<16} {:<56} (full node: {ppn} ppn)",
-                    sys.description()
+                    "{:<16} {:<56} [{}] (full node: {} ppn)",
+                    e.key,
+                    e.build().description(),
+                    e.machine,
+                    e.full_ppn
                 );
             }
         }
@@ -175,10 +209,9 @@ fn main() {
                 .unwrap_or_else(|| die("ior: unknown workload"));
             let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
             let ppn: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
-            let cfg = if args.iter().any(|a| a == "--smoke") {
-                IorConfig::smoke(w, nodes, ppn)
-            } else {
-                IorConfig::paper_scalability(w, nodes, ppn)
+            let cfg = match scale {
+                Scale::Smoke => IorConfig::smoke(w, nodes, ppn),
+                Scale::Paper => IorConfig::paper_scalability(w, nodes, ppn),
             };
             let mut recorder = Recorder::new();
             let rep = match &trace {
@@ -312,8 +345,81 @@ fn main() {
                 r.duration
             );
         }
+        "run" => {
+            let target = args
+                .get(1)
+                .unwrap_or_else(|| die("run: missing scenario file or deck name"));
+            let mut deck = load_deck(target, scale);
+            if scale == Scale::Smoke {
+                deck = deck.smoked();
+            }
+            println!(
+                "deck {} — {} ({} points, {} scale)",
+                deck.name,
+                if deck.title.is_empty() {
+                    "untitled"
+                } else {
+                    &deck.title
+                },
+                deck.expand().len(),
+                scale.label()
+            );
+            let mut recorder = Recorder::new();
+            let result = match &trace {
+                Some(_) => hcs_experiments::run_deck_traced(&deck, &mut recorder),
+                None => hcs_experiments::run_deck(&deck),
+            };
+            for p in &result.points {
+                println!(
+                    "  {:<28} {:<8} {:>4} x {:<3} {}",
+                    p.scenario.name,
+                    p.system,
+                    p.nodes,
+                    p.ppn,
+                    p.outcome.headline()
+                );
+            }
+            let dir = std::path::PathBuf::from("results/decks");
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| die(&format!("run: cannot create {}: {e}", dir.display())));
+            let out = dir.join(format!("{}.json", result.name));
+            let json = serde_json::to_string_pretty(&result)
+                .unwrap_or_else(|e| die(&format!("run: cannot serialize results: {e}")));
+            std::fs::write(&out, json)
+                .unwrap_or_else(|e| die(&format!("run: cannot write {}: {e}", out.display())));
+            println!("[wrote {}]", out.display());
+            if let Some(path) = &trace {
+                dump_trace(&recorder, path);
+            }
+        }
+        "decks" => {
+            let decks = hcs_experiments::figures::all_decks(scale);
+            let export = args.iter().position(|a| a == "--export").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| die("decks: --export needs a directory"))
+                    .clone()
+            });
+            for d in &decks {
+                println!("{:<22} {:>3} points  {}", d.name, d.expand().len(), d.title);
+            }
+            if let Some(dir) = export {
+                let dir = std::path::PathBuf::from(dir);
+                std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                    die(&format!("decks: cannot create {}: {e}", dir.display()))
+                });
+                for d in &decks {
+                    let path = dir.join(format!("{}.json", d.name));
+                    let json = serde_json::to_string_pretty(d).unwrap_or_else(|e| {
+                        die(&format!("decks: cannot serialize {}: {e}", d.name))
+                    });
+                    std::fs::write(&path, json).unwrap_or_else(|e| {
+                        die(&format!("decks: cannot write {}: {e}", path.display()))
+                    });
+                }
+                println!("[exported {} decks to {}]", decks.len(), dir.display());
+            }
+        }
         "figures" => {
-            let scale = scale_flag(&args);
             let figs = hcs_experiments::figures::all_figures(scale);
             for f in &figs {
                 println!("{}", hcs_experiments::render::to_table(f));
@@ -324,7 +430,6 @@ fn main() {
             }
         }
         "takeaways" => {
-            let scale = scale_flag(&args);
             let r = hcs_experiments::figures::takeaways::measure(scale);
             print!("{}", hcs_experiments::figures::takeaways::render(&r));
         }

@@ -40,6 +40,7 @@ pub mod graph;
 pub mod outcome;
 pub mod phase;
 pub mod runner;
+pub mod scenario;
 pub mod system;
 pub mod telemetry;
 pub mod testing;
@@ -49,5 +50,6 @@ pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, Stage
 pub use hcs_devices::{AccessPattern, IoOp};
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
+pub use scenario::{Deck, GraphEdit, Scale, Scenario, SweepAxes, Workload};
 pub use system::{MetadataProfile, Provisioned, StorageSystem};
 pub use telemetry::{MetricsSummary, Recorder, UtilizationTimeline};

@@ -1,0 +1,57 @@
+//! Trace-replay parameter sets.
+//!
+//! Lives in the core scenario IR (rather than in `hcs-replay`) so that
+//! a [`crate::scenario::Scenario`] can embed a replay workload without
+//! the core crate depending on the replay engine; `hcs-replay`
+//! re-exports this type and owns the execution engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Replay parameters.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Path of the Chrome-format source trace to replay. Only consumed
+    /// by the scenario executor (`hcs run` / `run_deck`), which loads
+    /// the trace before re-driving it; programmatic callers that
+    /// already hold a parsed trace can leave it unset.
+    pub trace: Option<String>,
+    /// Request size used to provision the target system (the dominant
+    /// transfer size of the trace; taken from the median read when not
+    /// set).
+    pub transfer_size: Option<f64>,
+    /// Prefetch queue depth per process (defaults to 2× threads).
+    pub prefetch_depth: Option<u32>,
+    /// Whether each read opened its own file (pays the target system's
+    /// per-file metadata latency). `None` infers it from the trace:
+    /// sub-MiB requests are treated as file-per-sample datasets (JPEG
+    /// folders), larger ones as shard streaming.
+    pub file_per_read: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_inferred() {
+        let c = ReplayConfig::default();
+        assert_eq!(c.trace, None);
+        assert_eq!(c.transfer_size, None);
+        assert_eq!(c.prefetch_depth, None);
+        assert_eq!(c.file_per_read, None);
+    }
+
+    #[test]
+    fn serde_round_trip_tolerates_missing_keys() {
+        let c = ReplayConfig {
+            trace: Some("results/trace.json".into()),
+            transfer_size: Some(1e6),
+            prefetch_depth: None,
+            file_per_read: Some(true),
+        };
+        let back: ReplayConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
+        let sparse: ReplayConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, ReplayConfig::default());
+    }
+}

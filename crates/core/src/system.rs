@@ -126,6 +126,36 @@ pub trait StorageSystem: Send + Sync {
     }
 }
 
+/// Boxed systems forward the trait, so registries can hand out
+/// `Box<dyn StorageSystem>` values and consumers (graph mutators like
+/// [`crate::graph::Reconfigured`], the scenario executor) can wrap them
+/// without knowing the concrete backend.
+impl StorageSystem for Box<dyn StorageSystem> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn description(&self) -> String {
+        (**self).description()
+    }
+
+    fn plan(&self, nodes: u32, ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        (**self).plan(nodes, ppn, phase)
+    }
+
+    fn provision(&self, net: &mut FlowNet, nodes: u32, ppn: u32, phase: &PhaseSpec) -> Provisioned {
+        (**self).provision(net, nodes, ppn, phase)
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        (**self).noise_sigma()
+    }
+
+    fn metadata_profile(&self) -> MetadataProfile {
+        (**self).metadata_profile()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

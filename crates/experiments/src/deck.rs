@@ -1,0 +1,409 @@
+//! The scenario executor: expands a [`Deck`], resolves each point's
+//! system through the [`crate::registry`], and runs its workload,
+//! returning typed results that plug straight into the
+//! [`crate::series`] figure machinery.
+//!
+//! There is **one** execution path: every figure module, ablation, the
+//! `hcs run` CLI command and user-authored scenario files all come
+//! through here, so a point that appears in a figure can be re-run in
+//! isolation from its JSON form and reproduce the same bytes (the
+//! benchmarks seed their noise from the config alone — common random
+//! numbers — so results are independent of which deck, worker or order
+//! executed the point).
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{Deck, Reconfigured, Recorder, Scenario, StorageSystem, Workload};
+use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
+use hcs_ior::{run_ior, run_ior_traced, IorReport};
+use hcs_mdtest::{run_mdtest, MdtestReport};
+use hcs_replay::{replay, ReplayResult};
+
+use crate::registry;
+use crate::sweep::parallel_sweep;
+
+/// The typed result of one scenario point — one variant per workload
+/// family, mirroring [`Workload`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum WorkloadOutcome {
+    /// An IOR report (bandwidth summary over repetitions).
+    Ior(IorReport),
+    /// A DLIO result (timeline decomposition + throughputs).
+    Dlio(DlioResult),
+    /// An MDTest report (create/stat/unlink rates).
+    Mdtest(MdtestReport),
+    /// A job-script outcome (per-step durations).
+    Job(hcs_core::JobOutcome),
+    /// A trace-replay result.
+    Replay(ReplayResult),
+}
+
+impl WorkloadOutcome {
+    /// The IOR report, panicking if the point ran another family.
+    pub fn ior(&self) -> &IorReport {
+        match self {
+            WorkloadOutcome::Ior(r) => r,
+            other => panic!("expected an IOR outcome, got {}", other.kind()),
+        }
+    }
+
+    /// The DLIO result, panicking if the point ran another family.
+    pub fn dlio(&self) -> &DlioResult {
+        match self {
+            WorkloadOutcome::Dlio(r) => r,
+            other => panic!("expected a DLIO outcome, got {}", other.kind()),
+        }
+    }
+
+    /// The MDTest report, panicking if the point ran another family.
+    pub fn mdtest(&self) -> &MdtestReport {
+        match self {
+            WorkloadOutcome::Mdtest(r) => r,
+            other => panic!("expected an MDTest outcome, got {}", other.kind()),
+        }
+    }
+
+    /// The job outcome, panicking if the point ran another family.
+    pub fn job(&self) -> &hcs_core::JobOutcome {
+        match self {
+            WorkloadOutcome::Job(r) => r,
+            other => panic!("expected a job outcome, got {}", other.kind()),
+        }
+    }
+
+    /// The replay result, panicking if the point ran another family.
+    pub fn replay(&self) -> &ReplayResult {
+        match self {
+            WorkloadOutcome::Replay(r) => r,
+            other => panic!("expected a replay outcome, got {}", other.kind()),
+        }
+    }
+
+    /// The workload family label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadOutcome::Ior(_) => "ior",
+            WorkloadOutcome::Dlio(_) => "dlio",
+            WorkloadOutcome::Mdtest(_) => "mdtest",
+            WorkloadOutcome::Job(_) => "job",
+            WorkloadOutcome::Replay(_) => "replay",
+        }
+    }
+
+    /// A one-line, human-readable summary for CLI output.
+    pub fn headline(&self) -> String {
+        match self {
+            WorkloadOutcome::Ior(r) => format!(
+                "{:.2} ± {:.2} GB/s",
+                r.outcome.summary.mean / 1e9,
+                r.outcome.summary.std_dev / 1e9
+            ),
+            WorkloadOutcome::Dlio(r) => format!(
+                "{:.1} s, {:.0} samples/s app throughput",
+                r.duration, r.app_throughput
+            ),
+            WorkloadOutcome::Mdtest(r) => format!(
+                "create {:.0} / stat {:.0} / unlink {:.0} ops/s",
+                r.create.mean, r.stat.mean, r.unlink.mean
+            ),
+            WorkloadOutcome::Job(r) => format!(
+                "{:.1} s total, {:.0}% I/O",
+                r.total,
+                r.io_fraction() * 100.0
+            ),
+            WorkloadOutcome::Replay(r) => format!(
+                "{:.1} s replayed, {:.1} s I/O per process",
+                r.duration, r.mean.io_total
+            ),
+        }
+    }
+}
+
+/// One executed deck point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The (expanded) scenario that produced this result.
+    pub scenario: Scenario,
+    /// The storage system's display name ("VAST", "GPFS", ...).
+    pub system: String,
+    /// Client nodes the point ran at.
+    pub nodes: u32,
+    /// Processes per node the point ran at.
+    pub ppn: u32,
+    /// The typed workload result.
+    pub outcome: WorkloadOutcome,
+}
+
+/// An executed deck: every expanded point with its typed result, in
+/// expansion order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeckResult {
+    /// The deck's name (doubles as the output artifact id).
+    pub name: String,
+    /// The deck's title.
+    pub title: String,
+    /// Results, one per expanded point, in expansion order.
+    pub points: Vec<PointResult>,
+}
+
+impl DeckResult {
+    /// Groups consecutive points by their scenario's system key,
+    /// preserving expansion order — decks nest systems outermost, so
+    /// each group is one figure series. The group label is the system's
+    /// display name.
+    pub fn by_system(&self) -> Vec<(String, Vec<&PointResult>)> {
+        let mut groups: Vec<(String, String, Vec<&PointResult>)> = Vec::new();
+        for p in &self.points {
+            match groups.last_mut() {
+                Some((key, _, members)) if *key == p.scenario.system => members.push(p),
+                _ => groups.push((p.scenario.system.clone(), p.system.clone(), vec![p])),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(_, label, members)| (label, members))
+            .collect()
+    }
+}
+
+/// Resolves a scenario's system through the registry and applies its
+/// graph edits.
+///
+/// # Panics
+/// Panics when the system name is not registered (the message lists the
+/// valid names).
+pub fn build_system(scenario: &Scenario) -> (Box<dyn StorageSystem>, u32) {
+    let entry = registry::resolve(&scenario.system).unwrap_or_else(|| {
+        panic!(
+            "unknown system '{}' (known: {})",
+            scenario.system,
+            registry::names().join(", ")
+        )
+    });
+    let base = entry.build();
+    if scenario.edits.is_empty() {
+        return (base, entry.full_ppn);
+    }
+    let edits = scenario.edits.clone();
+    let system = Reconfigured::new(base, move |g| {
+        for edit in &edits {
+            edit.apply(g);
+        }
+    });
+    (Box::new(system), entry.full_ppn)
+}
+
+/// Loads the Chrome-format trace a replay scenario names.
+fn load_replay_trace(config: &hcs_core::scenario::ReplayConfig) -> hcs_dftrace::Tracer {
+    let path = config
+        .trace
+        .as_deref()
+        .expect("replay scenario needs a 'trace' path to a Chrome-format trace");
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read replay trace '{path}': {e}"));
+    hcs_dftrace::chrome::from_json(&json)
+        .unwrap_or_else(|e| panic!("cannot parse replay trace '{path}': {e:?}"))
+}
+
+/// Runs one already-resolved workload on a system. The low-level
+/// executor shared by scenario points and by ablations that mutate
+/// backend fields directly (which a registry name cannot express).
+pub fn run_workload_on(
+    system: &dyn StorageSystem,
+    workload: &Workload,
+    nodes: u32,
+    ppn: u32,
+) -> WorkloadOutcome {
+    match workload {
+        Workload::Ior(c) => WorkloadOutcome::Ior(run_ior(system, c)),
+        Workload::Dlio(c) => WorkloadOutcome::Dlio(run_dlio(system, c, nodes)),
+        Workload::Mdtest(c) => WorkloadOutcome::Mdtest(run_mdtest(system, c)),
+        Workload::Job(j) => WorkloadOutcome::Job(j.run(system, nodes, ppn)),
+        Workload::Replay(c) => WorkloadOutcome::Replay(replay(&load_replay_trace(c), system, c)),
+    }
+}
+
+/// [`run_workload_on`] with telemetry. MDTest and replay have no traced
+/// twins (their engines predate the recorder), so those families run
+/// untraced and only contribute their results.
+pub fn run_workload_on_traced(
+    system: &dyn StorageSystem,
+    workload: &Workload,
+    nodes: u32,
+    ppn: u32,
+    recorder: &mut Recorder,
+) -> WorkloadOutcome {
+    match workload {
+        Workload::Ior(c) => WorkloadOutcome::Ior(run_ior_traced(system, c, recorder)),
+        Workload::Dlio(c) => WorkloadOutcome::Dlio(run_dlio_traced(system, c, nodes, recorder)),
+        Workload::Job(j) => WorkloadOutcome::Job(j.run_traced(system, nodes, ppn, recorder)),
+        Workload::Mdtest(_) | Workload::Replay(_) => run_workload_on(system, workload, nodes, ppn),
+    }
+}
+
+/// Runs one scenario point.
+///
+/// # Panics
+/// Panics on an unknown system name or an invalid workload.
+pub fn run_scenario(scenario: &Scenario) -> PointResult {
+    run_scenario_impl(scenario, None)
+}
+
+/// [`run_scenario`] with telemetry.
+pub fn run_scenario_traced(scenario: &Scenario, recorder: &mut Recorder) -> PointResult {
+    run_scenario_impl(scenario, Some(recorder))
+}
+
+fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> PointResult {
+    let (system, full_ppn) = build_system(scenario);
+    let workload = scenario.resolved_workload(full_ppn);
+    workload.validate();
+    let nodes = scenario.run_nodes();
+    let ppn = scenario.run_ppn(full_ppn);
+    let outcome = match recorder {
+        Some(rec) => run_workload_on_traced(&system, &workload, nodes, ppn, rec),
+        None => run_workload_on(&system, &workload, nodes, ppn),
+    };
+    PointResult {
+        scenario: scenario.clone(),
+        system: system.name().to_string(),
+        nodes,
+        ppn,
+        outcome,
+    }
+}
+
+/// Runs a list of scenario points in parallel, preserving order.
+/// Results are independent of worker count and scheduling because every
+/// benchmark seeds its noise from its config alone.
+pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<PointResult> {
+    parallel_sweep(scenarios.to_vec(), run_scenario)
+}
+
+/// Expands and executes a deck in parallel.
+pub fn run_deck(deck: &Deck) -> DeckResult {
+    DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: run_scenarios(&deck.expand()),
+    }
+}
+
+/// Expands and executes a deck sequentially, feeding every point's
+/// telemetry into `recorder` (tracing shares one recorder clock, so the
+/// traced path trades parallelism for a coherent timeline).
+pub fn run_deck_traced(deck: &Deck, recorder: &mut Recorder) -> DeckResult {
+    DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: deck
+            .expand()
+            .iter()
+            .map(|s| run_scenario_traced(s, recorder))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::scenario::{GraphEdit, IorConfig, MdtestConfig, WorkloadClass};
+    use hcs_core::StageKind;
+
+    fn smoke_scenario(system: &str) -> Scenario {
+        Scenario::new(
+            system,
+            Workload::Ior(IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4)),
+        )
+    }
+
+    #[test]
+    fn scenario_matches_direct_run() {
+        let point = run_scenario(&smoke_scenario("gpfs"));
+        let direct = run_ior(
+            &hcs_gpfs::GpfsConfig::on_lassen(),
+            &IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4),
+        );
+        assert_eq!(point.outcome.ior(), &direct);
+        assert_eq!(point.system, "GPFS");
+        assert_eq!((point.nodes, point.ppn), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown system 'betafs'")]
+    fn unknown_system_is_rejected_with_catalog() {
+        run_scenario(&smoke_scenario("betafs"));
+    }
+
+    #[test]
+    fn edits_reconfigure_the_deployment() {
+        let mut fat = smoke_scenario("vast-lassen");
+        fat.edits = vec![GraphEdit::ScalePool {
+            kind: StageKind::Gateway,
+            factor: 8.0,
+        }];
+        let base = run_scenario(&smoke_scenario("vast-lassen"));
+        let wide = run_scenario(&fat);
+        // 4 ranks on one node can't saturate the gateway; push the scale.
+        let mut base_big = smoke_scenario("vast-lassen");
+        base_big.nodes = Some(32);
+        base_big.full_node = true;
+        let mut wide_big = fat.clone();
+        wide_big.nodes = Some(32);
+        wide_big.full_node = true;
+        let b = run_scenario(&base_big);
+        let w = run_scenario(&wide_big);
+        // The x8 gateway lifts the ceiling until the next stage binds
+        // (~1.4x on this deployment).
+        assert!(
+            w.outcome.ior().outcome.summary.mean > 1.3 * b.outcome.ior().outcome.summary.mean,
+            "gateway x8 should lift the ceiling: {} vs {}",
+            w.outcome.ior().outcome.summary.mean,
+            b.outcome.ior().outcome.summary.mean
+        );
+        // Small scale is unaffected by design only in direction, but
+        // both must stay valid runs.
+        assert!(wide.outcome.ior().outcome.summary.mean >= base.outcome.ior().outcome.summary.mean);
+        assert_eq!(b.ppn, 44, "full_node resolves Lassen's 44 ppn");
+    }
+
+    #[test]
+    fn deck_runs_mixed_axes_in_order() {
+        let mut deck = Deck::single("t", smoke_scenario("vast-lassen"));
+        deck.axes.systems = vec!["vast-lassen".into(), "gpfs".into()];
+        deck.axes.nodes = vec![1, 2];
+        let result = run_deck(&deck);
+        assert_eq!(result.points.len(), 4);
+        let groups = result.by_system();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "VAST");
+        assert_eq!(groups[1].0, "GPFS");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[0].1[1].nodes, 2);
+    }
+
+    #[test]
+    fn deck_results_serde_round_trip() {
+        let mut deck = Deck::single(
+            "meta",
+            Scenario::new("gpfs", Workload::Mdtest(MdtestConfig::new(1, 4))),
+        );
+        deck.base.reps = Some(2);
+        let result = run_deck(&deck);
+        let back: DeckResult =
+            serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
+        assert_eq!(back, result);
+        assert!(result.points[0].outcome.headline().contains("ops/s"));
+    }
+
+    #[test]
+    fn traced_deck_matches_untraced_results() {
+        let deck = Deck::single("t", smoke_scenario("lustre-ruby"));
+        let plain = run_deck(&deck);
+        let mut rec = Recorder::new();
+        let traced = run_deck_traced(&deck, &mut rec);
+        assert_eq!(plain, traced);
+        assert!(!rec.to_chrome_json().is_empty());
+    }
+}

@@ -5,78 +5,130 @@
 //! deploying a custom VAST configuration on cloud-like resources ... to
 //! test this" — the gateway-width hypothesis the authors could not test
 //! on production hardware, and the simulator can).
+//!
+//! Ablations that only touch the *deployment graph* (gateway width,
+//! transport swap) or only sweep registry systems (burst buffer,
+//! metadata) are declarative [`Deck`]s with [`GraphEdit`] axes — fully
+//! expressible as scenario JSON. The rest mutate backend calibration
+//! fields a registry name cannot express; they build their systems
+//! directly but run through the same executor
+//! ([`crate::deck::run_workload_on`]).
 
-use hcs_core::{Reconfigured, StageKind};
-use hcs_dlio::{cosmoflow, run_dlio};
+use hcs_core::scenario::{GraphEdit, IorConfig, MdtestConfig, Scenario, Workload, WorkloadClass};
+use hcs_core::{Deck, StageKind};
+use hcs_dlio::cosmoflow;
 use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
 use hcs_lustre::LustreConfig;
-use hcs_mdtest::{run_mdtest, MdtestConfig, MetaOp};
-use hcs_nvme::LocalNvmeConfig;
+use hcs_mdtest::MetaOp;
 use hcs_simkit::units::gbit_per_s;
-use hcs_unifyfs::UnifyFsConfig;
 use hcs_vast::{vast_on_lassen, vast_on_wombat};
 
+use crate::deck::{run_deck, run_workload_on};
 use crate::series::{Figure, Point, Series};
 use crate::sweep::{parallel_sweep, Scale};
+
+/// Gateway uplink widths swept by [`gateway_width_deck`], Gb.
+const GATEWAY_WIDTHS: [f64; 5] = [100.0, 200.0, 400.0, 800.0, 1600.0];
+
+/// `nconnect` values swept by [`nconnect_deck`].
+const NCONNECT_COUNTS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Gateway-uplink width deck on Lassen: each edit set retargets the
+/// gateway stage's capacity — a pure deployment-graph edit, no backend
+/// change.
+pub fn gateway_width_deck(scale: Scale) -> Deck {
+    let base = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::paper_scalability(
+            WorkloadClass::DataAnalytics,
+            64,
+            44,
+        )),
+    )
+    .with_reps(scale.reps());
+    let mut deck = Deck::single("ablation.gateway", base)
+        .with_title("VAST@Lassen aggregate seq-read bandwidth vs gateway uplink");
+    deck.axes.edit_sets = GATEWAY_WIDTHS
+        .iter()
+        .map(|&gb| {
+            vec![GraphEdit::SetPoolCapacity {
+                kind: StageKind::Gateway,
+                capacity: gbit_per_s(gb),
+            }]
+        })
+        .collect();
+    deck
+}
 
 /// Gateway-uplink width sweep on Lassen: how much aggregate VAST
 /// bandwidth would wider gateway Ethernet buy at 64 nodes?
 pub fn gateway_width_sweep(scale: Scale) -> Figure {
-    let widths = [100.0, 200.0, 400.0, 800.0, 1600.0]; // Gb total uplink
+    let result = run_deck(&gateway_width_deck(scale));
     let mut fig = Figure::new(
-        "ablation.gateway",
-        "VAST@Lassen aggregate seq-read bandwidth vs gateway uplink",
+        result.name.clone(),
+        result.title.clone(),
         "gateway uplink (Gb)",
         "aggregate bandwidth (GB/s)",
     );
-    let points = parallel_sweep(widths.to_vec(), |&gb| {
-        // A pure deployment-graph edit: retarget the gateway stage's
-        // uplink to `gb` Gb without touching the backend config.
-        let target = gbit_per_s(gb);
-        let v = Reconfigured::new(vast_on_lassen(), move |g| {
-            let current = g
-                .capacity_of(StageKind::Gateway)
-                .expect("Lassen VAST plans a gateway stage");
-            g.scale_pool(StageKind::Gateway, target / current);
-        });
-        let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 64, 44);
-        cfg.reps = scale.reps();
-        Point::new(gb, run_ior(&v, &cfg).mean_bandwidth() / 1e9)
-    });
     fig.series.push(Series {
         label: "VAST (wider gateway)".into(),
-        points,
+        points: result
+            .points
+            .iter()
+            .zip(GATEWAY_WIDTHS)
+            .map(|(p, gb)| Point::new(gb, p.outcome.ior().mean_bandwidth() / 1e9))
+            .collect(),
     });
     fig
+}
+
+/// `nconnect` deck on Wombat: each edit set swaps the client transport
+/// for the same RDMA spec with a different connection count.
+pub fn nconnect_deck(scale: Scale) -> Deck {
+    let base_sys = vast_on_wombat();
+    let base = Scenario::new(
+        "vast-wombat",
+        Workload::Ior(IorConfig::paper_scalability(
+            WorkloadClass::DataAnalytics,
+            1,
+            48,
+        )),
+    )
+    .with_reps(scale.reps());
+    let mut deck = Deck::single("ablation.nconnect", base)
+        .with_title("VAST@Wombat per-node seq-read bandwidth vs nconnect");
+    deck.axes.edit_sets = NCONNECT_COUNTS
+        .iter()
+        .map(|&n| {
+            let mut t = base_sys.transport.clone();
+            t.nconnect = n;
+            vec![GraphEdit::SwapTransport {
+                transport: t,
+                client_nic_bw: base_sys.client_nic_bw,
+            }]
+        })
+        .collect();
+    deck
 }
 
 /// `nconnect` sweep on Wombat: per-node read bandwidth vs connection
 /// count (the knob behind the 8× takeaway).
 pub fn nconnect_sweep(scale: Scale) -> Figure {
-    let counts = [1u32, 2, 4, 8, 16];
+    let result = run_deck(&nconnect_deck(scale));
     let mut fig = Figure::new(
-        "ablation.nconnect",
-        "VAST@Wombat per-node seq-read bandwidth vs nconnect",
+        result.name.clone(),
+        result.title.clone(),
         "nconnect",
         "per-node bandwidth (GB/s)",
     );
-    let points = parallel_sweep(counts.to_vec(), |&n| {
-        // Swap the transport in the deployment graph: same RDMA spec,
-        // different connection count — the client-mount capacity and
-        // per-stream ceiling follow.
-        let base = vast_on_wombat();
-        let mut t = base.transport.clone();
-        t.nconnect = n;
-        let nic = base.client_nic_bw;
-        let v = Reconfigured::new(base, move |g| g.swap_transport(&t, nic));
-        let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 48);
-        cfg.reps = scale.reps();
-        Point::new(n as f64, run_ior(&v, &cfg).mean_bandwidth() / 1e9)
-    });
     fig.series.push(Series {
         label: "VAST (RDMA)".into(),
-        points,
+        points: result
+            .points
+            .iter()
+            .zip(NCONNECT_COUNTS)
+            .map(|(p, n)| Point::new(n as f64, p.outcome.ior().mean_bandwidth() / 1e9))
+            .collect(),
     });
     fig
 }
@@ -84,6 +136,9 @@ pub fn nconnect_sweep(scale: Scale) -> Figure {
 /// Similarity-reduction ablation: write bandwidth with the reduction
 /// pipeline on (CPU-bound CNodes, less media traffic) vs off (faster
 /// CNodes, full media traffic).
+///
+/// Mutates VAST calibration fields, so it builds its systems directly
+/// and shares only the executor.
 pub fn similarity_ablation(scale: Scale) -> Figure {
     let mut fig = Figure::new(
         "ablation.similarity",
@@ -103,7 +158,8 @@ pub fn similarity_ablation(scale: Scale) -> Figure {
             }
             let mut cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, n, 48);
             cfg.reps = scale.reps();
-            Point::new(n as f64, run_ior(&v, &cfg).mean_bandwidth() / 1e9)
+            let out = run_workload_on(&v, &Workload::Ior(cfg), n, 48);
+            Point::new(n as f64, out.ior().mean_bandwidth() / 1e9)
         });
         fig.series.push(Series {
             label: label.into(),
@@ -114,7 +170,7 @@ pub fn similarity_ablation(scale: Scale) -> Figure {
 }
 
 /// GPFS read-ahead ablation: the seq/random gap with the server cache
-/// crippled.
+/// crippled. Mutates GPFS calibration fields.
 pub fn gpfs_cache_ablation(scale: Scale) -> Figure {
     let mut fig = Figure::new(
         "ablation.gpfs-cache",
@@ -139,7 +195,8 @@ pub fn gpfs_cache_ablation(scale: Scale) -> Figure {
         // at the server pool, not through a single node's NIC.
         let mut cfg = IorConfig::paper_scalability(w, 32, 44);
         cfg.reps = scale.reps();
-        Point::new(i as f64, run_ior(&g, &cfg).mean_bandwidth() / 1e9)
+        let out = run_workload_on(&g, &Workload::Ior(cfg), 32, 44);
+        Point::new(i as f64, out.ior().mean_bandwidth() / 1e9)
     });
     fig.series.push(Series {
         label: "GPFS".into(),
@@ -168,8 +225,8 @@ pub fn dlio_thread_sweep(scale: Scale) -> Figure {
             cfg.samples = cfg.samples.min(s);
         }
         cfg.epochs = if scale == Scale::Smoke { 1 } else { cfg.epochs };
-        let r = run_dlio(&vast, &cfg, 4);
-        Point::new(t as f64, r.non_overlapping_io())
+        let out = run_workload_on(&vast, &Workload::Dlio(cfg), 4, 44);
+        Point::new(t as f64, out.dlio().non_overlapping_io())
     });
     fig.series.push(Series {
         label: "VAST".into(),
@@ -178,66 +235,81 @@ pub fn dlio_thread_sweep(scale: Scale) -> Figure {
     fig
 }
 
-/// Burst-buffer study: synchronized checkpoint bandwidth on Wombat
-/// across VAST, raw node-local NVMe, and a UnifyFS-style user-level
-/// burst buffer over the same drives — the question the paper's intro
-/// raises by naming UnifyFS as the other configurable storage system.
+/// Burst-buffer deck: synchronized checkpoint writes on Wombat across
+/// VAST, raw node-local NVMe, and a UnifyFS-style user-level burst
+/// buffer over the same drives.
+pub fn burst_buffer_deck(scale: Scale) -> Deck {
+    let mut cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, 1, 48);
+    cfg.fsync = true;
+    let base = Scenario::new("vast-wombat", Workload::Ior(cfg)).with_reps(scale.reps());
+    let mut deck = Deck::single("ablation.burst-buffer", base)
+        .with_title("Synchronized checkpoint writes on Wombat: VAST vs NVMe vs UnifyFS");
+    deck.axes.systems = vec!["vast-wombat".into(), "nvme".into(), "unifyfs".into()];
+    deck.axes.nodes = scale.wombat_nodes();
+    deck
+}
+
+/// Burst-buffer study — the question the paper's intro raises by naming
+/// UnifyFS as the other configurable storage system.
 pub fn burst_buffer_checkpoint(scale: Scale) -> Figure {
+    let result = run_deck(&burst_buffer_deck(scale));
     let mut fig = Figure::new(
-        "ablation.burst-buffer",
-        "Synchronized checkpoint writes on Wombat: VAST vs NVMe vs UnifyFS",
+        result.name.clone(),
+        result.title.clone(),
         "nodes",
         "aggregate bandwidth (GB/s)",
     );
-    let nodes = scale.wombat_nodes();
-    let vast = vast_on_wombat();
-    let nvme = LocalNvmeConfig::on_wombat();
-    let unify = UnifyFsConfig::on_wombat();
-    let systems: [(&str, &dyn hcs_core::StorageSystem); 3] =
-        [("VAST", &vast), ("NVMe", &nvme), ("UnifyFS", &unify)];
-    for (label, sys) in systems {
-        let points = parallel_sweep(nodes.clone(), |&n| {
-            let mut cfg = IorConfig::paper_scalability(WorkloadClass::Scientific, n, 48);
-            cfg.fsync = true;
-            cfg.reps = scale.reps();
-            Point::new(n as f64, run_ior(sys, &cfg).mean_bandwidth() / 1e9)
-        });
+    for (label, points) in result.by_system() {
         fig.series.push(Series {
-            label: label.into(),
-            points,
+            label,
+            points: points
+                .iter()
+                .map(|p| Point::new(p.nodes as f64, p.outcome.ior().mean_bandwidth() / 1e9))
+                .collect(),
         });
     }
     fig
 }
 
+/// Metadata-rates deck: one MDTest storm per deployment.
+pub fn metadata_deck() -> Deck {
+    let base = Scenario::new("vast-lassen", Workload::Mdtest(MdtestConfig::new(8, 32)));
+    let mut deck = Deck::single("ablation.mdtest", base)
+        .with_title("MDTest-equivalent stat rates across deployments (8 nodes x 32 tasks)");
+    deck.axes.systems = vec![
+        "vast-lassen".into(),
+        "vast-wombat".into(),
+        "gpfs".into(),
+        "unifyfs".into(),
+    ];
+    deck
+}
+
 /// Metadata rates (MDTest-equivalent) across the deployments.
 pub fn metadata_rates(scale: Scale) -> Figure {
+    let _ = scale;
+    let result = run_deck(&metadata_deck());
     let mut fig = Figure::new(
-        "ablation.mdtest",
-        "MDTest-equivalent stat rates across deployments (8 nodes x 32 tasks)",
+        result.name.clone(),
+        result.title.clone(),
         "variant (0=VAST/TCP 1=VAST/RDMA 2=GPFS 3=UnifyFS)",
         "stat ops/s",
     );
-    let cfg = MdtestConfig::new(8, 32);
-    let tcp = vast_on_lassen();
-    let rdma = vast_on_wombat();
-    let gpfs = GpfsConfig::on_lassen();
-    let unify = UnifyFsConfig::on_wombat();
-    let systems: [(&dyn hcs_core::StorageSystem, f64); 4] =
-        [(&tcp, 0.0), (&rdma, 1.0), (&gpfs, 2.0), (&unify, 3.0)];
-    let _ = scale;
-    let points = parallel_sweep(systems.to_vec(), |&(sys, x)| {
-        Point::new(x, run_mdtest(sys, &cfg).rate(MetaOp::Stat).mean)
-    });
     fig.series.push(Series {
         label: "stat/s".into(),
-        points,
+        points: result
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Point::new(i as f64, p.outcome.mdtest().rate(MetaOp::Stat).mean))
+            .collect(),
     });
     fig
 }
 
 /// Lustre stripe-count sweep: single-rank read bandwidth vs stripe
-/// width (§II: prior work tunes exactly this knob).
+/// width (§II: prior work tunes exactly this knob). Mutates the Lustre
+/// layout, so it builds its systems directly.
 pub fn lustre_stripe_sweep(scale: Scale) -> Figure {
     let stripes = [1u32, 2, 4, 8, 16, 64];
     let mut fig = Figure::new(
@@ -250,13 +322,25 @@ pub fn lustre_stripe_sweep(scale: Scale) -> Figure {
         let l = LustreConfig::on_ruby().with_stripe_count(c);
         let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 1, 1);
         cfg.reps = scale.reps();
-        Point::new(c as f64, run_ior(&l, &cfg).mean_bandwidth() / 1e9)
+        let out = run_workload_on(&l, &Workload::Ior(cfg), 1, 1);
+        Point::new(c as f64, out.ior().mean_bandwidth() / 1e9)
     });
     fig.series.push(Series {
         label: "Lustre".into(),
         points,
     });
     fig
+}
+
+/// The declarative ablation decks (the ones expressible as pure
+/// scenario JSON), for the builtin catalog.
+pub fn decks(scale: Scale) -> Vec<Deck> {
+    vec![
+        gateway_width_deck(scale),
+        nconnect_deck(scale),
+        burst_buffer_deck(scale),
+        metadata_deck(),
+    ]
 }
 
 /// All ablation figures.

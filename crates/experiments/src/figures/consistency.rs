@@ -8,45 +8,58 @@
 //! dedicated appliance should sit measurably below the facility's
 //! shared parallel file systems.
 
-use hcs_core::StorageSystem;
-use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
-use hcs_lustre::LustreConfig;
-use hcs_nvme::LocalNvmeConfig;
-use hcs_vast::{vast_on_lassen, vast_on_wombat};
+use hcs_core::scenario::{IorConfig, Scenario, Workload, WorkloadClass};
+use hcs_core::Deck;
 
+use crate::deck::run_deck;
 use crate::series::{Figure, Point, Series};
-use crate::sweep::{parallel_sweep, Scale};
+use crate::sweep::Scale;
+
+/// The consistency deck: one 4-node full-node point per deployment,
+/// always at the paper's 10 repetitions.
+pub fn deck() -> Deck {
+    let base = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::paper_scalability(
+            WorkloadClass::DataAnalytics,
+            4,
+            44,
+        )),
+    )
+    .with_reps(10) // the paper's repetition count, at every scale
+    .at_full_node();
+    let mut deck = Deck::single("consistency", base)
+        .with_title("Run-to-run variability over 10 repetitions (coefficient of variation)");
+    deck.axes.systems = vec![
+        "vast-lassen".into(),
+        "vast-wombat".into(),
+        "gpfs".into(),
+        "lustre-ruby".into(),
+        "nvme".into(),
+    ];
+    deck
+}
 
 /// Generates the consistency figure: CV (%) of repeated runs per
 /// deployment.
 pub fn generate(scale: Scale) -> Figure {
+    let _ = scale;
+    let result = run_deck(&deck());
     let mut fig = Figure::new(
-        "consistency",
-        "Run-to-run variability over 10 repetitions (coefficient of variation)",
+        result.name.clone(),
+        result.title.clone(),
         "variant (0=VAST/TCP 1=VAST/RDMA 2=GPFS 3=Lustre 4=NVMe)",
         "CV (%)",
     );
-    let tcp = vast_on_lassen();
-    let rdma = vast_on_wombat();
-    let gpfs = GpfsConfig::on_lassen();
-    let lustre = LustreConfig::on_ruby();
-    let nvme = LocalNvmeConfig::on_wombat();
-    let systems: [(&dyn StorageSystem, u32, f64); 5] = [
-        (&tcp, 44, 0.0),
-        (&rdma, 48, 1.0),
-        (&gpfs, 44, 2.0),
-        (&lustre, 56, 3.0),
-        (&nvme, 48, 4.0),
-    ];
-    let _ = scale;
-    let points = parallel_sweep(systems.to_vec(), |&(sys, ppn, x)| {
-        let mut cfg = IorConfig::paper_scalability(WorkloadClass::DataAnalytics, 4, ppn);
-        cfg.reps = 10; // the paper's repetition count, at every scale
-        let rep = run_ior(sys, &cfg);
-        let cv = rep.outcome.summary.std_dev / rep.outcome.summary.mean * 100.0;
-        Point::new(x, cv)
-    });
+    let points = result
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let s = &p.outcome.ior().outcome.summary;
+            Point::new(i as f64, s.std_dev / s.mean * 100.0)
+        })
+        .collect();
     fig.series.push(Series {
         label: "CV over 10 reps".into(),
         points,

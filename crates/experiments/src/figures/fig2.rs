@@ -7,87 +7,72 @@
 //! random read — all with the paper's IOR geometry (1 MiB block and
 //! transfer, 3,000 segments, task reordering, 10 reps).
 
-use hcs_core::StorageSystem;
-use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
-use hcs_nvme::LocalNvmeConfig;
-use hcs_vast::{vast_on_lassen, vast_on_wombat};
+use hcs_core::scenario::{IorConfig, Scenario, Workload, WorkloadClass};
+use hcs_core::Deck;
 
-use crate::series::{Figure, Point, Series};
-use crate::sweep::{parallel_sweep, Scale};
+use crate::deck::run_deck;
+use crate::figures::{ior_bandwidth_figure, workload_tag};
+use crate::series::Figure;
+use crate::sweep::Scale;
 
-fn workload_tag(w: WorkloadClass) -> &'static str {
-    match w {
-        WorkloadClass::Scientific => "scientific",
-        WorkloadClass::DataAnalytics => "analytics",
-        WorkloadClass::MachineLearning => "ml",
-    }
-}
-
-/// One panel: sweep node counts for each system.
-fn panel(
+/// One panel as a deck: sweep systems × node counts.
+fn deck(
     id: &str,
     title: &str,
-    systems: &[&dyn StorageSystem],
+    systems: &[&str],
     nodes: &[u32],
     ppn: u32,
     workload: WorkloadClass,
     reps: u32,
-) -> Figure {
-    let mut fig = Figure::new(
-        format!("{id}.{}", workload_tag(workload)),
-        format!("{title} — {}", workload.label()),
-        "nodes",
-        "aggregate bandwidth (GB/s)",
-    );
-    for sys in systems {
-        let points = parallel_sweep(nodes.to_vec(), |&n| {
-            let mut cfg = IorConfig::paper_scalability(workload, n, ppn);
-            cfg.reps = reps;
-            let rep = run_ior(*sys, &cfg);
-            Point {
-                x: n as f64,
-                y: rep.outcome.summary.mean / 1e9,
-                y_std: rep.outcome.summary.std_dev / 1e9,
-            }
-        });
-        fig.series.push(Series {
-            label: sys.name().to_string(),
-            points,
-        });
-    }
-    fig
+) -> Deck {
+    let base = Scenario::new(
+        systems[0],
+        Workload::Ior(IorConfig::paper_scalability(workload, 1, ppn)),
+    )
+    .with_reps(reps);
+    let mut deck = Deck::single(format!("{id}.{}", workload_tag(workload)), base)
+        .with_title(format!("{title} — {}", workload.label()));
+    deck.axes.systems = systems.iter().map(|s| s.to_string()).collect();
+    deck.axes.nodes = nodes.to_vec();
+    deck
 }
 
-/// Generates Fig 2a and Fig 2b (three workloads each → six figures).
-pub fn generate(scale: Scale) -> Vec<Figure> {
-    let vast_l = vast_on_lassen();
-    let gpfs = GpfsConfig::on_lassen();
-    let vast_w = vast_on_wombat();
-    let nvme = LocalNvmeConfig::on_wombat();
-
-    let mut figs = Vec::new();
+/// The six Fig 2 decks (two panels × three workloads), in figure order.
+pub fn decks(scale: Scale) -> Vec<Deck> {
+    let mut decks = Vec::new();
     for w in WorkloadClass::all() {
-        figs.push(panel(
+        decks.push(deck(
             "fig2a",
             "Scalability on Lassen (44 ppn)",
-            &[&vast_l, &gpfs],
+            &["vast-lassen", "gpfs"],
             &scale.lassen_nodes(),
             44,
             w,
             scale.reps(),
         ));
-        figs.push(panel(
+        decks.push(deck(
             "fig2b",
             "Scalability on Wombat (48 ppn)",
-            &[&vast_w, &nvme],
+            &["vast-wombat", "nvme"],
             &scale.wombat_nodes(),
             48,
             w,
             scale.reps(),
         ));
     }
-    figs
+    decks
+}
+
+/// Generates Fig 2a and Fig 2b (three workloads each → six figures).
+pub fn generate(scale: Scale) -> Vec<Figure> {
+    decks(scale)
+        .iter()
+        .map(|d| {
+            ior_bandwidth_figure(&run_deck(d), "nodes", "aggregate bandwidth (GB/s)", |p| {
+                p.nodes as f64
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

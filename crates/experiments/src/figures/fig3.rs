@@ -7,93 +7,89 @@
 //! synchronization on writes ("our purpose is to test the raw
 //! performance of the file systems").
 
-use hcs_core::StorageSystem;
-use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
-use hcs_lustre::LustreConfig;
-use hcs_nvme::LocalNvmeConfig;
-use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+use hcs_core::scenario::{IorConfig, Scenario, Workload, WorkloadClass};
+use hcs_core::Deck;
 
-use crate::series::{Figure, Point, Series};
-use crate::sweep::{parallel_sweep, Scale};
+use crate::deck::run_deck;
+use crate::figures::{ior_bandwidth_figure, workload_tag};
+use crate::series::Figure;
+use crate::sweep::Scale;
 
-fn workload_tag(w: WorkloadClass) -> &'static str {
-    match w {
-        WorkloadClass::Scientific => "scientific",
-        WorkloadClass::DataAnalytics => "analytics",
-        WorkloadClass::MachineLearning => "ml",
-    }
-}
-
-fn panel(
+/// One panel as a deck: sweep systems × process counts on one node.
+fn deck(
     id: &str,
     machine: &str,
-    systems: &[&dyn StorageSystem],
+    systems: &[&str],
     procs: &[u32],
     workload: WorkloadClass,
     reps: u32,
-) -> Figure {
-    let mut fig = Figure::new(
-        format!("{id}.{}", workload_tag(workload)),
+) -> Deck {
+    let base = Scenario::new(
+        systems[0],
+        Workload::Ior(IorConfig::paper_single_node(workload, 1)),
+    )
+    .with_reps(reps);
+    let mut deck = Deck::single(format!("{id}.{}", workload_tag(workload)), base).with_title(
         format!("Single node with fsync on {machine} — {}", workload.label()),
-        "processes",
-        "bandwidth (GB/s)",
     );
-    for sys in systems {
-        let points = parallel_sweep(procs.to_vec(), |&p| {
-            let mut cfg = IorConfig::paper_single_node(workload, p);
-            cfg.reps = reps;
-            let rep = run_ior(*sys, &cfg);
-            Point {
-                x: p as f64,
-                y: rep.outcome.summary.mean / 1e9,
-                y_std: rep.outcome.summary.std_dev / 1e9,
-            }
-        });
-        fig.series.push(Series {
-            label: sys.name().to_string(),
-            points,
-        });
+    deck.axes.systems = systems.iter().map(|s| s.to_string()).collect();
+    deck.axes.ppn = procs.to_vec();
+    deck
+}
+
+/// The eight Fig 3 decks (four machines × two workloads), in figure
+/// order.
+pub fn decks(scale: Scale) -> Vec<Deck> {
+    let procs = scale.single_node_procs();
+    let reps = scale.reps();
+    let mut decks = Vec::new();
+    for w in [WorkloadClass::Scientific, WorkloadClass::DataAnalytics] {
+        decks.push(deck(
+            "fig3a",
+            "Lassen",
+            &["vast-lassen", "gpfs"],
+            &procs,
+            w,
+            reps,
+        ));
+        decks.push(deck(
+            "fig3b",
+            "Quartz",
+            &["vast-quartz", "lustre-quartz"],
+            &procs,
+            w,
+            reps,
+        ));
+        decks.push(deck(
+            "fig3c",
+            "Ruby",
+            &["vast-ruby", "lustre-ruby"],
+            &procs,
+            w,
+            reps,
+        ));
+        decks.push(deck(
+            "fig3d",
+            "Wombat",
+            &["vast-wombat", "nvme"],
+            &procs,
+            w,
+            reps,
+        ));
     }
-    fig
+    decks
 }
 
 /// Generates Fig 3a–3d for both single-node workloads (eight figures).
 pub fn generate(scale: Scale) -> Vec<Figure> {
-    let procs = scale.single_node_procs();
-    let reps = scale.reps();
-
-    let vast_l = vast_on_lassen();
-    let gpfs = GpfsConfig::on_lassen();
-    let vast_q = vast_on_quartz();
-    let lustre_q = LustreConfig::on_quartz();
-    let vast_r = vast_on_ruby();
-    let lustre_r = LustreConfig::on_ruby();
-    let vast_w = vast_on_wombat();
-    let nvme = LocalNvmeConfig::on_wombat();
-
-    let mut figs = Vec::new();
-    for w in [WorkloadClass::Scientific, WorkloadClass::DataAnalytics] {
-        figs.push(panel("fig3a", "Lassen", &[&vast_l, &gpfs], &procs, w, reps));
-        figs.push(panel(
-            "fig3b",
-            "Quartz",
-            &[&vast_q, &lustre_q],
-            &procs,
-            w,
-            reps,
-        ));
-        figs.push(panel(
-            "fig3c",
-            "Ruby",
-            &[&vast_r, &lustre_r],
-            &procs,
-            w,
-            reps,
-        ));
-        figs.push(panel("fig3d", "Wombat", &[&vast_w, &nvme], &procs, w, reps));
-    }
-    figs
+    decks(scale)
+        .iter()
+        .map(|d| {
+            ior_bandwidth_figure(&run_deck(d), "processes", "bandwidth (GB/s)", |p| {
+                p.ppn as f64
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

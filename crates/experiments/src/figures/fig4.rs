@@ -5,53 +5,74 @@
 //! Each panel stacks, per storage system, the mean per-node
 //! *overlapping* and *non-overlapping* I/O time.
 
-use hcs_core::StorageSystem;
-use hcs_dlio::{cosmoflow, resnet50, run_dlio, DlioConfig};
-use hcs_gpfs::GpfsConfig;
-use hcs_vast::vast_on_lassen;
+use hcs_core::scenario::{DlioConfig, Scenario, Workload};
+use hcs_core::Deck;
+use hcs_dlio::{cosmoflow, resnet50};
 
+use crate::deck::{run_deck, DeckResult};
 use crate::series::{Figure, Point, Series};
-use crate::sweep::{parallel_sweep, Scale};
+use crate::sweep::Scale;
 
-fn apply_scale(mut cfg: DlioConfig, scale: Scale) -> DlioConfig {
+pub(crate) fn apply_scale(mut cfg: DlioConfig, scale: Scale) -> DlioConfig {
     if let Some(samples) = scale.dlio_samples() {
         cfg.samples = cfg.samples.min(samples);
     }
     cfg
 }
 
-/// One panel: per-system overlap/non-overlap series over node counts.
-pub(crate) fn io_time_panel(
-    id: &str,
-    cfg: &DlioConfig,
-    systems: &[&dyn StorageSystem],
-    nodes: &[u32],
-) -> Figure {
+/// A VAST-vs-GPFS DLIO deck over node counts — the sweep behind
+/// Figs 4, 5 and 6.
+pub(crate) fn dlio_deck(id: &str, title: String, cfg: DlioConfig, nodes: &[u32]) -> Deck {
+    let base = Scenario::new("vast-lassen", Workload::Dlio(cfg));
+    let mut deck = Deck::single(id, base).with_title(title);
+    deck.axes.systems = vec!["vast-lassen".into(), "gpfs".into()];
+    deck.axes.nodes = nodes.to_vec();
+    deck
+}
+
+/// The two Fig 4 decks.
+pub fn decks(scale: Scale) -> Vec<Deck> {
+    let resnet = apply_scale(resnet50(), scale);
+    let cosmo = apply_scale(cosmoflow(), scale);
+    vec![
+        dlio_deck(
+            "fig4a",
+            format!("I/O time analysis — {}", resnet.name),
+            resnet,
+            &scale.resnet_nodes(),
+        ),
+        dlio_deck(
+            "fig4b",
+            format!("I/O time analysis — {}", cosmo.name),
+            cosmo,
+            &scale.cosmoflow_nodes(),
+        ),
+    ]
+}
+
+/// Converts an executed DLIO deck into the stacked I/O-time panel:
+/// per-system overlapping and non-overlapping series.
+fn io_time_figure(result: &DeckResult) -> Figure {
     let mut fig = Figure::new(
-        id,
-        format!("I/O time analysis — {}", cfg.name),
+        result.name.clone(),
+        result.title.clone(),
         "nodes",
         "I/O time per node (s)",
     );
-    for sys in systems {
-        let results = parallel_sweep(nodes.to_vec(), |&n| run_dlio(*sys, cfg, n));
-        let overlap: Vec<Point> = nodes
-            .iter()
-            .zip(&results)
-            .map(|(&n, r)| Point::new(n as f64, r.overlapping_io()))
-            .collect();
-        let non_overlap: Vec<Point> = nodes
-            .iter()
-            .zip(&results)
-            .map(|(&n, r)| Point::new(n as f64, r.non_overlapping_io()))
-            .collect();
+    for (label, points) in result.by_system() {
         fig.series.push(Series {
-            label: format!("{} overlapping", sys.name()),
-            points: overlap,
+            label: format!("{label} overlapping"),
+            points: points
+                .iter()
+                .map(|p| Point::new(p.nodes as f64, p.outcome.dlio().overlapping_io()))
+                .collect(),
         });
         fig.series.push(Series {
-            label: format!("{} non-overlapping", sys.name()),
-            points: non_overlap,
+            label: format!("{label} non-overlapping"),
+            points: points
+                .iter()
+                .map(|p| Point::new(p.nodes as f64, p.outcome.dlio().non_overlapping_io()))
+                .collect(),
         });
     }
     fig
@@ -59,17 +80,10 @@ pub(crate) fn io_time_panel(
 
 /// Generates Fig 4a and Fig 4b.
 pub fn generate(scale: Scale) -> Vec<Figure> {
-    let vast = vast_on_lassen();
-    let gpfs = GpfsConfig::on_lassen();
-    let systems: [&dyn StorageSystem; 2] = [&vast, &gpfs];
-
-    let resnet = apply_scale(resnet50(), scale);
-    let cosmo = apply_scale(cosmoflow(), scale);
-
-    vec![
-        io_time_panel("fig4a", &resnet, &systems, &scale.resnet_nodes()),
-        io_time_panel("fig4b", &cosmo, &systems, &scale.cosmoflow_nodes()),
-    ]
+    decks(scale)
+        .iter()
+        .map(|d| io_time_figure(&run_deck(d)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,50 +6,58 @@
 //! slightly higher for GPFS compared to that of VAST, with the
 //! difference becoming more apparent only for larger scales."
 
-use hcs_core::StorageSystem;
-use hcs_dlio::{resnet50, run_dlio, DlioConfig};
-use hcs_gpfs::GpfsConfig;
-use hcs_vast::vast_on_lassen;
+use hcs_core::Deck;
+use hcs_dlio::resnet50;
 
+use crate::deck::{run_deck, DeckResult};
+use crate::figures::fig4::{apply_scale, dlio_deck};
 use crate::series::{Figure, Point, Series};
-use crate::sweep::{parallel_sweep, Scale};
+use crate::sweep::Scale;
 
-/// Builds the (app, system) throughput panels for a DLIO workload.
-pub(crate) fn throughput_panels(
-    id_app: &str,
-    id_sys: &str,
-    cfg: &DlioConfig,
-    systems: &[&dyn StorageSystem],
-    nodes: &[u32],
-) -> Vec<Figure> {
+/// The Fig 5 deck (one run per point feeds both panels).
+pub fn deck(scale: Scale) -> Deck {
+    let cfg = apply_scale(resnet50(), scale);
+    dlio_deck(
+        "fig5",
+        format!("{} throughput", cfg.name),
+        cfg,
+        &scale.resnet_nodes(),
+    )
+}
+
+/// Converts an executed DLIO deck into the (application, system)
+/// throughput panels.
+pub(crate) fn throughput_figures(result: &DeckResult, id_app: &str, id_sys: &str) -> Vec<Figure> {
+    let name = result
+        .points
+        .first()
+        .map(|p| p.outcome.dlio().workload.clone())
+        .unwrap_or_default();
     let mut app = Figure::new(
         id_app,
-        format!("{} application throughput", cfg.name),
+        format!("{name} application throughput"),
         "nodes",
         "samples/s",
     );
     let mut sysfig = Figure::new(
         id_sys,
-        format!("{} system throughput", cfg.name),
+        format!("{name} system throughput"),
         "nodes",
         "samples/s",
     );
-    for s in systems {
-        let results = parallel_sweep(nodes.to_vec(), |&n| run_dlio(*s, cfg, n));
+    for (label, points) in result.by_system() {
         app.series.push(Series {
-            label: s.name().to_string(),
-            points: nodes
+            label: label.clone(),
+            points: points
                 .iter()
-                .zip(&results)
-                .map(|(&n, r)| Point::new(n as f64, r.app_throughput))
+                .map(|p| Point::new(p.nodes as f64, p.outcome.dlio().app_throughput))
                 .collect(),
         });
         sysfig.series.push(Series {
-            label: s.name().to_string(),
-            points: nodes
+            label,
+            points: points
                 .iter()
-                .zip(&results)
-                .map(|(&n, r)| Point::new(n as f64, r.system_throughput))
+                .map(|p| Point::new(p.nodes as f64, p.outcome.dlio().system_throughput))
                 .collect(),
         });
     }
@@ -58,14 +66,7 @@ pub(crate) fn throughput_panels(
 
 /// Generates Fig 5a and Fig 5b.
 pub fn generate(scale: Scale) -> Vec<Figure> {
-    let vast = vast_on_lassen();
-    let gpfs = GpfsConfig::on_lassen();
-    let systems: [&dyn StorageSystem; 2] = [&vast, &gpfs];
-    let mut cfg = resnet50();
-    if let Some(samples) = scale.dlio_samples() {
-        cfg.samples = cfg.samples.min(samples);
-    }
-    throughput_panels("fig5a", "fig5b", &cfg, &systems, &scale.resnet_nodes())
+    throughput_figures(&run_deck(&deck(scale)), "fig5a", "fig5b")
 }
 
 #[cfg(test)]

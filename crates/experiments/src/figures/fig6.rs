@@ -4,25 +4,29 @@
 //! "Unsurprisingly, GPFS serves Cosmoflow better than VAST ... The
 //! system throughput of VAST is also lower than that of GPFS."
 
-use hcs_core::StorageSystem;
+use hcs_core::Deck;
 use hcs_dlio::cosmoflow;
-use hcs_gpfs::GpfsConfig;
-use hcs_vast::vast_on_lassen;
 
-use crate::figures::fig5::throughput_panels;
+use crate::deck::run_deck;
+use crate::figures::fig4::{apply_scale, dlio_deck};
+use crate::figures::fig5::throughput_figures;
 use crate::series::Figure;
 use crate::sweep::Scale;
 
+/// The Fig 6 deck (one run per point feeds both panels).
+pub fn deck(scale: Scale) -> Deck {
+    let cfg = apply_scale(cosmoflow(), scale);
+    dlio_deck(
+        "fig6",
+        format!("{} throughput", cfg.name),
+        cfg,
+        &scale.cosmoflow_nodes(),
+    )
+}
+
 /// Generates Fig 6a and Fig 6b.
 pub fn generate(scale: Scale) -> Vec<Figure> {
-    let vast = vast_on_lassen();
-    let gpfs = GpfsConfig::on_lassen();
-    let systems: [&dyn StorageSystem; 2] = [&vast, &gpfs];
-    let mut cfg = cosmoflow();
-    if let Some(samples) = scale.dlio_samples() {
-        cfg.samples = cfg.samples.min(samples);
-    }
-    throughput_panels("fig6a", "fig6b", &cfg, &systems, &scale.cosmoflow_nodes())
+    throughput_figures(&run_deck(&deck(scale)), "fig6a", "fig6b")
 }
 
 #[cfg(test)]

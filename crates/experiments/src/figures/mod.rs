@@ -1,4 +1,10 @@
 //! The per-artifact generators.
+//!
+//! Every figure module is a thin *deck constructor*: it declares its
+//! sweep as a [`Deck`] (see [`hcs_core::scenario`]) and converts the
+//! executed [`DeckResult`] into [`Figure`] series. The decks are also
+//! exported as data ([`all_decks`]) so `hcs decks` can list them and
+//! `hcs run` can execute any of them from JSON.
 
 pub mod ablations;
 pub mod consistency;
@@ -12,8 +18,50 @@ pub mod sensitivity;
 pub mod table1;
 pub mod takeaways;
 
-use crate::series::Figure;
+use hcs_core::scenario::WorkloadClass;
+use hcs_core::Deck;
+
+use crate::deck::{DeckResult, PointResult};
+use crate::series::{Figure, Point, Series};
 use crate::sweep::Scale;
+
+/// Figure-id suffix for a workload class.
+pub(crate) fn workload_tag(w: WorkloadClass) -> &'static str {
+    match w {
+        WorkloadClass::Scientific => "scientific",
+        WorkloadClass::DataAnalytics => "analytics",
+        WorkloadClass::MachineLearning => "ml",
+    }
+}
+
+/// Converts an executed IOR deck into a bandwidth figure: one series
+/// per system group (label = display name), y = mean GB/s with
+/// std-dev error bars, x from `x`.
+pub(crate) fn ior_bandwidth_figure(
+    result: &DeckResult,
+    x_label: &str,
+    y_label: &str,
+    x: impl Fn(&PointResult) -> f64,
+) -> Figure {
+    let mut fig = Figure::new(result.name.clone(), result.title.clone(), x_label, y_label);
+    for (label, points) in result.by_system() {
+        fig.series.push(Series {
+            label,
+            points: points
+                .iter()
+                .map(|p| {
+                    let s = &p.outcome.ior().outcome.summary;
+                    Point {
+                        x: x(p),
+                        y: s.mean / 1e9,
+                        y_std: s.std_dev / 1e9,
+                    }
+                })
+                .collect(),
+        });
+    }
+    fig
+}
 
 /// Generates every figure of the paper at the given scale (Table I and
 /// the takeaways have their own textual generators).
@@ -26,4 +74,42 @@ pub fn all_figures(scale: Scale) -> Vec<Figure> {
     figs.extend(fig6::generate(scale));
     figs.push(consistency::generate(scale));
     figs
+}
+
+/// Every builtin deck at the given scale, in figure order — the catalog
+/// behind `hcs decks` and `hcs run <name>`. Decks whose modules also
+/// apply backend-field mutations (some ablations, the sensitivity
+/// analysis) are not listable here; they run through the same executor
+/// via `run_workload_on`.
+pub fn all_decks(scale: Scale) -> Vec<Deck> {
+    let mut decks = Vec::new();
+    decks.push(example_deck());
+    decks.extend(fig2::decks(scale));
+    decks.extend(fig3::decks(scale));
+    decks.extend(fig4::decks(scale));
+    decks.push(fig5::deck(scale));
+    decks.push(fig6::deck(scale));
+    decks.push(consistency::deck());
+    decks.extend(ablations::decks(scale));
+    decks
+}
+
+/// The shipped example deck (`examples/scenarios/fig2a.json`): Fig 2a's
+/// scientific-workload panel over a compact node list, small enough for
+/// a CI smoke run.
+pub fn example_deck() -> Deck {
+    use hcs_core::scenario::{IorConfig, Scenario, Workload};
+    let base = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::paper_scalability(
+            WorkloadClass::Scientific,
+            1,
+            44,
+        )),
+    );
+    let mut deck = Deck::single("fig2a", base)
+        .with_title("Fig 2a example: IOR seq-write scalability on Lassen (44 ppn)");
+    deck.axes.systems = vec!["vast-lassen".into(), "gpfs".into()];
+    deck.axes.nodes = vec![1, 4, 16, 64];
+    deck
 }

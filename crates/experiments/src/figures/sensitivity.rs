@@ -9,11 +9,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use hcs_core::scenario::{IorConfig, Workload, WorkloadClass};
 use hcs_gpfs::GpfsConfig;
-use hcs_ior::{run_ior, IorConfig, WorkloadClass};
 use hcs_nvme::LocalNvmeConfig;
 use hcs_vast::{vast_on_lassen, vast_on_wombat, VastConfig};
 
+use crate::deck::run_workload_on;
 use crate::sweep::{parallel_sweep, Scale};
 
 /// One perturbation case and the takeaway values measured under it.
@@ -63,10 +64,18 @@ impl Knobs {
 }
 
 fn measure(k: &Knobs, reps: u32) -> (f64, f64, f64) {
+    // Every measurement runs through the deck executor's workload
+    // dispatcher — the same path `hcs run` takes.
+    let bandwidth = |sys: &dyn hcs_core::StorageSystem, cfg: IorConfig| {
+        let (nodes, ppn) = (cfg.nodes, cfg.tasks_per_node);
+        run_workload_on(sys, &Workload::Ior(cfg), nodes, ppn)
+            .ior()
+            .mean_bandwidth()
+    };
     let per_node = |sys: &dyn hcs_core::StorageSystem, w, ppn| {
         let mut cfg = IorConfig::paper_scalability(w, 1, ppn);
         cfg.reps = reps;
-        run_ior(sys, &cfg).mean_bandwidth()
+        bandwidth(sys, cfg)
     };
     let rdma_over_tcp = per_node(&k.rdma, WorkloadClass::DataAnalytics, 48)
         / per_node(&k.tcp, WorkloadClass::DataAnalytics, 44);
@@ -75,8 +84,7 @@ fn measure(k: &Knobs, reps: u32) -> (f64, f64, f64) {
             / per_node(&k.gpfs, WorkloadClass::DataAnalytics, 44);
     let mut sn = IorConfig::paper_single_node(WorkloadClass::Scientific, 32);
     sn.reps = reps;
-    let vast_over_nvme =
-        run_ior(&k.rdma, &sn).mean_bandwidth() / run_ior(&k.nvme, &sn).mean_bandwidth();
+    let vast_over_nvme = bandwidth(&k.rdma, sn.clone()) / bandwidth(&k.nvme, sn);
     (rdma_over_tcp, gpfs_drop, vast_over_nvme)
 }
 

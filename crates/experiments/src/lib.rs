@@ -21,8 +21,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod deck;
 pub mod figures;
 pub mod output;
+pub mod registry;
 pub mod render;
 pub mod series;
 pub mod shapes;
@@ -30,6 +32,7 @@ pub mod svg;
 pub mod sweep;
 pub mod traced;
 
+pub use deck::{run_deck, run_deck_traced, DeckResult, PointResult, WorkloadOutcome};
 pub use series::{Figure, Point, Series};
 pub use sweep::Scale;
 pub use traced::{traced_ior_sweep, TracedPoint, TracedSweep};

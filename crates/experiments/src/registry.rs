@@ -1,0 +1,135 @@
+//! The shared system registry: every storage deployment the suite can
+//! run, under the name scenario files and the CLI use.
+//!
+//! One table replaces the string→constructor matches that used to be
+//! hand-rolled per consumer: `hcs systems`, `hcs ior <system> ...`, and
+//! the scenario executor ([`crate::deck`]) all resolve names here, so a
+//! deployment added to the registry is immediately scriptable
+//! everywhere.
+
+use hcs_core::StorageSystem;
+use hcs_gpfs::GpfsConfig;
+use hcs_lustre::LustreConfig;
+use hcs_nvme::LocalNvmeConfig;
+use hcs_unifyfs::UnifyFsConfig;
+use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+
+/// One registered storage deployment.
+pub struct SystemEntry {
+    /// Registry key ("vast-lassen", "gpfs", ...).
+    pub key: &'static str,
+    /// The machine the deployment is bound to (Table I).
+    pub machine: &'static str,
+    /// Full-node process count on that machine (44 on Lassen's Power9
+    /// nodes, 56 on Ruby, 36 on Quartz, 48 on Wombat).
+    pub full_ppn: u32,
+    build: fn() -> Box<dyn StorageSystem>,
+}
+
+impl SystemEntry {
+    /// Constructs the deployment.
+    pub fn build(&self) -> Box<dyn StorageSystem> {
+        (self.build)()
+    }
+}
+
+/// The registry, in the paper's presentation order.
+pub fn entries() -> &'static [SystemEntry] {
+    static ENTRIES: [SystemEntry; 9] = [
+        SystemEntry {
+            key: "vast-lassen",
+            machine: "Lassen",
+            full_ppn: 44,
+            build: || Box::new(vast_on_lassen()),
+        },
+        SystemEntry {
+            key: "vast-ruby",
+            machine: "Ruby",
+            full_ppn: 56,
+            build: || Box::new(vast_on_ruby()),
+        },
+        SystemEntry {
+            key: "vast-quartz",
+            machine: "Quartz",
+            full_ppn: 36,
+            build: || Box::new(vast_on_quartz()),
+        },
+        SystemEntry {
+            key: "vast-wombat",
+            machine: "Wombat",
+            full_ppn: 48,
+            build: || Box::new(vast_on_wombat()),
+        },
+        SystemEntry {
+            key: "gpfs",
+            machine: "Lassen",
+            full_ppn: 44,
+            build: || Box::new(GpfsConfig::on_lassen()),
+        },
+        SystemEntry {
+            key: "lustre-ruby",
+            machine: "Ruby",
+            full_ppn: 56,
+            build: || Box::new(LustreConfig::on_ruby()),
+        },
+        SystemEntry {
+            key: "lustre-quartz",
+            machine: "Quartz",
+            full_ppn: 36,
+            build: || Box::new(LustreConfig::on_quartz()),
+        },
+        SystemEntry {
+            key: "nvme",
+            machine: "Wombat",
+            full_ppn: 48,
+            build: || Box::new(LocalNvmeConfig::on_wombat()),
+        },
+        SystemEntry {
+            key: "unifyfs",
+            machine: "Wombat",
+            full_ppn: 48,
+            build: || Box::new(UnifyFsConfig::on_wombat()),
+        },
+    ];
+    &ENTRIES
+}
+
+/// Looks a deployment up by registry key.
+pub fn resolve(key: &str) -> Option<&'static SystemEntry> {
+    entries().iter().find(|e| e.key == key)
+}
+
+/// All registry keys, in registry order.
+pub fn names() -> Vec<&'static str> {
+    entries().iter().map(|e| e.key).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_and_names_itself() {
+        for e in entries() {
+            let sys = e.build();
+            assert!(!sys.name().is_empty(), "{}", e.key);
+            assert!(e.full_ppn >= 36, "{}", e.key);
+        }
+    }
+
+    #[test]
+    fn resolve_finds_known_and_rejects_unknown() {
+        assert_eq!(resolve("vast-lassen").unwrap().full_ppn, 44);
+        assert_eq!(resolve("lustre-ruby").unwrap().machine, "Ruby");
+        assert!(resolve("bogus").is_none());
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let names = names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

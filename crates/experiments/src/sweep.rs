@@ -2,76 +2,10 @@
 
 use rayon::prelude::*;
 
-/// Experiment scale: full paper geometry or a fast smoke variant for
-/// tests and CI.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Scale {
-    /// Paper geometry: 3,000 segments, 10 repetitions, full node lists.
-    Paper,
-    /// Reduced geometry: same shapes, minutes → seconds.
-    Smoke,
-}
-
-impl Scale {
-    /// IOR repetitions at this scale.
-    pub fn reps(self) -> u32 {
-        match self {
-            Scale::Paper => 10,
-            Scale::Smoke => 2,
-        }
-    }
-
-    /// Node counts for the Lassen scalability sweep (full nodes,
-    /// 44 ppn, up to 128 nodes — §V).
-    pub fn lassen_nodes(self) -> Vec<u32> {
-        match self {
-            Scale::Paper => vec![1, 2, 4, 8, 16, 32, 64, 128],
-            Scale::Smoke => vec![1, 4, 16, 64],
-        }
-    }
-
-    /// Node counts for the Wombat scalability sweep (all 8 nodes,
-    /// 48 ppn — §V).
-    pub fn wombat_nodes(self) -> Vec<u32> {
-        match self {
-            Scale::Paper => vec![1, 2, 4, 8],
-            Scale::Smoke => vec![1, 2, 4, 8],
-        }
-    }
-
-    /// Process counts for the single-node tests (§V: "scale the number
-    /// of processes to 32").
-    pub fn single_node_procs(self) -> Vec<u32> {
-        match self {
-            Scale::Paper => vec![1, 2, 4, 8, 16, 32],
-            Scale::Smoke => vec![1, 4, 16, 32],
-        }
-    }
-
-    /// Node counts for the ResNet-50 weak-scaling test (§VI.B: "to 32").
-    pub fn resnet_nodes(self) -> Vec<u32> {
-        match self {
-            Scale::Paper => vec![1, 2, 4, 8, 16, 32],
-            Scale::Smoke => vec![1, 4],
-        }
-    }
-
-    /// Node counts for the Cosmoflow strong-scaling test.
-    pub fn cosmoflow_nodes(self) -> Vec<u32> {
-        match self {
-            Scale::Paper => vec![1, 2, 4, 8, 16],
-            Scale::Smoke => vec![1, 4],
-        }
-    }
-
-    /// DLIO sample count override (`None` = paper dataset).
-    pub fn dlio_samples(self) -> Option<u64> {
-        match self {
-            Scale::Paper => None,
-            Scale::Smoke => Some(96),
-        }
-    }
-}
+// The experiment scale moved into the core scenario IR (it is now
+// serializable and shared with `hcs run --scale`); this module keeps
+// the historical `hcs_experiments::sweep::Scale` path.
+pub use hcs_core::scenario::Scale;
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
@@ -94,20 +28,5 @@ mod tests {
     fn sweep_preserves_order() {
         let out = parallel_sweep((0..100).collect(), |&x: &i32| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn scales_differ() {
-        assert!(Scale::Paper.lassen_nodes().len() > Scale::Smoke.lassen_nodes().len());
-        assert_eq!(Scale::Paper.reps(), 10);
-        assert!(Scale::Smoke.dlio_samples().is_some());
-    }
-
-    #[test]
-    fn paper_scales_match_paper() {
-        assert_eq!(*Scale::Paper.lassen_nodes().last().unwrap(), 128);
-        assert_eq!(*Scale::Paper.wombat_nodes().last().unwrap(), 8);
-        assert_eq!(*Scale::Paper.single_node_procs().last().unwrap(), 32);
-        assert_eq!(*Scale::Paper.resnet_nodes().last().unwrap(), 32);
     }
 }

@@ -65,50 +65,10 @@ impl MetaOp {
     }
 }
 
-/// An MDTest run configuration (the `-n` files-per-process,
-/// file-per-process-directory layout).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct MdtestConfig {
-    /// Client nodes.
-    pub nodes: u32,
-    /// Ranks per node.
-    pub tasks_per_node: u32,
-    /// Files each rank creates/stats/unlinks (`-n`).
-    pub files_per_proc: u32,
-    /// Repetitions (`-i`).
-    pub reps: u32,
-    /// Noise seed.
-    pub seed: u64,
-}
-
-impl MdtestConfig {
-    /// A typical configuration: 1,000 files per process.
-    pub fn new(nodes: u32, tasks_per_node: u32) -> Self {
-        MdtestConfig {
-            nodes,
-            tasks_per_node,
-            files_per_proc: 1000,
-            reps: 10,
-            seed: 0x3d7e_2024,
-        }
-    }
-
-    /// Total operations per phase.
-    pub fn total_ops(&self) -> f64 {
-        self.files_per_proc as f64 * self.nodes as f64 * self.tasks_per_node as f64
-    }
-
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on zero-sized dimensions.
-    pub fn validate(&self) {
-        assert!(self.nodes >= 1, "need at least one node");
-        assert!(self.tasks_per_node >= 1, "need at least one task");
-        assert!(self.files_per_proc >= 1, "need at least one file");
-        assert!(self.reps >= 1, "need at least one repetition");
-    }
-}
+// The run configuration lives in the core scenario IR (so a
+// `hcs_core::Scenario` can embed a metadata workload); this crate keeps
+// its historical path and owns the execution engine.
+pub use hcs_core::scenario::mdtest::MdtestConfig;
 
 /// Aggregate rates of one MDTest run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

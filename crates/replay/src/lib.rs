@@ -45,21 +45,10 @@ pub struct ProcessProfile {
     pub threads: u32,
 }
 
-/// Replay parameters.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct ReplayConfig {
-    /// Request size used to provision the target system (the dominant
-    /// transfer size of the trace; taken from the median read when not
-    /// set).
-    pub transfer_size: Option<f64>,
-    /// Prefetch queue depth per process (defaults to 2× threads).
-    pub prefetch_depth: Option<u32>,
-    /// Whether each read opened its own file (pays the target system's
-    /// per-file metadata latency). `None` infers it from the trace:
-    /// sub-MiB requests are treated as file-per-sample datasets (JPEG
-    /// folders), larger ones as shard streaming.
-    pub file_per_read: Option<bool>,
-}
+// The replay parameters live in the core scenario IR (so a
+// `hcs_core::Scenario` can embed a replay workload); this crate keeps
+// its historical path and owns the execution engine.
+pub use hcs_core::scenario::replay::ReplayConfig;
 
 /// The replay outcome.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -87,3 +87,21 @@ fn parallel_figure_generation_is_deterministic() {
     let b = fig2::generate(Scale::Smoke);
     assert_eq!(a, b);
 }
+
+#[test]
+fn deck_results_are_independent_of_worker_count() {
+    // The deck executor fans points out over the rayon pool; a run
+    // pinned to one worker must be bit-identical to a run on several —
+    // the scheduling never reaches the physics.
+    use hcs_experiments::run_deck;
+    let deck = hcs_experiments::figures::example_deck().smoked();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_deck(&deck);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = run_deck(&deck);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a, b, "point {} differs across pool sizes", a.scenario.name);
+    }
+}

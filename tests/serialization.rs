@@ -2,6 +2,8 @@
 //! type — the suite's configs are meant to be stored, diffed and
 //! shared as JSON.
 
+use hcs_core::scenario::{MdtestConfig, SweepAxes};
+use hcs_core::{Deck, GraphEdit, Scale, Scenario, StageKind, Workload};
 use hcs_dlio::{cosmoflow, resnet50, run_dlio};
 use hcs_gpfs::GpfsConfig;
 use hcs_ior::{run_ior, IorConfig, WorkloadClass};
@@ -9,6 +11,7 @@ use hcs_lustre::LustreConfig;
 use hcs_nvme::LocalNvmeConfig;
 use hcs_topology::all_clusters;
 use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
+use proptest::prelude::*;
 
 fn round_trip<T>(value: &T) -> T
 where
@@ -62,6 +65,91 @@ fn results_round_trip() {
 
     let dlio = run_dlio(&GpfsConfig::on_lassen(), &resnet50().smoke(), 1);
     assert_eq!(round_trip(&dlio), dlio);
+}
+
+#[test]
+fn scenarios_and_decks_round_trip() {
+    for scale in [Scale::Paper, Scale::Smoke] {
+        assert_eq!(round_trip(&scale), scale);
+        for deck in hcs_experiments::figures::all_decks(scale) {
+            assert_eq!(round_trip(&deck), deck, "deck {}", deck.name);
+            for point in deck.expand() {
+                assert_eq!(round_trip(&point), point, "point {}", point.name);
+            }
+        }
+    }
+    // Graph edits survive inside a scenario.
+    let sc = Scenario::new("vast-lassen", Workload::Mdtest(MdtestConfig::new(2, 4))).with_reps(3);
+    let mut sc = sc;
+    sc.edits = vec![
+        GraphEdit::WidenGateway { count: 4 },
+        GraphEdit::ScalePool {
+            kind: StageKind::Gateway,
+            factor: 2.0,
+        },
+    ];
+    assert_eq!(round_trip(&sc), sc);
+}
+
+#[test]
+fn shipped_example_deck_is_the_golden_fixture() {
+    // examples/scenarios/fig2a.json is what `hcs decks --export` writes
+    // for the example deck; `hcs run examples/scenarios/fig2a.json`
+    // must execute exactly the builtin.
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/fig2a.json"
+    ))
+    .expect("shipped fixture exists");
+    let deck: Deck = serde_json::from_str(&json).expect("fixture parses as a deck");
+    assert_eq!(deck, hcs_experiments::figures::example_deck());
+}
+
+proptest! {
+    /// Deck expansion is duplicate-free (every point name is unique)
+    /// and stable-ordered (expanding twice yields the same list), for
+    /// arbitrary axis contents including duplicated axis values.
+    #[test]
+    fn deck_expansion_is_duplicate_free_and_stable(
+        systems in proptest::collection::vec(
+            prop_oneof![
+                Just("vast-lassen".to_string()),
+                Just("vast-wombat".to_string()),
+                Just("gpfs".to_string()),
+                Just("nvme".to_string()),
+            ],
+            0..4,
+        ),
+        nodes in proptest::collection::vec(1u32..6, 0..4),
+        ppn in proptest::collection::vec(1u32..5, 0..3),
+        transfer_sizes in proptest::collection::vec(
+            prop_oneof![Just(4096.0f64), Just(65536.0f64), Just(1048576.0f64)],
+            0..3,
+        ),
+        widen in 0u32..3,
+    ) {
+        let base = Scenario::new(
+            "gpfs",
+            Workload::Ior(IorConfig::smoke(WorkloadClass::Scientific, 1, 2)),
+        );
+        let mut deck = Deck::single("prop", base);
+        deck.axes = SweepAxes {
+            systems,
+            nodes,
+            ppn,
+            transfer_sizes,
+            edit_sets: (0..widen)
+                .map(|i| vec![GraphEdit::WidenGateway { count: i + 1 }])
+                .collect(),
+        };
+        let points = deck.expand();
+        let mut names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), total, "duplicate point names");
+        prop_assert_eq!(deck.expand(), points, "expansion is not stable");
+    }
 }
 
 #[test]

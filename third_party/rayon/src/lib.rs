@@ -95,10 +95,19 @@ where
 }
 
 /// Number of worker threads to use for `len` items.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's global pool) so tests
+/// can pin the worker count and compare runs across pool sizes.
 fn thread_count(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     cores.min(len).max(1)
 }
 
