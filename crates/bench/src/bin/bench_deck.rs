@@ -1,0 +1,100 @@
+//! Self-profiling harness: runs every builtin deck at smoke scale
+//! through the metered executor and writes `BENCH_deck.json` — one
+//! record per point with its wall-clock cost, flow-solver epoch count
+//! and flow-group count, plus per-deck totals. The artifact answers
+//! "where does simulation time go" for the deck catalog the same way
+//! `hcs report` answers it for a workload.
+//!
+//! Usage: `hcs-bench [output-path]` (default `BENCH_deck.json` in the
+//! current directory — CI runs it from the repo root).
+
+use serde::Serialize;
+use std::time::Instant;
+
+use hcs_core::scenario::Scale;
+use hcs_experiments::{figures, run_deck_with_metrics};
+
+#[derive(Serialize)]
+struct PointRecord {
+    deck: String,
+    point: String,
+    system: String,
+    nodes: u32,
+    ppn: u32,
+    headline: String,
+    wall_seconds: f64,
+    solver_epochs: u64,
+    flow_groups: u64,
+}
+
+#[derive(Serialize)]
+struct DeckRecord {
+    deck: String,
+    points: usize,
+    wall_seconds: f64,
+    solver_epochs: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    scale: String,
+    decks: Vec<DeckRecord>,
+    points: Vec<PointRecord>,
+    total_wall_seconds: f64,
+    total_solver_epochs: u64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_deck.json".to_string());
+    let mut points = Vec::new();
+    let mut decks = Vec::new();
+    for deck in figures::all_decks(Scale::Smoke) {
+        let start = Instant::now();
+        let result = run_deck_with_metrics(&deck);
+        let wall = start.elapsed().as_secs_f64();
+        let mut epochs = 0;
+        for p in &result.points {
+            let m = p
+                .metrics
+                .as_ref()
+                .expect("metered executor populates every point");
+            epochs += m.solver_epochs;
+            points.push(PointRecord {
+                deck: deck.name.clone(),
+                point: p.scenario.name.clone(),
+                system: p.system.clone(),
+                nodes: p.nodes,
+                ppn: p.ppn,
+                headline: p.outcome.headline(),
+                wall_seconds: m.wall_clock_seconds,
+                solver_epochs: m.solver_epochs,
+                flow_groups: m.flow_groups,
+            });
+        }
+        eprintln!(
+            "{:<22} {:>3} points  {:>7.3}s  {:>8} solver epochs",
+            deck.name,
+            result.points.len(),
+            wall,
+            epochs
+        );
+        decks.push(DeckRecord {
+            deck: deck.name.clone(),
+            points: result.points.len(),
+            wall_seconds: wall,
+            solver_epochs: epochs,
+        });
+    }
+    let report = BenchReport {
+        scale: "smoke".to_string(),
+        total_wall_seconds: decks.iter().map(|d| d.wall_seconds).sum(),
+        total_solver_epochs: decks.iter().map(|d| d.solver_epochs).sum(),
+        decks,
+        points,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("[wrote {out_path}]");
+}

@@ -6,7 +6,8 @@
 //! hcs dlio  <system> <resnet50|cosmoflow> [nodes]   run DLIO
 //! hcs mdtest <system> [nodes] [ppn]         run the metadata benchmark
 //! hcs replay <trace.json> <system>          what-if replay of a trace
-//! hcs run <deck.json|name> [--scale smoke]  execute a scenario deck
+//! hcs run <deck.json|name> [--scale smoke] [--metrics]  execute a scenario deck
+//! hcs report <deck-result.json>             render a deck result as a report
 //! hcs decks [--export <dir>]                list/export the builtin decks
 //! hcs figures [--scale smoke]               regenerate every figure
 //! hcs takeaways [--scale smoke]             §VII paper-vs-measured
@@ -32,6 +33,8 @@ commands:
   explain <system> <workload> [nodes] [ppn]  show resources, utilization and the bottleneck
   replay <trace.json> <system>           what-if replay of a chrome trace
   run <deck.json|scenario.json|name>     execute a scenario deck (see `hcs decks`)
+  report <deck-result.json>              render a deck result written by `hcs run`
+                                         as a markdown attribution report
   decks [--export <dir>]                 list builtin decks / export them as JSON
   figures                                regenerate every paper figure
   takeaways                              print §VII paper-vs-measured
@@ -45,7 +48,12 @@ options:
   --smoke                alias for --scale smoke
   --trace <path>   (ior, dlio, run) dump a Chrome trace of the run —
                    flows, per-resource utilization, bottleneck
-                   hand-offs — and print the telemetry summary";
+                   hand-offs — and print the telemetry summary
+  --metrics        (run) collect per-point I/O-time decomposition,
+                   bottleneck shares and cross-rep statistics into the
+                   result JSON (for `hcs report`); outcomes are
+                   bit-identical with or without it
+  --format <md|json>  (report) output format, default md";
 
 /// Resolves a system name via the shared registry to a deployment and
 /// its machine's full-node process count.
@@ -84,6 +92,32 @@ fn trace_flag(args: &[String]) -> (Vec<String>, Option<String>) {
         }
     }
     (rest, path)
+}
+
+/// Splits the boolean `--metrics` flag out of the arg list.
+fn metrics_flag(args: &[String]) -> (Vec<String>, bool) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
+    let metrics = rest.len() != args.len();
+    (rest, metrics)
+}
+
+/// Splits `--format <md|json>` out of the arg list.
+fn format_flag(args: &[String]) -> (Vec<String>, String) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut format = "md".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--format" {
+            match it.next().map(String::as_str) {
+                Some(f @ ("md" | "json")) => format = f.to_string(),
+                Some(f) => die(&format!("--format: unknown format '{f}' (md|json)")),
+                None => die("--format: missing value (md|json)"),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, format)
 }
 
 /// Splits `--scale <paper|smoke>` (and its `--smoke` shorthand) out of
@@ -183,6 +217,8 @@ fn dump_trace(recorder: &Recorder, path: &str) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (raw, trace) = trace_flag(&raw);
+    let (raw, metrics) = metrics_flag(&raw);
+    let (raw, format) = format_flag(&raw);
     let (args, scale) = scale_flag(&raw);
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
@@ -365,9 +401,13 @@ fn main() {
                 scale.label()
             );
             let mut recorder = Recorder::new();
-            let result = match &trace {
-                Some(_) => hcs_experiments::run_deck_traced(&deck, &mut recorder),
-                None => hcs_experiments::run_deck(&deck),
+            let result = match (&trace, metrics) {
+                (Some(_), true) => {
+                    hcs_experiments::run_deck_traced_with_metrics(&deck, &mut recorder)
+                }
+                (Some(_), false) => hcs_experiments::run_deck_traced(&deck, &mut recorder),
+                (None, true) => hcs_experiments::run_deck_with_metrics(&deck),
+                (None, false) => hcs_experiments::run_deck(&deck),
             };
             for p in &result.points {
                 println!(
@@ -388,8 +428,32 @@ fn main() {
             std::fs::write(&out, json)
                 .unwrap_or_else(|e| die(&format!("run: cannot write {}: {e}", out.display())));
             println!("[wrote {}]", out.display());
+            if metrics {
+                println!(
+                    "[metrics collected — render with `hcs report {}`]",
+                    out.display()
+                );
+            }
             if let Some(path) = &trace {
                 dump_trace(&recorder, path);
+            }
+        }
+        "report" => {
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| die("report: missing deck result path (from `hcs run`)"));
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("report: cannot read {path}: {e}")));
+            let result: hcs_experiments::DeckResult = serde_json::from_str(&json)
+                .unwrap_or_else(|e| die(&format!("report: {path} is not a deck result: {e}")));
+            match format.as_str() {
+                "json" => {
+                    let out =
+                        serde_json::to_string_pretty(&hcs_experiments::to_report_json(&result))
+                            .unwrap_or_else(|e| die(&format!("report: cannot serialize: {e}")));
+                    println!("{out}");
+                }
+                _ => print!("{}", hcs_experiments::render_markdown(&result)),
             }
         }
         "decks" => {

@@ -37,6 +37,7 @@
 
 pub mod campaign;
 pub mod graph;
+pub mod metrics;
 pub mod outcome;
 pub mod phase;
 pub mod runner;
@@ -48,6 +49,7 @@ pub mod testing;
 pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
 pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
 pub use hcs_devices::{AccessPattern, IoOp};
+pub use metrics::{DeckMetricsSummary, PointMetrics, Stats, StatsSummary, SystemMetrics};
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
 pub use scenario::{Deck, GraphEdit, Scale, Scenario, SweepAxes, Workload};

@@ -1,0 +1,356 @@
+//! Deck-native metrics: deterministic cross-repetition statistics and
+//! the per-point observability bundle.
+//!
+//! The paper's conclusions are statistical claims over repetitions
+//! ("who wins, by what factor, how consistently") backed by I/O-time
+//! decomposition. This module carries both through the deck executor:
+//!
+//! * [`Stats`] — a deterministic accumulator over repetition
+//!   observations. It stores the raw values, so `merge` is plain
+//!   concatenation: `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` hold the same
+//!   values in the same order and every derived figure (mean, stddev,
+//!   percentiles) is bit-identical — the property that keeps
+//!   [`DeckMetricsSummary`] stable across rayon worker counts.
+//! * [`PointMetrics`] — one deck point's self-explanation: the
+//!   workload's [`IoDecomposition`], perceived vs. system throughput,
+//!   time-weighted bottleneck shares (the PR-2
+//!   [`MetricsSummary`](crate::telemetry::MetricsSummary) attribution)
+//!   and sim-engine counters (flow-solver rate epochs, flow groups,
+//!   wall clock).
+//! * [`DeckMetricsSummary`] / [`SystemMetrics`] — per-system roll-ups
+//!   plus winner/factor/crossover extraction across a deck's sweep.
+//!
+//! Everything here is pure data + arithmetic: collection happens in the
+//! deck executor (`hcs-experiments`), behind the existing recorder
+//! hooks, so an un-metered run pays nothing.
+
+use hcs_dftrace::IoDecomposition;
+use hcs_simkit::stats::percentile_sorted;
+use serde::{Deserialize, Serialize};
+
+use crate::telemetry::BottleneckShare;
+
+/// Deterministic statistics accumulator over repetition observations.
+///
+/// Values are kept in insertion order; [`Stats::merge`] appends, so the
+/// merged value sequence — and therefore every derived statistic — is
+/// independent of how the observations were grouped before merging.
+/// Repetition counts are small (the paper runs 10 reps), so storing the
+/// sample is cheaper than defending a streaming accumulator's
+/// determinism.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    values: Vec<f64>,
+}
+
+impl Stats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An accumulator seeded with `values` (kept in the given order).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Stats { values }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Merges another accumulator into this one by concatenation —
+    /// associative and order-stable at the bit level.
+    pub fn merge(&mut self, other: &Stats) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// The raw observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 when empty), summed in insertion order.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation (0 with fewer than 2 values).
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (std/|mean|; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m.abs()
+        }
+    }
+
+    /// Smallest observation (0 when empty — infinities would not
+    /// round-trip through JSON).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Linear-interpolation percentile, `p` in `[0, 100]` (0 when
+    /// empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        percentile_sorted(&sorted, p)
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// All derived statistics as one serializable record.
+    pub fn summary(&self) -> StatsSummary {
+        StatsSummary {
+            count: self.count(),
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            cv: self.cv(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.p50(),
+            p95: self.p95(),
+        }
+    }
+}
+
+/// The derived statistics of a [`Stats`] sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (std/|mean|).
+    pub cv: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+}
+
+/// One deck point's observability bundle: decomposition, throughputs,
+/// bottleneck attribution, cross-rep spread and sim-engine counters.
+///
+/// Collected only when metrics are requested (`hcs run --metrics`);
+/// serialized with `skip_serializing_if` on the owning
+/// `PointResult`, so result artifacts without metrics stay
+/// byte-compatible.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointMetrics {
+    /// I/O-time decomposition of the point's (noise-free base) run —
+    /// exact interval arithmetic for DLIO/replay (`hcs-dftrace`
+    /// decompose), phase-level accounting for IOR/MDTest/job.
+    pub decomposition: IoDecomposition,
+    /// Seconds spent in read-side I/O phases.
+    pub read_seconds: f64,
+    /// Seconds spent in write-side I/O phases (checkpoints, creates,
+    /// unlinks count as writes).
+    pub write_seconds: f64,
+    /// Application-perceived throughput (work over `|C| + |R \ C|`).
+    pub perceived_throughput: f64,
+    /// Storage-side throughput (work over `|R|`).
+    pub system_throughput: f64,
+    /// Unit of the two throughputs ("B/s", "samples/s", "ops/s").
+    pub throughput_unit: String,
+    /// The point's headline observable (mean over reps), in the units
+    /// the workload family reports (bytes/s, samples/s, ops/s or
+    /// seconds).
+    pub headline_value: f64,
+    /// Unit of [`Self::headline_value`] ("B/s", "samples/s", "ops/s",
+    /// "s") — differs from [`Self::throughput_unit`] for families whose
+    /// headline is a wall time.
+    pub headline_unit: String,
+    /// Whether a larger [`Self::headline_value`] is better (bandwidth
+    /// and throughput: yes; job/replay wall time: no).
+    pub higher_is_better: bool,
+    /// Raw per-repetition headline observations, where the workload
+    /// retains them (IOR keeps per-rep bandwidths; single-shot families
+    /// hold one value).
+    pub rep_values: Stats,
+    /// Cross-repetition coefficient of variation of the headline (from
+    /// raw reps where available, from the workload's own summary
+    /// otherwise).
+    pub rep_cv: f64,
+    /// Time-weighted bottleneck shares, descending by seconds (the
+    /// telemetry layer's attribution for this point's run).
+    pub bottlenecks: Vec<BottleneckShare>,
+    /// Flow-solver rate epochs the point's run triggered.
+    pub solver_epochs: u64,
+    /// Flow groups the point's run placed into the network.
+    pub flow_groups: u64,
+    /// Host wall-clock seconds spent executing the point. The only
+    /// non-deterministic field — excluded from reports and from
+    /// [`DeckMetricsSummary`] aggregation.
+    pub wall_clock_seconds: f64,
+}
+
+/// Per-system cross-rep roll-up inside a [`DeckMetricsSummary`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// System display label (one `by_system` group).
+    pub system: String,
+    /// Number of deck points in the group.
+    pub points: usize,
+    /// Per-point headline values, in sweep order.
+    pub headline: Stats,
+    /// Per-point cross-rep CVs, in sweep order.
+    pub rep_cv: Stats,
+    /// The resource that accumulated the most bottleneck seconds across
+    /// the group's points, as "stage-label resource-name".
+    pub top_bottleneck: Option<String>,
+}
+
+/// Deck-level verdict: per-system statistics plus winner / factor /
+/// crossover extraction over the sweep.
+///
+/// Built from deterministic per-point fields only (never wall clock),
+/// so it is bit-identical across rayon worker counts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeckMetricsSummary {
+    /// Unit of the headline values being compared.
+    pub unit: String,
+    /// Whether larger headline values win.
+    pub higher_is_better: bool,
+    /// One roll-up per `by_system` group, in sweep order.
+    pub systems: Vec<SystemMetrics>,
+    /// The system with the best mean headline (`None` for an empty
+    /// deck).
+    pub winner: Option<String>,
+    /// Mean-headline advantage of the winner over the runner-up
+    /// (always ≥ 1; exactly 1 with a single system).
+    pub factor: f64,
+    /// Sweep positions where the per-point winner changes, as
+    /// "loser -> winner at point-name" descriptions (empty without a
+    /// multi-system aligned sweep).
+    pub crossovers: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_reference_values() {
+        let s = Stats::from_values(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.p50() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = Stats::new();
+        for v in [
+            s.mean(),
+            s.std_dev(),
+            s.cv(),
+            s.min(),
+            s.max(),
+            s.p50(),
+            s.p95(),
+        ] {
+            assert_eq!(v, 0.0);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let mut a = Stats::from_values(vec![1.0, 2.0]);
+        let b = Stats::from_values(vec![3.0]);
+        let c = Stats::from_values(vec![4.0, 5.0]);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        a.merge(&right_tail);
+        assert_eq!(left, a);
+        assert_eq!(left.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Stats::from_values(vec![10.0, 20.0, 30.0, 40.0]);
+        assert!((s.percentile(50.0) - 25.0).abs() < 1e-12);
+        assert!((s.percentile(100.0) - 40.0).abs() < 1e-12);
+        assert!((s.percentile(0.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_serde_round_trip() {
+        let s = Stats::from_values(vec![1.5, 2.5, 3.5]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.summary(), s.summary());
+    }
+}

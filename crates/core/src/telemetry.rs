@@ -70,8 +70,14 @@ pub struct UtilizationTimeline {
 }
 
 impl UtilizationTimeline {
-    /// Time-weighted busy seconds (allocation > 0).
+    /// Time-weighted busy seconds (allocation > 0). Zero-span
+    /// timelines (no samples, or `end` at/before the first sample)
+    /// report 0.0 — never NaN, and never phantom time from segments
+    /// that would close before they open.
     pub fn busy_seconds(&self) -> f64 {
+        if self.span() <= 0.0 {
+            return 0.0;
+        }
         self.segments()
             .filter(|(_, dt, alloc, _)| *alloc > 0.0 && *dt > 0.0)
             .map(|(_, dt, _, _)| dt)
@@ -165,6 +171,8 @@ pub struct Recorder {
     timelines: Vec<UtilizationTimeline>,
     clock: f64,
     bottleneck_seconds: Vec<BottleneckShare>,
+    solver_epochs: u64,
+    flow_groups: u64,
 }
 
 impl Recorder {
@@ -189,6 +197,18 @@ impl Recorder {
         &self.timelines
     }
 
+    /// Flow-solver rate epochs across all absorbed phases (one
+    /// allocation sample is emitted per epoch, so this counts solver
+    /// invocations the engine actually performed).
+    pub fn solver_epochs(&self) -> u64 {
+        self.solver_epochs
+    }
+
+    /// Flow groups across all absorbed phases.
+    pub fn flow_groups(&self) -> u64 {
+        self.flow_groups
+    }
+
     /// Absorbs one run's flow log: shifts it onto the global clock,
     /// emits phase/flow/resource events, extends the timelines,
     /// attributes bottleneck time, and advances the clock by
@@ -207,19 +227,35 @@ impl Recorder {
         assert!(duration >= 0.0, "phase duration must be non-negative");
         let t0 = self.clock;
         let end = t0 + duration;
+        // Sim-engine counters: plain integer adds, visible to metrics
+        // consumers without re-walking the log.
+        self.solver_epochs += log.samples.len() as u64;
+        self.flow_groups += log.flows.len() as u64;
 
-        self.tracer
-            .complete(label, EventCategory::Phase, PHASE_PID, 0, t0, end);
+        // Durations are computed in the phase's local frame and only
+        // start times are shifted by the clock: `t0 + x` and `y - x`
+        // never mix, so an event's duration is bitwise identical no
+        // matter what clock the phase landed on. That makes stacking a
+        // point's private recorder (`absorb_recorder`) reproduce the
+        // shared-recorder trace exactly.
+        self.tracer.record(TraceEvent {
+            name: label.to_string(),
+            cat: EventCategory::Phase,
+            pid: PHASE_PID,
+            tid: 0,
+            ts: t0,
+            dur: duration,
+            bytes: None,
+        });
 
         for f in &log.flows {
-            let f_end = t0 + f.end.unwrap_or(duration);
             self.tracer.record(TraceEvent {
                 name: format!("{label}/flow"),
                 cat: EventCategory::Flow,
                 pid: f.tag as u32,
                 tid: 0,
                 ts: t0 + f.start,
-                dur: (f_end - (t0 + f.start)).max(0.0),
+                dur: (f.end.unwrap_or(duration) - f.start).max(0.0),
                 bytes: Some(f.bytes * f.multiplicity as f64),
             });
         }
@@ -232,15 +268,11 @@ impl Recorder {
         };
 
         // Per-resource timelines + one Resource event per rate epoch.
+        // Segment lengths come from the local sample times (see above).
         for (idx, (name, _)) in log.resources.iter().enumerate() {
-            let samples: Vec<(f64, f64, f64)> = log
-                .samples
-                .iter()
-                .map(|s| (t0 + s.t, s.allocated[idx], s.capacity[idx]))
-                .collect();
-            for (i, &(t, alloc, _)) in samples.iter().enumerate() {
-                let seg_end = samples.get(i + 1).map_or(end, |s| s.0);
-                if seg_end <= t {
+            for (i, s) in log.samples.iter().enumerate() {
+                let seg = log.samples.get(i + 1).map_or(duration, |n| n.t) - s.t;
+                if seg <= 0.0 {
                     continue;
                 }
                 self.tracer.record(TraceEvent {
@@ -248,15 +280,19 @@ impl Recorder {
                     cat: EventCategory::Resource,
                     pid: RESOURCE_PID,
                     tid: idx as u32,
-                    ts: t,
-                    dur: seg_end - t,
-                    bytes: Some(alloc * (seg_end - t)),
+                    ts: t0 + s.t,
+                    dur: seg,
+                    bytes: Some(s.allocated[idx] * seg),
                 });
             }
             self.timelines.push(UtilizationTimeline {
                 name: name.clone(),
                 kind: kind_of(idx),
-                samples,
+                samples: log
+                    .samples
+                    .iter()
+                    .map(|s| (t0 + s.t, s.allocated[idx], s.capacity[idx]))
+                    .collect(),
                 end,
             });
         }
@@ -307,14 +343,17 @@ impl Recorder {
     /// the clock.
     pub fn record_compute(&mut self, label: &str, seconds: f64) {
         assert!(seconds >= 0.0, "compute time must be non-negative");
-        self.tracer.complete(
-            label,
-            EventCategory::Compute,
-            PHASE_PID,
-            0,
-            self.clock,
-            self.clock + seconds,
-        );
+        // Shift-invariant like `absorb_phase`: the duration is the
+        // local span, only the start is on the clock.
+        self.tracer.record(TraceEvent {
+            name: label.to_string(),
+            cat: EventCategory::Compute,
+            pid: PHASE_PID,
+            tid: 0,
+            ts: self.clock,
+            dur: seconds,
+            bytes: None,
+        });
         self.clock += seconds;
     }
 
@@ -329,6 +368,42 @@ impl Recorder {
             e.ts += t0;
             self.tracer.record(e);
         }
+    }
+
+    /// Absorbs another recorder wholesale: its events, timelines and
+    /// bottleneck seconds are shifted onto this recorder's clock, its
+    /// counters are added, and the clock advances by its full span.
+    ///
+    /// This is how the metered deck executor keeps one coherent trace:
+    /// each point runs into a fresh recorder (so metrics stay
+    /// per-point) and is then stacked onto the shared deck recorder —
+    /// the resulting trace is bit-identical to running every point
+    /// into the shared recorder directly, because each phase would
+    /// have started at the same global instant either way.
+    pub fn absorb_recorder(&mut self, other: &Recorder) {
+        let t0 = self.clock;
+        self.merge_events(&other.tracer);
+        for tl in &other.timelines {
+            self.timelines.push(UtilizationTimeline {
+                name: tl.name.clone(),
+                kind: tl.kind,
+                samples: tl.samples.iter().map(|&(t, a, c)| (t0 + t, a, c)).collect(),
+                end: t0 + tl.end,
+            });
+        }
+        for b in &other.bottleneck_seconds {
+            match self
+                .bottleneck_seconds
+                .iter_mut()
+                .find(|x| x.name == b.name && x.kind == b.kind)
+            {
+                Some(x) => x.seconds += b.seconds,
+                None => self.bottleneck_seconds.push(b.clone()),
+            }
+        }
+        self.solver_epochs += other.solver_epochs;
+        self.flow_groups += other.flow_groups;
+        self.clock = t0 + other.clock;
     }
 
     /// Serializes everything recorded so far to Chrome-trace JSON.
@@ -461,6 +536,72 @@ mod tests {
             back.by_category(&EventCategory::Resource).count(),
             rec.tracer().by_category(&EventCategory::Resource).count()
         );
+    }
+
+    #[test]
+    fn zero_span_timelines_report_zero_not_nan() {
+        // No samples at all.
+        let empty = UtilizationTimeline {
+            name: "idle".into(),
+            kind: None,
+            samples: vec![],
+            end: 0.0,
+        };
+        // Samples, but the window closes at (and before) its opening
+        // instant — the degenerate shapes a zero-duration phase
+        // produces.
+        let collapsed = UtilizationTimeline {
+            name: "collapsed".into(),
+            kind: None,
+            samples: vec![(5.0, 50.0, 100.0)],
+            end: 5.0,
+        };
+        let inverted = UtilizationTimeline {
+            name: "inverted".into(),
+            kind: None,
+            samples: vec![(5.0, 50.0, 100.0)],
+            end: 4.0,
+        };
+        for tl in [&empty, &collapsed, &inverted] {
+            assert_eq!(tl.span(), 0.0, "{}", tl.name);
+            assert_eq!(tl.busy_seconds(), 0.0, "{}", tl.name);
+            assert_eq!(tl.mean_utilization(), 0.0, "{}", tl.name);
+            assert!(!tl.mean_utilization().is_nan(), "{}", tl.name);
+        }
+    }
+
+    #[test]
+    fn recorder_counts_epochs_and_flow_groups() {
+        let (log, dur) = one_flow_log();
+        let mut rec = Recorder::new();
+        assert_eq!((rec.solver_epochs(), rec.flow_groups()), (0, 0));
+        rec.absorb_phase("a", &log, &[], dur);
+        assert_eq!(rec.solver_epochs(), log.samples.len() as u64);
+        assert_eq!(rec.flow_groups(), 1);
+        rec.absorb_phase("b", &log, &[], dur);
+        assert_eq!(rec.solver_epochs(), 2 * log.samples.len() as u64);
+        assert_eq!(rec.flow_groups(), 2);
+    }
+
+    #[test]
+    fn absorb_recorder_matches_direct_absorption() {
+        let (log, dur) = one_flow_log();
+        // Direct: both phases into one recorder.
+        let mut direct = Recorder::new();
+        direct.absorb_phase("a", &log, &[], dur);
+        direct.absorb_phase("b", &log, &[], dur);
+        // Stacked: each phase into its own recorder, then absorbed.
+        let mut stacked = Recorder::new();
+        for label in ["a", "b"] {
+            let mut point = Recorder::new();
+            point.absorb_phase(label, &log, &[], dur);
+            stacked.absorb_recorder(&point);
+        }
+        assert_eq!(stacked.to_chrome_json(), direct.to_chrome_json());
+        assert_eq!(stacked.metrics_summary(), direct.metrics_summary());
+        assert_eq!(stacked.clock(), direct.clock());
+        assert_eq!(stacked.solver_epochs(), direct.solver_epochs());
+        assert_eq!(stacked.flow_groups(), direct.flow_groups());
     }
 
     #[test]

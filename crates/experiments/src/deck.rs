@@ -12,14 +12,20 @@
 //! executed the point).
 
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
-use hcs_core::{Deck, Reconfigured, Recorder, Scenario, StorageSystem, Workload};
+use hcs_core::{
+    Deck, DeckMetricsSummary, PointMetrics, Reconfigured, Recorder, Scenario, StorageSystem,
+    Workload,
+};
 use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
 use hcs_ior::{run_ior, run_ior_traced, IorReport};
 use hcs_mdtest::{run_mdtest, MdtestReport};
 use hcs_replay::{replay, ReplayResult};
 
+use crate::metrics::{collect_point_metrics, deck_metrics_summary};
 use crate::registry;
+use crate::report::fmt;
 use crate::sweep::parallel_sweep;
 
 /// The typed result of one scenario point — one variant per workload
@@ -91,30 +97,35 @@ impl WorkloadOutcome {
         }
     }
 
-    /// A one-line, human-readable summary for CLI output.
+    /// A one-line, human-readable summary for CLI output. Number
+    /// formatting is shared with the `hcs report` renderer through
+    /// [`crate::report::fmt`], so the report's cells and the run
+    /// listing's headlines always agree digit-for-digit.
     pub fn headline(&self) -> String {
         match self {
-            WorkloadOutcome::Ior(r) => format!(
-                "{:.2} ± {:.2} GB/s",
-                r.outcome.summary.mean / 1e9,
-                r.outcome.summary.std_dev / 1e9
-            ),
+            WorkloadOutcome::Ior(r) => {
+                fmt::gbps_pm(r.outcome.summary.mean, r.outcome.summary.std_dev)
+            }
             WorkloadOutcome::Dlio(r) => format!(
-                "{:.1} s, {:.0} samples/s app throughput",
-                r.duration, r.app_throughput
+                "{}, {} samples/s app throughput",
+                fmt::seconds(r.duration),
+                fmt::rate(r.app_throughput)
             ),
             WorkloadOutcome::Mdtest(r) => format!(
-                "create {:.0} / stat {:.0} / unlink {:.0} ops/s",
-                r.create.mean, r.stat.mean, r.unlink.mean
+                "create {} / stat {} / unlink {} ops/s",
+                fmt::rate(r.create.mean),
+                fmt::rate(r.stat.mean),
+                fmt::rate(r.unlink.mean)
             ),
             WorkloadOutcome::Job(r) => format!(
-                "{:.1} s total, {:.0}% I/O",
-                r.total,
-                r.io_fraction() * 100.0
+                "{} total, {} I/O",
+                fmt::seconds(r.total),
+                fmt::percent(r.io_fraction())
             ),
             WorkloadOutcome::Replay(r) => format!(
-                "{:.1} s replayed, {:.1} s I/O per process",
-                r.duration, r.mean.io_total
+                "{} replayed, {} I/O per process",
+                fmt::seconds(r.duration),
+                fmt::seconds(r.mean.io_total)
             ),
         }
     }
@@ -133,6 +144,11 @@ pub struct PointResult {
     pub ppn: u32,
     /// The typed workload result.
     pub outcome: WorkloadOutcome,
+    /// Per-point observability bundle, populated only by the metered
+    /// executors (`--metrics`). Absent fields serialize to nothing, so
+    /// un-metered results stay byte-compatible with earlier releases.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<PointMetrics>,
 }
 
 /// An executed deck: every expanded point with its typed result, in
@@ -145,6 +161,10 @@ pub struct DeckResult {
     pub title: String,
     /// Results, one per expanded point, in expansion order.
     pub points: Vec<PointResult>,
+    /// Cross-rep statistics and verdict over the whole deck, populated
+    /// only by the metered executors (`--metrics`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<DeckMetricsSummary>,
 }
 
 impl DeckResult {
@@ -271,7 +291,42 @@ fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> Po
         nodes,
         ppn,
         outcome,
+        metrics: None,
     }
+}
+
+/// [`run_scenario`] with observability: runs the point traced into a
+/// private recorder and distills the run into [`PointMetrics`]. The
+/// outcome is bit-identical to [`run_scenario`]'s — the recorder is a
+/// pure listener and the traced twins reproduce the untraced results.
+pub fn run_scenario_metered(scenario: &Scenario) -> PointResult {
+    run_scenario_metered_impl(scenario).0
+}
+
+/// The metered executor's core: also returns the point's private
+/// recorder so a traced deck run can stack it onto a shared timeline.
+fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
+    let start = Instant::now();
+    let (system, full_ppn) = build_system(scenario);
+    let workload = scenario.resolved_workload(full_ppn);
+    workload.validate();
+    let nodes = scenario.run_nodes();
+    let ppn = scenario.run_ppn(full_ppn);
+    let mut rec = Recorder::new();
+    let outcome = run_workload_on_traced(&system, &workload, nodes, ppn, &mut rec);
+    let mut metrics = collect_point_metrics(&workload, &outcome, &rec, nodes, ppn);
+    metrics.wall_clock_seconds = start.elapsed().as_secs_f64();
+    (
+        PointResult {
+            scenario: scenario.clone(),
+            system: system.name().to_string(),
+            nodes,
+            ppn,
+            outcome,
+            metrics: Some(metrics),
+        },
+        rec,
+    )
 }
 
 /// Runs a list of scenario points in parallel, preserving order.
@@ -287,7 +342,22 @@ pub fn run_deck(deck: &Deck) -> DeckResult {
         name: deck.name.clone(),
         title: deck.title.clone(),
         points: run_scenarios(&deck.expand()),
+        metrics: None,
     }
+}
+
+/// [`run_deck`] with observability: every point runs metered (in
+/// parallel, preserving order) and the deck gains its
+/// [`DeckMetricsSummary`]. Outcomes are bit-identical to [`run_deck`]'s.
+pub fn run_deck_with_metrics(deck: &Deck) -> DeckResult {
+    let mut result = DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: parallel_sweep(deck.expand(), run_scenario_metered),
+        metrics: None,
+    };
+    result.metrics = deck_metrics_summary(&result);
+    result
 }
 
 /// Expands and executes a deck sequentially, feeding every point's
@@ -302,7 +372,31 @@ pub fn run_deck_traced(deck: &Deck, recorder: &mut Recorder) -> DeckResult {
             .iter()
             .map(|s| run_scenario_traced(s, recorder))
             .collect(),
+        metrics: None,
     }
+}
+
+/// [`run_deck_traced`] with observability: each point runs into its own
+/// recorder (so per-point metrics see only their run), then the private
+/// recorders are stacked onto `recorder` in order — the resulting
+/// Chrome trace is bit-identical to [`run_deck_traced`]'s.
+pub fn run_deck_traced_with_metrics(deck: &Deck, recorder: &mut Recorder) -> DeckResult {
+    let mut result = DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: deck
+            .expand()
+            .iter()
+            .map(|s| {
+                let (point, rec) = run_scenario_metered_impl(s);
+                recorder.absorb_recorder(&rec);
+                point
+            })
+            .collect(),
+        metrics: None,
+    };
+    result.metrics = deck_metrics_summary(&result);
+    result
 }
 
 #[cfg(test)]
@@ -395,6 +489,31 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
         assert_eq!(back, result);
         assert!(result.points[0].outcome.headline().contains("ops/s"));
+    }
+
+    #[test]
+    fn metered_deck_matches_plain_outcomes() {
+        let mut deck = Deck::single("t", smoke_scenario("vast-lassen"));
+        deck.axes.nodes = vec![1, 2];
+        let plain = run_deck(&deck);
+        let metered = run_deck_with_metrics(&deck);
+        assert_eq!(plain.points.len(), metered.points.len());
+        for (p, m) in plain.points.iter().zip(&metered.points) {
+            assert_eq!(p.outcome, m.outcome, "metering must not perturb outcomes");
+            assert!(p.metrics.is_none());
+            let pm = m.metrics.as_ref().expect("metered points carry metrics");
+            assert!(pm.decomposition.total_runtime > 0.0);
+            assert!(!pm.bottlenecks.is_empty());
+            assert!(pm.solver_epochs > 0);
+        }
+        let summary = metered.metrics.as_ref().expect("full deck summarizes");
+        assert_eq!(summary.unit, "B/s");
+        assert_eq!(summary.winner.as_deref(), Some("VAST"));
+        assert_eq!(summary.factor, 1.0, "single system has no runner-up");
+        // Un-metered serialization must not even mention the field.
+        assert!(!serde_json::to_string(&plain)
+            .unwrap()
+            .contains("\"metrics\""));
     }
 
     #[test]

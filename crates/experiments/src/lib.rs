@@ -23,16 +23,23 @@
 
 pub mod deck;
 pub mod figures;
+pub mod metrics;
 pub mod output;
 pub mod registry;
 pub mod render;
+pub mod report;
 pub mod series;
 pub mod shapes;
 pub mod svg;
 pub mod sweep;
 pub mod traced;
 
-pub use deck::{run_deck, run_deck_traced, DeckResult, PointResult, WorkloadOutcome};
+pub use deck::{
+    run_deck, run_deck_traced, run_deck_traced_with_metrics, run_deck_with_metrics,
+    run_scenario_metered, DeckResult, PointResult, WorkloadOutcome,
+};
+pub use metrics::deck_metrics_summary;
+pub use report::{render_markdown, to_report_json, ReportJson};
 pub use series::{Figure, Point, Series};
 pub use sweep::Scale;
 pub use traced::{traced_ior_sweep, TracedPoint, TracedSweep};

@@ -1,0 +1,397 @@
+//! The `hcs report` renderer: one markdown (or JSON) attribution table
+//! per executed deck.
+//!
+//! Input is a [`DeckResult`] as `hcs run` writes it. Points that carry
+//! [`PointMetrics`] (a `--metrics` run) get the full treatment —
+//! bottleneck stage + share, I/O-time decomposition bars, perceived
+//! vs. system throughput, cross-rep CV; points without metrics fall
+//! back to a headline-only table, so the command works on any result
+//! artifact. Everything rendered here is deterministic: the one
+//! non-deterministic metric (host wall clock) is deliberately omitted,
+//! which is what lets `tests/report_golden.rs` pin the output byte for
+//! byte.
+
+use std::fmt::Write as _;
+
+use hcs_core::metrics::{DeckMetricsSummary, PointMetrics, Stats};
+use serde::{Deserialize, Serialize};
+
+use crate::deck::{DeckResult, PointResult};
+
+/// Numeric formatting shared by [`WorkloadOutcome::headline`] and the
+/// report tables, so CLI one-liners and report cells agree on units and
+/// precision.
+///
+/// [`WorkloadOutcome::headline`]: crate::deck::WorkloadOutcome::headline
+pub mod fmt {
+    /// Bandwidth in GB/s, two decimals: "12.34 GB/s".
+    pub fn gbps(bytes_per_s: f64) -> String {
+        format!("{:.2} GB/s", bytes_per_s / 1e9)
+    }
+
+    /// Bandwidth with spread: "12.34 ± 0.56 GB/s".
+    pub fn gbps_pm(mean: f64, std_dev: f64) -> String {
+        format!("{:.2} ± {:.2} GB/s", mean / 1e9, std_dev / 1e9)
+    }
+
+    /// Duration, one decimal: "12.3 s".
+    pub fn seconds(s: f64) -> String {
+        format!("{s:.1} s")
+    }
+
+    /// Duration, two decimals for table cells: "12.34 s".
+    pub fn seconds2(s: f64) -> String {
+        format!("{s:.2} s")
+    }
+
+    /// Integer-rounded rate (samples/s, ops/s): "1234".
+    pub fn rate(r: f64) -> String {
+        format!("{r:.0}")
+    }
+
+    /// Integer percentage of a fraction: "97%".
+    pub fn percent(fraction: f64) -> String {
+        format!("{:.0}%", fraction * 100.0)
+    }
+
+    /// One-decimal percentage for CVs and shares: "4.2%".
+    pub fn percent1(fraction: f64) -> String {
+        format!("{:.1}%", fraction * 100.0)
+    }
+
+    /// A value in a family's unit: bytes/s render as GB/s, seconds as
+    /// durations, anything else as an integer rate with its unit.
+    pub fn value(v: f64, unit: &str) -> String {
+        match unit {
+            "B/s" => gbps(v),
+            "s" => seconds(v),
+            _ => format!("{} {unit}", rate(v)),
+        }
+    }
+}
+
+/// Width of the decomposition bar column, characters.
+const BAR_WIDTH: usize = 12;
+
+/// Renders an application-perceived-runtime bar: `c` compute-only,
+/// `o` I/O hidden behind compute, `s` non-overlapping I/O (stall).
+/// Cells are allocated by largest remainder so the bar always has
+/// exactly [`BAR_WIDTH`] characters and the split is deterministic.
+fn decomposition_bar(m: &PointMetrics) -> String {
+    let d = &m.decomposition;
+    let segments = [
+        ('c', (d.compute_total - d.overlapping_io).max(0.0)),
+        ('o', d.overlapping_io.max(0.0)),
+        ('s', d.non_overlapping_io.max(0.0)),
+    ];
+    let total: f64 = segments.iter().map(|(_, v)| v).sum();
+    if total <= 0.0 {
+        return "-".repeat(BAR_WIDTH);
+    }
+    let exact: Vec<f64> = segments
+        .iter()
+        .map(|(_, v)| v / total * BAR_WIDTH as f64)
+        .collect();
+    let mut cells: Vec<usize> = exact.iter().map(|x| x.floor() as usize).collect();
+    let mut rest: usize = BAR_WIDTH - cells.iter().sum::<usize>();
+    while rest > 0 {
+        // Hand leftover cells to the largest fractional remainder,
+        // first-of-max on ties.
+        let mut best = 0;
+        for i in 1..exact.len() {
+            if exact[i] - cells[i] as f64 > exact[best] - cells[best] as f64 {
+                best = i;
+            }
+        }
+        cells[best] += 1;
+        rest -= 1;
+    }
+    let mut bar = String::with_capacity(BAR_WIDTH);
+    for ((ch, _), n) in segments.iter().zip(cells) {
+        for _ in 0..n {
+            bar.push(*ch);
+        }
+    }
+    bar
+}
+
+/// The top bottleneck of a metered point, as "stage name (share)".
+fn bottleneck_cell(m: &PointMetrics) -> String {
+    match m.bottlenecks.first() {
+        Some(b) => format!(
+            "{} {} ({})",
+            b.kind.map(|k| k.label()).unwrap_or("?"),
+            b.name,
+            fmt::percent1(b.share)
+        ),
+        None => "—".to_string(),
+    }
+}
+
+fn point_scale(p: &PointResult) -> String {
+    format!("{}x{}", p.nodes, p.ppn)
+}
+
+/// Renders a deck result as a markdown report.
+pub fn render_markdown(result: &DeckResult) -> String {
+    let mut out = String::new();
+    let title = if result.title.is_empty() {
+        "untitled"
+    } else {
+        &result.title
+    };
+    let _ = writeln!(out, "# Deck `{}` — {}", result.name, title);
+    let metered = result.points.iter().filter(|p| p.metrics.is_some()).count();
+    let systems = result.by_system().len();
+    let _ = writeln!(
+        out,
+        "\n{} point{} · {} system{} · metrics on {} point{}\n",
+        result.points.len(),
+        if result.points.len() == 1 { "" } else { "s" },
+        systems,
+        if systems == 1 { "" } else { "s" },
+        metered,
+        if metered == 1 { "" } else { "s" },
+    );
+
+    let _ = writeln!(out, "## Points\n");
+    if metered == 0 {
+        let _ = writeln!(out, "| point | system | scale | headline |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for p in &result.points {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                p.scenario.name,
+                p.system,
+                point_scale(p),
+                p.outcome.headline()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n_No metrics in this artifact — re-run with `hcs run --metrics` to collect \
+             decomposition, bottleneck shares and cross-rep statistics._"
+        );
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "| point | system | scale | headline | bottleneck | c/o/s | read | write | compute | stall | perceived | system thpt | rep CV |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for p in &result.points {
+        match &p.metrics {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | `{}` | {} | {} | {} | {} | {} | {} | {} |",
+                    p.scenario.name,
+                    p.system,
+                    point_scale(p),
+                    p.outcome.headline(),
+                    bottleneck_cell(m),
+                    decomposition_bar(m),
+                    fmt::seconds2(m.read_seconds),
+                    fmt::seconds2(m.write_seconds),
+                    fmt::seconds2(m.decomposition.compute_total),
+                    fmt::seconds2(m.decomposition.non_overlapping_io),
+                    fmt::value(m.perceived_throughput, &m.throughput_unit),
+                    fmt::value(m.system_throughput, &m.throughput_unit),
+                    fmt::percent1(m.rep_cv),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | — | — | — | — | — | — | — | — | — |",
+                    p.scenario.name,
+                    p.system,
+                    point_scale(p),
+                    p.outcome.headline(),
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n_Bar: `c` compute-only, `o` I/O overlapped with compute, `s` stall \
+         (non-overlapping I/O), over the application-perceived runtime._"
+    );
+
+    if let Some(summary) = &result.metrics {
+        let _ = writeln!(out, "\n## Cross-rep statistics\n");
+        let _ = writeln!(
+            out,
+            "| system | points | headline mean | min | p50 | p95 | max | rep CV mean | top bottleneck |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        let val = |s: &Stats, pick: fn(&Stats) -> f64| fmt::value(pick(s), &summary.unit);
+        for s in &summary.systems {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                s.system,
+                s.points,
+                val(&s.headline, Stats::mean),
+                val(&s.headline, Stats::min),
+                val(&s.headline, Stats::p50),
+                val(&s.headline, Stats::p95),
+                val(&s.headline, Stats::max),
+                fmt::percent1(s.rep_cv.mean()),
+                s.top_bottleneck.as_deref().unwrap_or("—"),
+            );
+        }
+        let _ = writeln!(out, "\n## Verdict\n");
+        match &summary.winner {
+            Some(w) if summary.systems.len() > 1 => {
+                let direction = if summary.higher_is_better {
+                    "highest"
+                } else {
+                    "lowest"
+                };
+                let _ = writeln!(
+                    out,
+                    "- **Winner:** {w} — {} mean headline ({}), {:.2}x over the runner-up.",
+                    direction, summary.unit, summary.factor
+                );
+            }
+            Some(w) => {
+                let _ = writeln!(out, "- Single system: {w} (nothing to compare against).");
+            }
+            None => {
+                let _ = writeln!(out, "- No points — nothing to rank.");
+            }
+        }
+        if summary.crossovers.is_empty() {
+            let _ = writeln!(out, "- Crossovers: none along the sweep.");
+        } else {
+            for c in &summary.crossovers {
+                let _ = writeln!(out, "- Crossover: {c}");
+            }
+        }
+    }
+    out
+}
+
+/// The JSON form of a report (`hcs report --format json`): the same
+/// content as the markdown table, as data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReportJson {
+    /// Deck name.
+    pub name: String,
+    /// Deck title.
+    pub title: String,
+    /// One entry per deck point, in sweep order.
+    pub points: Vec<ReportPointJson>,
+    /// The deck-level roll-up, when the run collected metrics.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub summary: Option<DeckMetricsSummary>,
+}
+
+/// One point of a [`ReportJson`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReportPointJson {
+    /// Expanded point name.
+    pub point: String,
+    /// System display name.
+    pub system: String,
+    /// Client nodes.
+    pub nodes: u32,
+    /// Processes per node.
+    pub ppn: u32,
+    /// The family's one-line summary.
+    pub headline: String,
+    /// Full per-point metrics, when collected.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<PointMetrics>,
+}
+
+/// Converts a deck result into its JSON report form.
+pub fn to_report_json(result: &DeckResult) -> ReportJson {
+    ReportJson {
+        name: result.name.clone(),
+        title: result.title.clone(),
+        points: result
+            .points
+            .iter()
+            .map(|p| ReportPointJson {
+                point: p.scenario.name.clone(),
+                system: p.system.clone(),
+                nodes: p.nodes,
+                ppn: p.ppn,
+                headline: p.outcome.headline(),
+                metrics: p.metrics.clone(),
+            })
+            .collect(),
+        summary: result.metrics.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::metrics::Stats;
+    use hcs_dftrace::IoDecomposition;
+
+    fn toy_metrics(compute: f64, overlap: f64, stall: f64) -> PointMetrics {
+        PointMetrics {
+            decomposition: IoDecomposition {
+                total_runtime: compute + stall,
+                io_total: overlap + stall,
+                compute_total: compute,
+                overlapping_io: overlap,
+                non_overlapping_io: stall,
+            },
+            read_seconds: overlap + stall,
+            write_seconds: 0.0,
+            perceived_throughput: 100.0,
+            system_throughput: 120.0,
+            throughput_unit: "samples/s".into(),
+            headline_value: 100.0,
+            headline_unit: "samples/s".into(),
+            higher_is_better: true,
+            rep_values: Stats::from_values(vec![100.0]),
+            rep_cv: 0.0,
+            bottlenecks: vec![],
+            solver_epochs: 0,
+            flow_groups: 0,
+            wall_clock_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn bar_partitions_exactly() {
+        let bar = decomposition_bar(&toy_metrics(9.0, 2.0, 1.0));
+        assert_eq!(bar.len(), BAR_WIDTH);
+        // 8/12 compute-only, 2.4→2 overlap, 1.2→2 stall by remainders.
+        assert_eq!(
+            bar.matches('c').count() + bar.matches('o').count() + bar.matches('s').count(),
+            BAR_WIDTH
+        );
+        assert!(bar.starts_with("cccc"), "{bar}");
+    }
+
+    #[test]
+    fn zero_runtime_bar_is_placeholder() {
+        assert_eq!(
+            decomposition_bar(&toy_metrics(0.0, 0.0, 0.0)),
+            "-".repeat(BAR_WIDTH)
+        );
+    }
+
+    #[test]
+    fn fmt_helpers_agree_with_headline_precision() {
+        assert_eq!(
+            fmt::gbps_pm(12_340_000_000.0, 560_000_000.0),
+            "12.34 ± 0.56 GB/s"
+        );
+        assert_eq!(fmt::seconds(12.34), "12.3 s");
+        assert_eq!(fmt::rate(1234.4), "1234");
+        assert_eq!(fmt::percent(0.97), "97%");
+        assert_eq!(fmt::value(2_500_000_000.0, "B/s"), "2.50 GB/s");
+        assert_eq!(fmt::value(42.0, "s"), "42.0 s");
+        assert_eq!(fmt::value(1000.6, "ops/s"), "1001 ops/s");
+    }
+}

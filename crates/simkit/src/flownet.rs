@@ -207,6 +207,10 @@ pub struct FlowNet {
     now: f64,
     rates_valid: bool,
     completed: Vec<Completion>,
+    /// Rate epochs solved so far (one per [`FlowNet::recompute_rates`]
+    /// run) — a plain integer add on the solver path, kept whether or
+    /// not anything observes it.
+    rate_epochs: u64,
     /// Optional pure listener; never consulted for any computation.
     recorder: Option<Box<dyn FlowRecorder>>,
 }
@@ -227,6 +231,7 @@ impl FlowNet {
             now: 0.0,
             rates_valid: true,
             completed: Vec::new(),
+            rate_epochs: 0,
             recorder: None,
         }
     }
@@ -234,6 +239,18 @@ impl FlowNet {
     /// Current simulated time in seconds.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Rate epochs solved so far: how many times the max-min solver ran
+    /// because the flow set or capacities changed.
+    pub fn rate_epochs(&self) -> u64 {
+        self.rate_epochs
+    }
+
+    /// Flow groups placed into the network so far (completed groups
+    /// included).
+    pub fn flows_started(&self) -> u64 {
+        self.next_flow
     }
 
     /// Installs a [`FlowRecorder`]. Resources registered so far are
@@ -485,6 +502,7 @@ impl FlowNet {
         }
         self.recompute_rates();
         self.rates_valid = true;
+        self.rate_epochs += 1;
         // One allocation sample per rate epoch. The recorder is a pure
         // listener, so emitting (or not emitting) a sample cannot change
         // any simulated value.
@@ -644,6 +662,20 @@ mod tests {
         let done = net.take_completed();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, id);
+    }
+
+    #[test]
+    fn rate_epoch_and_flow_counters_track_the_solver() {
+        let (mut net, r) = net_with(&[100.0]);
+        assert_eq!((net.rate_epochs(), net.flows_started()), (0, 0));
+        net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        net.add_flow(FlowSpec::new(vec![r[0]], 500.0));
+        net.run_to_completion(|_, _| {});
+        assert_eq!(net.flows_started(), 2);
+        // Epoch 1: both flows at 50 B/s until the short one finishes at
+        // t=10; epoch 2: the long one alone. Queries between
+        // invalidations reuse the cached rates, so exactly two solves.
+        assert_eq!(net.rate_epochs(), 2);
     }
 
     #[test]

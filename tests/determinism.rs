@@ -105,3 +105,74 @@ fn deck_results_are_independent_of_worker_count() {
         assert_eq!(a, b, "point {} differs across pool sizes", a.scenario.name);
     }
 }
+
+#[test]
+fn deck_metrics_are_independent_of_worker_count() {
+    // The metered executor also fans out over the pool. Wall clock is
+    // the *only* non-deterministic metric (and is excluded from the
+    // deck summary and reports); everything else must be bit-identical
+    // across pool sizes.
+    use hcs_experiments::run_deck_with_metrics;
+    let deck = hcs_experiments::figures::example_deck().smoked();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_deck_with_metrics(&deck);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = run_deck_with_metrics(&deck);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(serial.metrics, parallel.metrics, "deck summaries differ");
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        let (ma, mb) = (a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+        let mut mb = mb.clone();
+        mb.wall_clock_seconds = ma.wall_clock_seconds;
+        assert_eq!(
+            *ma, mb,
+            "metrics for {} differ across pool sizes",
+            a.scenario.name
+        );
+    }
+}
+
+mod stats_merge {
+    //! The deck summary is built from [`hcs_core::Stats`] accumulators
+    //! merged across points; merge is concatenation, so it must be
+    //! associative *at the bit level* and equal to sequential pushes —
+    //! the algebra behind the worker-count independence above.
+    use hcs_core::Stats;
+    use proptest::prelude::*;
+
+    fn merged(chunks: &[&[f64]]) -> Stats {
+        let mut out = Stats::new();
+        for c in chunks {
+            out.merge(&Stats::from_values(c.to_vec()));
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn merge_is_associative_and_matches_pushes(
+            a in prop::collection::vec(-1e12f64..1e12, 0..8),
+            b in prop::collection::vec(-1e12f64..1e12, 0..8),
+            c in prop::collection::vec(-1e12f64..1e12, 0..8),
+        ) {
+            // ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)) bitwise.
+            let mut left = merged(&[&a, &b]);
+            left.merge(&Stats::from_values(c.clone()));
+            let mut bc = Stats::from_values(b.clone());
+            bc.merge(&Stats::from_values(c.clone()));
+            let mut right = Stats::from_values(a.clone());
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+            // And both equal pushing every value in order.
+            let mut seq = Stats::new();
+            for v in a.iter().chain(&b).chain(&c) {
+                seq.push(*v);
+            }
+            prop_assert_eq!(&left, &seq);
+            // Derived statistics are recomputed from the stored values,
+            // so they agree bitwise too.
+            prop_assert_eq!(left.summary(), seq.summary());
+        }
+    }
+}
