@@ -389,6 +389,9 @@ fn main() {
             if scale == Scale::Smoke {
                 deck = deck.smoked();
             }
+            if let Err(e) = hcs_experiments::validate_deck(&deck) {
+                die(&format!("run: {e}"));
+            }
             println!(
                 "deck {} — {} ({} points, {} scale)",
                 deck.name,

@@ -1,0 +1,111 @@
+//! CLI error paths: a bad deck must exit 2 with a one-line diagnostic,
+//! never a panic backtrace. Exercises the `hcs run` front door with
+//! malformed JSON, an unknown registry key, and a fault deck whose
+//! target stage the planned deployment graph does not contain.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Runs the built `hcs` binary with `args`, capturing output.
+fn hcs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hcs"))
+        .args(args)
+        .output()
+        .expect("spawn hcs")
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn temp_deck(tag: &str, content: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("hcs-cli-errors-{}-{tag}.json", std::process::id()));
+    std::fs::write(&path, content).expect("write temp deck");
+    path
+}
+
+/// A well-formed single-point IOR deck body with `faults` injected into
+/// the base scenario.
+fn fault_deck(faults: &str) -> String {
+    format!(
+        r#"{{
+  "name": "err-test",
+  "base": {{
+    "system": "vast-lassen",
+    "faults": {faults},
+    "workload": {{
+      "Ior": {{
+        "nodes": 1, "tasks_per_node": 4,
+        "block_size": 1048576.0, "transfer_size": 1048576.0,
+        "segments": 8, "workload": "Scientific",
+        "fsync": false, "file_per_proc": true, "reorder_tasks": true,
+        "reps": 2, "seed": 7
+      }}
+    }},
+    "full_node": false,
+    "trace": false
+  }}
+}}"#
+    )
+}
+
+/// Asserts the invocation died cleanly: exit code 2, the diagnostic on
+/// stderr, and no panic backtrace anywhere.
+fn assert_dies_with(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains(needle),
+        "stderr missing '{needle}': {stderr}"
+    );
+    for s in [&stderr, &stdout] {
+        assert!(!s.contains("panicked"), "panic leaked to output: {s}");
+        assert!(!s.contains("RUST_BACKTRACE"), "backtrace hint leaked: {s}");
+    }
+}
+
+#[test]
+fn malformed_deck_json_exits_2() {
+    let path = temp_deck("malformed", "{ this is not json");
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "parses as neither a deck");
+}
+
+#[test]
+fn unknown_system_key_exits_2() {
+    let deck = fault_deck("[]").replace("vast-lassen", "no-such-system");
+    let path = temp_deck("unknown-system", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "unknown system 'no-such-system'");
+}
+
+#[test]
+fn fault_on_missing_stage_exits_2() {
+    // VAST@Lassen's gateway stage is planned as "vast:gw", so a name
+    // filter for anything else targets nothing.
+    let deck = fault_deck(
+        r#"[{ "stage": "Gateway", "name": "no-such-gw", "start": 1.0, "end": 2.0, "fault": "Outage" }]"#,
+    );
+    let path = temp_deck("missing-stage", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "fault targets no planned stage");
+}
+
+#[test]
+fn invalid_fault_window_exits_2() {
+    // end <= start is rejected by FaultSpec::check before any run.
+    let deck =
+        fault_deck(r#"[{ "stage": "Gateway", "start": 5.0, "end": 1.0, "fault": "Outage" }]"#);
+    let path = temp_deck("bad-window", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "end must be finite and after start");
+}
+
+#[test]
+fn nonexistent_deck_name_exits_2() {
+    let out = hcs(&["run", "no-such-deck-or-file"]);
+    assert_dies_with(&out, "neither a file nor a builtin deck");
+}

@@ -49,9 +49,11 @@ pub mod testing;
 pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
 pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
 pub use hcs_devices::{AccessPattern, IoOp};
-pub use metrics::{DeckMetricsSummary, PointMetrics, Stats, StatsSummary, SystemMetrics};
+pub use metrics::{
+    DeckMetricsSummary, PointMetrics, ResilienceMetrics, Stats, StatsSummary, SystemMetrics,
+};
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
-pub use scenario::{Deck, GraphEdit, Scale, Scenario, SweepAxes, Workload};
+pub use scenario::{Deck, FaultKind, FaultSpec, GraphEdit, Scale, Scenario, SweepAxes, Workload};
 pub use system::{MetadataProfile, Provisioned, StorageSystem};
 pub use telemetry::{MetricsSummary, Recorder, UtilizationTimeline};

@@ -25,7 +25,6 @@
 //! hooks, so an un-metered run pays nothing.
 
 use hcs_dftrace::IoDecomposition;
-use hcs_simkit::stats::percentile_sorted;
 use serde::{Deserialize, Serialize};
 
 use crate::telemetry::BottleneckShare;
@@ -134,14 +133,15 @@ impl Stats {
     }
 
     /// Linear-interpolation percentile, `p` in `[0, 100]` (0 when
-    /// empty).
+    /// empty). Delegates to the suite's one shared percentile kernel
+    /// ([`hcs_simkit::stats::percentile`]), so this layer and the
+    /// simkit [`Summary`](hcs_simkit::Summary) are bit-identical by
+    /// construction.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        percentile_sorted(&sorted, p)
+        hcs_simkit::stats::percentile(&self.values, p)
     }
 
     /// Median (p50).
@@ -244,6 +244,38 @@ pub struct PointMetrics {
     /// non-deterministic field — excluded from reports and from
     /// [`DeckMetricsSummary`] aggregation.
     pub wall_clock_seconds: f64,
+    /// Resilience under the scenario's fault schedule, measured against
+    /// a fault-free twin run. Present only for fault-injected points;
+    /// skipped from serialization otherwise, so fault-free artifacts
+    /// stay byte-compatible.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<ResilienceMetrics>,
+}
+
+/// How a fault-injected point degraded relative to its fault-free twin.
+///
+/// All durations are noise-free base-run times in simulated seconds;
+/// the twin is the same scenario executed without its fault schedule,
+/// so the comparison is exact (common seeds, common graph).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceMetrics {
+    /// Faulted duration over fault-free duration (≥ 1 for pure
+    /// capacity-loss faults; jitter can land marginally below 1).
+    pub slowdown_factor: f64,
+    /// Base-run duration of the fault-free twin, seconds.
+    pub fault_free_seconds: f64,
+    /// Base-run duration under the fault schedule, seconds.
+    pub faulted_seconds: f64,
+    /// Seconds during which every in-flight flow sat at rate zero
+    /// waiting for a scheduled recovery (the stall window the
+    /// utilization timeline shows at zero).
+    pub stall_seconds: f64,
+    /// Time-to-drain: seconds from the last applied fault event (the
+    /// recovery instant) to the end of the run.
+    pub drain_seconds: f64,
+    /// Number of capacity events the schedule applied before the run
+    /// completed.
+    pub fault_events: usize,
 }
 
 /// Per-system cross-rep roll-up inside a [`DeckMetricsSummary`].
@@ -301,6 +333,31 @@ mod tests {
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
         assert!((s.p50() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_bit_identical_to_the_simkit_kernel() {
+        // Both layers must answer percentile queries through the one
+        // shared kernel — pinned by comparing raw bit patterns, not
+        // approximate values, across unsorted and duplicated samples.
+        let fixtures: [&[f64]; 4] = [
+            &[3.0, 1.0, 2.0],
+            &[9.0, 2.0, 4.0, 4.0, 5.0, 7.0, 5.0, 4.0],
+            &[0.1],
+            &[1e9, 1e-9, 5.5, 5.5, -3.25, 1e9],
+        ];
+        for values in fixtures {
+            let stats = Stats::from_values(values.to_vec());
+            let mut sorted = values.to_vec();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let ours = stats.percentile(p);
+                let kernel = hcs_simkit::stats::percentile(values, p);
+                let sorted_kernel = hcs_simkit::stats::percentile_sorted(&sorted, p);
+                assert_eq!(ours.to_bits(), kernel.to_bits(), "p={p} {values:?}");
+                assert_eq!(ours.to_bits(), sorted_kernel.to_bits(), "p={p} {values:?}");
+            }
+        }
     }
 
     #[test]

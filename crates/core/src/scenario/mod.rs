@@ -276,6 +276,155 @@ impl Workload {
     }
 }
 
+/// What happens to a faulted stage inside its `[start, end)` window.
+///
+/// Serialized externally tagged like [`GraphEdit`]:
+/// `"Outage"`, `{"Degrade": {"factor": 0.1}}`,
+/// `{"Jitter": {"seed": 7, "amplitude": 0.5, "steps": 8}}`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Full outage: the stage's capacity drops to zero for the window.
+    /// Flows through it stall (the engine waits — no panic) until the
+    /// scheduled recovery at `end`.
+    Outage,
+    /// Partial degradation: capacity is scaled to `factor` times its
+    /// provisioned value for the window.
+    Degrade {
+        /// Capacity multiplier in `(0, 1]` applied during the window.
+        factor: f64,
+    },
+    /// Deterministic capacity flapping: the window is cut into `steps`
+    /// equal slices, each scaled by a mean-one multiplicative jitter
+    /// factor drawn from a stream split off `seed` (per-resource
+    /// substreams, so sharded stages flap independently but
+    /// reproducibly).
+    Jitter {
+        /// Seed of the jitter stream (independent of the workload's
+        /// noise seed).
+        seed: u64,
+        /// Jitter amplitude: the sigma of the mean-one factor.
+        amplitude: f64,
+        /// Number of equal capacity slices in the window (≥ 1).
+        steps: u32,
+    },
+}
+
+/// A windowed fault against one deployment stage, as scenario IR.
+///
+/// The target is named the way bottlenecks are reported: by
+/// [`StageKind`], optionally narrowed to a stage name. The executor
+/// resolves the spec against the scenario's planned
+/// [`DeploymentGraph`](crate::graph::DeploymentGraph) into concrete
+/// timed capacity events (`hcs_simkit::FaultTimeline`); sharded and
+/// per-node stages fan out to every member resource.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The stage kind to fault (every matching stage is hit).
+    pub stage: StageKind,
+    /// Optional stage-name filter (exact match on the planned stage
+    /// name, e.g. `"gw-eth"`) for graphs with several stages of one
+    /// kind.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+    /// Window start, simulated seconds from phase start.
+    pub start: f64,
+    /// Window end (recovery instant), simulated seconds. Capacity is
+    /// restored to the provisioned value at `end`.
+    pub end: f64,
+    /// What happens during the window.
+    pub fault: FaultKind,
+}
+
+impl FaultSpec {
+    /// A full outage of every `stage`-kind stage over `[start, end)`.
+    pub fn outage(stage: StageKind, start: f64, end: f64) -> Self {
+        FaultSpec {
+            stage,
+            name: None,
+            start,
+            end,
+            fault: FaultKind::Outage,
+        }
+    }
+
+    /// A capacity degradation to `factor` over `[start, end)`.
+    pub fn degrade(stage: StageKind, start: f64, end: f64, factor: f64) -> Self {
+        FaultSpec {
+            stage,
+            name: None,
+            start,
+            end,
+            fault: FaultKind::Degrade { factor },
+        }
+    }
+
+    /// Narrows the spec to stages with this exact planned name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Validates the window and the variant parameters, returning a
+    /// one-line diagnostic on failure (the CLI prints it and exits 2).
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.start.is_finite() && self.start >= 0.0) {
+            return Err(format!(
+                "fault on {} stage: start must be finite and >= 0 (got {})",
+                self.stage.label(),
+                self.start
+            ));
+        }
+        if !(self.end.is_finite() && self.end > self.start) {
+            return Err(format!(
+                "fault on {} stage: end must be finite and after start (got [{}, {}))",
+                self.stage.label(),
+                self.start,
+                self.end
+            ));
+        }
+        match self.fault {
+            FaultKind::Outage => Ok(()),
+            FaultKind::Degrade { factor } => {
+                if factor.is_finite() && factor > 0.0 && factor <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "fault on {} stage: Degrade factor must be in (0, 1] (got {factor})",
+                        self.stage.label()
+                    ))
+                }
+            }
+            FaultKind::Jitter {
+                amplitude, steps, ..
+            } => {
+                if !(amplitude.is_finite() && amplitude > 0.0 && amplitude < 1.0) {
+                    Err(format!(
+                        "fault on {} stage: Jitter amplitude must be in (0, 1) (got {amplitude})",
+                        self.stage.label()
+                    ))
+                } else if steps == 0 {
+                    Err(format!(
+                        "fault on {} stage: Jitter needs at least one step",
+                        self.stage.label()
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Whether a planned stage with this kind and name is targeted.
+    pub fn matches(&self, kind: StageKind, stage_name: &str) -> bool {
+        self.stage == kind
+            && self
+                .name
+                .as_deref()
+                .map(|n| n == stage_name)
+                .unwrap_or(true)
+    }
+}
+
 /// One executable experiment point: a workload against a named storage
 /// deployment, with optional graph edits and scale overrides.
 ///
@@ -296,6 +445,11 @@ pub struct Scenario {
     /// Graph edits applied on top of the system's deployment plan.
     #[serde(default)]
     pub edits: Vec<GraphEdit>,
+    /// Windowed faults injected into the run (empty = fault-free; the
+    /// field is skipped from serialization then, so existing scenario
+    /// files and result artifacts stay byte-identical).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<FaultSpec>,
     /// The workload to run.
     pub workload: Workload,
     /// Client node count override.
@@ -327,6 +481,7 @@ impl Scenario {
             name: String::new(),
             system: system.into(),
             edits: Vec::new(),
+            faults: Vec::new(),
             workload,
             nodes: None,
             ppn: None,
@@ -358,6 +513,12 @@ impl Scenario {
     /// Sets the repetition override (builder style).
     pub fn with_reps(mut self, reps: u32) -> Self {
         self.reps = Some(reps);
+        self
+    }
+
+    /// Adds a fault to the scenario's schedule (builder style).
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
         self
     }
 
@@ -435,9 +596,9 @@ impl Scenario {
 /// Declarative sweep axes: each non-empty axis fans the base scenario
 /// out over its values; empty axes leave the base untouched. The
 /// cross-product is expanded in a fixed nesting order (systems → edit
-/// sets → nodes → ppn → transfer sizes) with first-occurrence
-/// deduplication per axis, so expansion is deterministic and
-/// duplicate-free by construction.
+/// sets → fault sets → nodes → ppn → transfer sizes) with
+/// first-occurrence deduplication per axis, so expansion is
+/// deterministic and duplicate-free by construction.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SweepAxes {
     /// Registry names to sweep.
@@ -457,6 +618,13 @@ pub struct SweepAxes {
     /// gateway-width sweep become one deck.
     #[serde(default)]
     pub edit_sets: Vec<Vec<GraphEdit>>,
+    /// Alternative fault schedules to sweep (each entry is appended to
+    /// the base scenario's faults) — outage/degradation what-ifs as a
+    /// deck axis. An empty inner set is a valid fault-free twin point.
+    /// Skipped from serialization when empty so pre-fault deck files
+    /// round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fault_sets: Vec<Vec<FaultSpec>>,
 }
 
 impl SweepAxes {
@@ -467,6 +635,7 @@ impl SweepAxes {
             && self.ppn.is_empty()
             && self.transfer_sizes.is_empty()
             && self.edit_sets.is_empty()
+            && self.fault_sets.is_empty()
     }
 }
 
@@ -516,10 +685,11 @@ impl Deck {
 
     /// Expands the axes into concrete scenario points.
     ///
-    /// Deterministic: the nesting order is systems → edit sets → nodes
-    /// → ppn → transfer sizes, each axis deduplicated to its first
-    /// occurrences. Duplicate-free: every point differs from every
-    /// other in at least one swept coordinate (encoded in its name).
+    /// Deterministic: the nesting order is systems → edit sets → fault
+    /// sets → nodes → ppn → transfer sizes, each axis deduplicated to
+    /// its first occurrences. Duplicate-free: every point differs from
+    /// every other in at least one swept coordinate (encoded in its
+    /// name).
     pub fn expand(&self) -> Vec<Scenario> {
         let systems = if self.axes.systems.is_empty() {
             vec![self.base.system.clone()]
@@ -533,6 +703,15 @@ impl Deck {
                 .into_iter()
                 .enumerate()
                 .map(|(i, _)| (i, &self.axes.edit_sets[i]))
+                .map(Some)
+                .collect()
+        };
+        let fault_sets: Vec<Option<(usize, Vec<FaultSpec>)>> = if self.axes.fault_sets.is_empty() {
+            vec![None]
+        } else {
+            dedup(&self.axes.fault_sets)
+                .into_iter()
+                .enumerate()
                 .map(Some)
                 .collect()
         };
@@ -555,34 +734,41 @@ impl Deck {
                 .collect()
         };
 
-        let mut points =
-            Vec::with_capacity(systems.len() * edit_sets.len() * nodes.len() * ppns.len());
+        let mut points = Vec::with_capacity(
+            systems.len() * edit_sets.len() * fault_sets.len() * nodes.len() * ppns.len(),
+        );
         for system in &systems {
             for edit_set in &edit_sets {
-                for &n in &nodes {
-                    for &p in &ppns {
-                        for &ts in &transfers {
-                            let mut s = self.base.clone();
-                            let mut label = vec![system.clone()];
-                            s.system = system.clone();
-                            if let Some((i, edits)) = edit_set {
-                                s.edits.extend((*edits).clone());
-                                label.push(format!("e{i}"));
+                for fault_set in &fault_sets {
+                    for &n in &nodes {
+                        for &p in &ppns {
+                            for &ts in &transfers {
+                                let mut s = self.base.clone();
+                                let mut label = vec![system.clone()];
+                                s.system = system.clone();
+                                if let Some((i, edits)) = edit_set {
+                                    s.edits.extend((*edits).clone());
+                                    label.push(format!("e{i}"));
+                                }
+                                if let Some((i, faults)) = fault_set {
+                                    s.faults.extend(faults.iter().cloned());
+                                    label.push(format!("f{i}"));
+                                }
+                                if let Some(n) = n {
+                                    s.nodes = Some(n);
+                                    label.push(format!("n{n}"));
+                                }
+                                if let Some(p) = p {
+                                    s.ppn = Some(p);
+                                    label.push(format!("p{p}"));
+                                }
+                                if let Some(ts) = ts {
+                                    s.workload.set_transfer_size(ts);
+                                    label.push(format!("t{ts}"));
+                                }
+                                s.name = label.join("/");
+                                points.push(s);
                             }
-                            if let Some(n) = n {
-                                s.nodes = Some(n);
-                                label.push(format!("n{n}"));
-                            }
-                            if let Some(p) = p {
-                                s.ppn = Some(p);
-                                label.push(format!("p{p}"));
-                            }
-                            if let Some(ts) = ts {
-                                s.workload.set_transfer_size(ts);
-                                label.push(format!("t{ts}"));
-                            }
-                            s.name = label.join("/");
-                            points.push(s);
                         }
                     }
                 }
@@ -794,8 +980,141 @@ mod tests {
         let s: Scenario = serde_json::from_str(json).unwrap();
         assert_eq!(s.name, "");
         assert!(s.edits.is_empty());
+        assert!(s.faults.is_empty());
         assert!(!s.full_node);
         assert!(!s.trace);
         assert_eq!(s.run_nodes(), 2);
+    }
+
+    #[test]
+    fn fault_spec_serde_round_trips_every_kind() {
+        let specs = vec![
+            FaultSpec::outage(StageKind::Gateway, 1.0, 2.0),
+            FaultSpec::degrade(StageKind::Media, 0.5, 3.5, 0.25).named("vast:media"),
+            FaultSpec {
+                stage: StageKind::ServerPool,
+                name: None,
+                start: 2.0,
+                end: 4.0,
+                fault: FaultKind::Jitter {
+                    seed: 7,
+                    amplitude: 0.5,
+                    steps: 8,
+                },
+            },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: FaultSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn fault_free_scenario_json_has_no_faults_key() {
+        // Byte-compat: pre-fault scenario files and result artifacts
+        // must serialize exactly as before this field existed.
+        let json = serde_json::to_string(&ior_scenario()).unwrap();
+        assert!(!json.contains("faults"), "{json}");
+        let mut deck = Deck::single("d", ior_scenario());
+        deck.axes.nodes = vec![1, 2];
+        let deck_json = serde_json::to_string(&deck).unwrap();
+        assert!(!deck_json.contains("fault_sets"), "{deck_json}");
+    }
+
+    #[test]
+    fn faulted_scenario_round_trips_through_deck_json() {
+        let mut deck = Deck::single(
+            "d",
+            ior_scenario().with_fault(FaultSpec::outage(StageKind::Gateway, 1.0, 2.0)),
+        );
+        deck.axes.fault_sets = vec![
+            Vec::new(),
+            vec![FaultSpec::degrade(StageKind::Media, 0.5, 1.5, 0.1)],
+        ];
+        let back: Deck = serde_json::from_str(&serde_json::to_string(&deck).unwrap()).unwrap();
+        assert_eq!(back, deck);
+        assert_eq!(back.expand(), deck.expand());
+    }
+
+    #[test]
+    fn fault_sets_axis_expands_with_labels() {
+        let mut deck = Deck::single("d", ior_scenario());
+        deck.axes.fault_sets = vec![
+            Vec::new(),
+            vec![FaultSpec::outage(StageKind::Gateway, 1.0, 2.0)],
+            vec![FaultSpec::degrade(StageKind::Media, 0.0, 5.0, 0.5)],
+        ];
+        let points = deck.expand();
+        assert_eq!(points.len(), 3);
+        assert_eq!(
+            points.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            vec!["vast-lassen/f0", "vast-lassen/f1", "vast-lassen/f2"]
+        );
+        assert!(points[0].faults.is_empty());
+        assert_eq!(points[1].faults[0].fault, FaultKind::Outage);
+        assert_eq!(
+            points[2].faults[0].fault,
+            FaultKind::Degrade { factor: 0.5 }
+        );
+    }
+
+    #[test]
+    fn fault_sets_append_to_base_faults() {
+        let base = ior_scenario().with_fault(FaultSpec::outage(StageKind::Gateway, 1.0, 2.0));
+        let mut deck = Deck::single("d", base);
+        deck.axes.fault_sets = vec![vec![FaultSpec::degrade(StageKind::Media, 3.0, 4.0, 0.5)]];
+        let points = deck.expand();
+        assert_eq!(points[0].faults.len(), 2);
+        assert_eq!(points[0].faults[0].fault, FaultKind::Outage);
+    }
+
+    #[test]
+    fn fault_spec_check_rejects_bad_windows_and_params() {
+        assert!(FaultSpec::outage(StageKind::Gateway, 1.0, 2.0)
+            .check()
+            .is_ok());
+        assert!(FaultSpec::outage(StageKind::Gateway, -1.0, 2.0)
+            .check()
+            .is_err());
+        assert!(FaultSpec::outage(StageKind::Gateway, 2.0, 2.0)
+            .check()
+            .is_err());
+        assert!(FaultSpec::outage(StageKind::Gateway, 0.0, f64::INFINITY)
+            .check()
+            .is_err());
+        assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 0.0)
+            .check()
+            .is_err());
+        assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 1.5)
+            .check()
+            .is_err());
+        assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 1.0)
+            .check()
+            .is_ok());
+        let jitter = |amplitude, steps| FaultSpec {
+            stage: StageKind::Fabric,
+            name: None,
+            start: 0.0,
+            end: 1.0,
+            fault: FaultKind::Jitter {
+                seed: 1,
+                amplitude,
+                steps,
+            },
+        };
+        assert!(jitter(0.5, 4).check().is_ok());
+        assert!(jitter(1.0, 4).check().is_err());
+        assert!(jitter(0.5, 0).check().is_err());
+    }
+
+    #[test]
+    fn fault_spec_matching_honors_kind_and_name() {
+        let any_gw = FaultSpec::outage(StageKind::Gateway, 1.0, 2.0);
+        assert!(any_gw.matches(StageKind::Gateway, "vast:gw"));
+        assert!(!any_gw.matches(StageKind::Media, "vast:gw"));
+        let named = any_gw.clone().named("vast:gw");
+        assert!(named.matches(StageKind::Gateway, "vast:gw"));
+        assert!(!named.matches(StageKind::Gateway, "other:gw"));
     }
 }

@@ -15,11 +15,11 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use hcs_core::{
-    Deck, DeckMetricsSummary, PointMetrics, Reconfigured, Recorder, Scenario, StorageSystem,
-    Workload,
+    Deck, DeckMetricsSummary, FaultSpec, PointMetrics, Reconfigured, Recorder, ResilienceMetrics,
+    Scenario, StorageSystem, Workload,
 };
 use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
-use hcs_ior::{run_ior, run_ior_traced, IorReport};
+use hcs_ior::{run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_traced, IorReport};
 use hcs_mdtest::{run_mdtest, MdtestReport};
 use hcs_replay::{replay, ReplayResult};
 
@@ -262,6 +262,106 @@ pub fn run_workload_on_traced(
     }
 }
 
+/// Runs a fault-injected workload, returning the outcome and its
+/// resilience record (slowdown vs. the fault-free twin, stall and
+/// drain seconds).
+///
+/// # Panics
+/// Panics when the workload family is not IOR (fault injection targets
+/// the flow-level phase runner; the other families' engines do not
+/// consume capacity schedules yet) or when the schedule fails to
+/// resolve — `validate_deck` catches both ahead of time with a clean
+/// diagnostic.
+fn run_workload_faulted(
+    system: &dyn StorageSystem,
+    workload: &Workload,
+    faults: &[FaultSpec],
+    recorder: Option<&mut Recorder>,
+    label: &str,
+) -> (WorkloadOutcome, ResilienceMetrics) {
+    let config = match workload {
+        Workload::Ior(c) => c,
+        other => panic!(
+            "scenario '{label}': fault injection supports the IOR family only (got {})",
+            other.kind()
+        ),
+    };
+    let result = match recorder {
+        Some(rec) => run_ior_faulted_traced(system, config, faults, rec),
+        None => run_ior_faulted(system, config, faults),
+    };
+    match result {
+        Ok((report, resilience)) => (WorkloadOutcome::Ior(report), resilience),
+        Err(e) => panic!("scenario '{label}': {e}"),
+    }
+}
+
+/// Checks a deck before execution, returning a one-line diagnostic on
+/// the first problem: an unknown system name, fault injection on a
+/// workload family that does not support it (IOR only today), a
+/// malformed fault window, or a fault targeting a stage the scenario's
+/// deployment plan does not contain. `hcs run` calls this up front so
+/// bad decks exit with a message instead of a panic backtrace.
+pub fn validate_deck(deck: &Deck) -> Result<(), String> {
+    for scenario in deck.expand() {
+        let entry = registry::resolve(&scenario.system).ok_or_else(|| {
+            format!(
+                "unknown system '{}' (known: {})",
+                scenario.system,
+                registry::names().join(", ")
+            )
+        })?;
+        if scenario.faults.is_empty() {
+            continue;
+        }
+        let workload = scenario.resolved_workload(entry.full_ppn);
+        let config = match &workload {
+            Workload::Ior(c) => c,
+            other => {
+                return Err(format!(
+                    "scenario '{}': fault injection supports the IOR family only (got {})",
+                    scenario.name,
+                    other.kind()
+                ))
+            }
+        };
+        for spec in &scenario.faults {
+            spec.check()
+                .map_err(|e| format!("scenario '{}': {e}", scenario.name))?;
+        }
+        let (system, _) = build_system(&scenario);
+        let graph = system.plan(
+            scenario.run_nodes(),
+            scenario.run_ppn(entry.full_ppn),
+            &config.phase(),
+        );
+        for spec in &scenario.faults {
+            if !graph
+                .stages
+                .iter()
+                .any(|st| spec.matches(st.kind, &st.name))
+            {
+                return Err(format!(
+                    "scenario '{}': fault targets no planned stage (kind {}{}); planned stages: {}",
+                    scenario.name,
+                    spec.stage.label(),
+                    spec.name
+                        .as_deref()
+                        .map(|n| format!(", name '{n}'"))
+                        .unwrap_or_default(),
+                    graph
+                        .stages
+                        .iter()
+                        .map(|s| format!("{} '{}'", s.kind.label(), s.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs one scenario point.
 ///
 /// # Panics
@@ -281,9 +381,20 @@ fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> Po
     workload.validate();
     let nodes = scenario.run_nodes();
     let ppn = scenario.run_ppn(full_ppn);
-    let outcome = match recorder {
-        Some(rec) => run_workload_on_traced(&system, &workload, nodes, ppn, rec),
-        None => run_workload_on(&system, &workload, nodes, ppn),
+    let outcome = if scenario.faults.is_empty() {
+        match recorder {
+            Some(rec) => run_workload_on_traced(&system, &workload, nodes, ppn, rec),
+            None => run_workload_on(&system, &workload, nodes, ppn),
+        }
+    } else {
+        run_workload_faulted(
+            &*system,
+            &workload,
+            &scenario.faults,
+            recorder,
+            &scenario.name,
+        )
+        .0
     };
     PointResult {
         scenario: scenario.clone(),
@@ -313,9 +424,22 @@ fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
     let nodes = scenario.run_nodes();
     let ppn = scenario.run_ppn(full_ppn);
     let mut rec = Recorder::new();
-    let outcome = run_workload_on_traced(&system, &workload, nodes, ppn, &mut rec);
+    let (outcome, resilience) = if scenario.faults.is_empty() {
+        let outcome = run_workload_on_traced(&system, &workload, nodes, ppn, &mut rec);
+        (outcome, None)
+    } else {
+        let (outcome, resilience) = run_workload_faulted(
+            &*system,
+            &workload,
+            &scenario.faults,
+            Some(&mut rec),
+            &scenario.name,
+        );
+        (outcome, Some(resilience))
+    };
     let mut metrics = collect_point_metrics(&workload, &outcome, &rec, nodes, ppn);
     metrics.wall_clock_seconds = start.elapsed().as_secs_f64();
+    metrics.resilience = resilience;
     (
         PointResult {
             scenario: scenario.clone(),
@@ -524,5 +648,83 @@ mod tests {
         let traced = run_deck_traced(&deck, &mut rec);
         assert_eq!(plain, traced);
         assert!(!rec.to_chrome_json().is_empty());
+    }
+
+    fn gateway_outage(start: f64, end: f64) -> hcs_core::FaultSpec {
+        hcs_core::FaultSpec::outage(StageKind::Gateway, start, end)
+    }
+
+    #[test]
+    fn faulted_deck_completes_and_carries_resilience() {
+        let mut deck = Deck::single("fault-t", smoke_scenario("vast-lassen"));
+        deck.axes.fault_sets = vec![Vec::new(), vec![gateway_outage(0.05, 0.15)]];
+        let result = run_deck_with_metrics(&deck);
+        assert_eq!(result.points.len(), 2);
+        let free = &result.points[0];
+        let faulted = &result.points[1];
+        assert!(free.metrics.as_ref().unwrap().resilience.is_none());
+        let res = faulted
+            .metrics
+            .as_ref()
+            .unwrap()
+            .resilience
+            .as_ref()
+            .expect("faulted point carries resilience");
+        assert!(res.slowdown_factor > 1.0, "{}", res.slowdown_factor);
+        assert!((res.stall_seconds - 0.1).abs() < 1e-9);
+        assert_eq!(res.fault_events, 2);
+        // The faulted point's twin is the fault-free sibling.
+        let free_bw = free.outcome.ior().outcome.summary.mean;
+        let faulted_bw = faulted.outcome.ior().outcome.summary.mean;
+        assert!((free_bw / faulted_bw - res.slowdown_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_artifacts_never_mention_fault_fields() {
+        let mut deck = Deck::single("t", smoke_scenario("vast-lassen"));
+        deck.axes.nodes = vec![1, 2];
+        let json = serde_json::to_string(&run_deck_with_metrics(&deck)).unwrap();
+        assert!(!json.contains("\"resilience\""), "byte-compat broken");
+        assert!(!json.contains("\"faults\""), "byte-compat broken");
+    }
+
+    #[test]
+    fn validate_deck_accepts_good_and_names_bad() {
+        let mut good = Deck::single("g", smoke_scenario("vast-lassen"));
+        good.base.faults = vec![gateway_outage(1.0, 2.0)];
+        assert_eq!(validate_deck(&good), Ok(()));
+
+        let unknown = Deck::single("u", smoke_scenario("betafs"));
+        let err = validate_deck(&unknown).unwrap_err();
+        assert!(err.contains("unknown system 'betafs'"), "{err}");
+
+        let mut missing = Deck::single("m", smoke_scenario("nvme"));
+        missing.base.faults = vec![gateway_outage(1.0, 2.0)];
+        let err = validate_deck(&missing).unwrap_err();
+        assert!(err.contains("fault targets no planned stage"), "{err}");
+
+        let mut window = Deck::single("w", smoke_scenario("vast-lassen"));
+        window.base.faults = vec![gateway_outage(2.0, 1.0)];
+        let err = validate_deck(&window).unwrap_err();
+        assert!(err.contains("end must be finite and after start"), "{err}");
+
+        let mut family = Deck::single(
+            "f",
+            Scenario::new("gpfs", Workload::Mdtest(MdtestConfig::new(1, 4))),
+        );
+        family.base.faults = vec![gateway_outage(1.0, 2.0)];
+        let err = validate_deck(&family).unwrap_err();
+        assert!(err.contains("IOR family only"), "{err}");
+    }
+
+    #[test]
+    fn traced_faulted_deck_matches_untraced() {
+        let mut deck = Deck::single("fault-t", smoke_scenario("vast-lassen"));
+        deck.base.faults = vec![gateway_outage(0.05, 0.15)];
+        let plain = run_deck(&deck);
+        let mut rec = Recorder::new();
+        let traced = run_deck_traced(&deck, &mut rec);
+        assert_eq!(plain, traced);
+        assert!(rec.to_chrome_json().contains("faulted"));
     }
 }

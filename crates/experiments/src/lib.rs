@@ -36,7 +36,7 @@ pub mod traced;
 
 pub use deck::{
     run_deck, run_deck_traced, run_deck_traced_with_metrics, run_deck_with_metrics,
-    run_scenario_metered, DeckResult, PointResult, WorkloadOutcome,
+    run_scenario_metered, validate_deck, DeckResult, PointResult, WorkloadOutcome,
 };
 pub use metrics::deck_metrics_summary;
 pub use report::{render_markdown, to_report_json, ReportJson};

@@ -210,6 +210,7 @@ pub(crate) fn collect_point_metrics(
         solver_epochs: recorder.solver_epochs(),
         flow_groups: recorder.flow_groups(),
         wall_clock_seconds: 0.0,
+        resilience: None,
     }
 }
 

@@ -220,6 +220,45 @@ pub fn render_markdown(result: &DeckResult) -> String {
          (non-overlapping I/O), over the application-perceived runtime._"
     );
 
+    let faulted: Vec<&PointResult> = result
+        .points
+        .iter()
+        .filter(|p| p.metrics.as_ref().is_some_and(|m| m.resilience.is_some()))
+        .collect();
+    if !faulted.is_empty() {
+        let _ = writeln!(out, "\n## Resilience\n");
+        let _ = writeln!(
+            out,
+            "| point | system | slowdown | fault-free | faulted | stall | drain | events |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for p in &faulted {
+            let r = p
+                .metrics
+                .as_ref()
+                .and_then(|m| m.resilience.as_ref())
+                .expect("filtered on resilience presence");
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.2}x | {} | {} | {} | {} | {} |",
+                p.scenario.name,
+                p.system,
+                r.slowdown_factor,
+                fmt::seconds2(r.fault_free_seconds),
+                fmt::seconds2(r.faulted_seconds),
+                fmt::seconds2(r.stall_seconds),
+                fmt::seconds2(r.drain_seconds),
+                r.fault_events,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n_Slowdown is faulted over fault-free runtime of the same point (paired twin, \
+             identical noise stream); stall is time with every active flow at rate zero; \
+             drain is runtime past the last capacity event._"
+        );
+    }
+
     if let Some(summary) = &result.metrics {
         let _ = writeln!(out, "\n## Cross-rep statistics\n");
         let _ = writeln!(
@@ -358,6 +397,7 @@ mod tests {
             solver_epochs: 0,
             flow_groups: 0,
             wall_clock_seconds: 0.0,
+            resilience: None,
         }
     }
 

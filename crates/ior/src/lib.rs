@@ -29,4 +29,7 @@ pub mod runner;
 
 pub use apps::all_apps;
 pub use config::{IorConfig, WorkloadClass};
-pub use runner::{run_ior, run_ior_full, run_ior_traced, IorFullReport, IorReport};
+pub use runner::{
+    run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_full, run_ior_traced, IorFullReport,
+    IorReport,
+};

@@ -2,8 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use hcs_core::metrics::ResilienceMetrics;
 use hcs_core::outcome::RepeatedOutcome;
-use hcs_core::runner::{run_phase_repeated, run_phase_repeated_traced};
+use hcs_core::runner::{
+    run_phase_repeated, run_phase_repeated_faulted, run_phase_repeated_faulted_traced,
+    run_phase_repeated_traced, FaultPhaseError,
+};
+use hcs_core::scenario::FaultSpec;
 use hcs_core::telemetry::Recorder;
 use hcs_core::StorageSystem;
 use hcs_simkit::SimRng;
@@ -92,6 +97,78 @@ pub fn run_ior_traced(
         config: config.clone(),
         outcome,
     }
+}
+
+/// [`run_ior`] under a fault schedule: the measured phase runs with the
+/// scenario's windowed faults resolved into timed capacity events, and
+/// the report is paired with [`ResilienceMetrics`] against the
+/// fault-free twin. The noise stream is consumed exactly as in
+/// [`run_ior`] (common random numbers), applied to the faulted base.
+pub fn run_ior_faulted(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    faults: &[FaultSpec],
+) -> Result<(IorReport, ResilienceMetrics), FaultPhaseError> {
+    config.validate();
+    let phase = config.phase();
+    let mut rng = SimRng::new(config.seed).split("ior-reps");
+    let (outcome, resilience) = run_phase_repeated_faulted(
+        system,
+        config.nodes,
+        config.tasks_per_node,
+        &phase,
+        faults,
+        config.reps,
+        &mut rng,
+    )?;
+    Ok((
+        IorReport {
+            system: system.description(),
+            config: config.clone(),
+            outcome,
+        },
+        resilience,
+    ))
+}
+
+/// [`run_ior_faulted`] with telemetry: the faulted base run (and its
+/// stall window) lands in `recorder`; the fault-free twin is not
+/// traced.
+pub fn run_ior_faulted_traced(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    faults: &[FaultSpec],
+    recorder: &mut Recorder,
+) -> Result<(IorReport, ResilienceMetrics), FaultPhaseError> {
+    config.validate();
+    let phase = config.phase();
+    let label = format!(
+        "{} {:?} {}x{} (faulted)",
+        system.name(),
+        phase.op,
+        config.nodes,
+        config.tasks_per_node
+    );
+    let mut rng = SimRng::new(config.seed).split("ior-reps");
+    let (outcome, resilience) = run_phase_repeated_faulted_traced(
+        &label,
+        system,
+        config.nodes,
+        config.tasks_per_node,
+        &phase,
+        faults,
+        config.reps,
+        &mut rng,
+        recorder,
+    )?;
+    Ok((
+        IorReport {
+            system: system.description(),
+            config: config.clone(),
+            outcome,
+        },
+        resilience,
+    ))
 }
 
 /// A full IOR job: write the dataset, then read it back — what IOR

@@ -32,6 +32,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::faults::{FaultRunReport, FaultTimeline, StallError};
+
 /// Relative tolerance used when comparing rates and byte counts.
 const REL_EPS: f64 = 1e-9;
 
@@ -306,10 +308,17 @@ impl FlowNet {
 
     /// Changes a resource's capacity (failure injection / degradation).
     /// Takes effect from the current instant.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative or non-finite. The graph planner
+    /// rejects non-finite capacities at provision time, so fault
+    /// recovery must not be able to re-widen a resource into a state
+    /// the planner would never have validated.
     pub fn set_resource_capacity(&mut self, id: ResourceId, capacity: f64) {
         assert!(
-            capacity >= 0.0 && !capacity.is_nan(),
-            "capacity must be non-negative"
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and non-negative: {} = {capacity}",
+            self.resources[id.index()].name
         );
         self.resources[id.index()].capacity = capacity;
         self.rates_valid = false;
@@ -479,21 +488,144 @@ impl FlowNet {
     ///
     /// # Panics
     /// Panics if flows stall (every remaining flow has rate zero), which
-    /// indicates a zero-capacity resource on every path.
-    pub fn run_to_completion(
+    /// indicates a zero-capacity resource on every path. Use
+    /// [`FlowNet::try_run_to_completion`] to receive the stall as a
+    /// typed [`StallError`] instead, or [`FlowNet::run_with_faults`]
+    /// when scheduled capacity events may lift the stall.
+    pub fn run_to_completion(&mut self, on_complete: impl FnMut(&mut FlowNet, Completion)) -> f64 {
+        self.try_run_to_completion(on_complete)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the network until every active flow completes, like
+    /// [`FlowNet::run_to_completion`], but reports a stall (every
+    /// remaining flow at rate zero) as a [`StallError`] naming the
+    /// starved resources instead of panicking.
+    pub fn try_run_to_completion(
         &mut self,
         mut on_complete: impl FnMut(&mut FlowNet, Completion),
-    ) -> f64 {
+    ) -> Result<f64, StallError> {
         while self.active_flow_count() > 0 {
-            let t = self
-                .next_completion_time()
-                .expect("active flows are stalled at rate zero");
+            let Some(t) = self.next_completion_time() else {
+                return Err(self.stall_error());
+            };
             self.advance_to(t);
             for c in self.take_completed() {
                 on_complete(self, c);
             }
         }
-        self.now
+        Ok(self.now)
+    }
+
+    /// Runs the network to completion while applying a [`FaultTimeline`]
+    /// of scheduled capacity events.
+    ///
+    /// Each event sets its resource's capacity to `base * factor`,
+    /// where `base` is the capacity at entry — factors scale the
+    /// original provisioned value, never the current one, so outage +
+    /// recovery round-trips exactly. Events and analytic completion
+    /// leaps are interleaved deterministically: whichever comes first
+    /// on the simulated clock is processed first (completions before
+    /// the event when they coincide). A window in which *every* active
+    /// flow is stalled at rate zero no longer panics: time leaps to the
+    /// next scheduled event and the stalled interval is accumulated
+    /// into [`FaultRunReport::stall_seconds`]. Only a stall with no
+    /// events left returns [`StallError`]. Events scheduled after the
+    /// last completion are not applied.
+    ///
+    /// With an empty timeline this is exactly
+    /// [`FlowNet::try_run_to_completion`] — bit-identical, as the
+    /// differential tests pin.
+    ///
+    /// # Panics
+    /// Panics if an event references an unknown resource or would set a
+    /// non-finite capacity.
+    pub fn run_with_faults(
+        &mut self,
+        timeline: &FaultTimeline,
+        mut on_complete: impl FnMut(&mut FlowNet, Completion),
+    ) -> Result<FaultRunReport, StallError> {
+        for e in timeline.events() {
+            assert!(
+                e.resource.index() < self.resources.len(),
+                "fault event references unknown resource {:?}",
+                e.resource
+            );
+        }
+        // Base capacities captured at entry: factors always scale
+        // these, so overlapping events never compound.
+        let base: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut pending = timeline.events().iter();
+        let mut next_event = pending.next();
+        let mut stall_seconds = 0.0;
+        let mut events_applied = 0usize;
+        let mut last_event_at = None;
+        while self.active_flow_count() > 0 {
+            let completion = self.next_completion_time();
+            match (completion, next_event) {
+                // The scheduled event fires before (or at) the next
+                // completion: advance to it and apply the change.
+                (Some(t), Some(e)) if e.at <= t => {
+                    let at = e.at.max(self.now);
+                    self.advance_to(at);
+                    for c in self.take_completed() {
+                        on_complete(self, c);
+                    }
+                    self.set_resource_capacity(e.resource, base[e.resource.index()] * e.factor);
+                    events_applied += 1;
+                    last_event_at = Some(at);
+                    next_event = pending.next();
+                }
+                // Normal analytic leap to the next completion.
+                (Some(t), _) => {
+                    self.advance_to(t);
+                    for c in self.take_completed() {
+                        on_complete(self, c);
+                    }
+                }
+                // Full stall, but an event is scheduled: wait for it.
+                (None, Some(e)) => {
+                    let at = e.at.max(self.now);
+                    stall_seconds += at - self.now;
+                    self.advance_to(at);
+                    self.set_resource_capacity(e.resource, base[e.resource.index()] * e.factor);
+                    events_applied += 1;
+                    last_event_at = Some(at);
+                    next_event = pending.next();
+                }
+                // Full stall with nothing scheduled: unrecoverable.
+                (None, None) => return Err(self.stall_error()),
+            }
+        }
+        Ok(FaultRunReport {
+            end: self.now,
+            stall_seconds,
+            events_applied,
+            last_event_at,
+        })
+    }
+
+    /// Builds the typed stall diagnostic: which zero-capacity resources
+    /// sit on the paths of the (rate-zero) active flows.
+    fn stall_error(&mut self) -> StallError {
+        self.ensure_rates();
+        let mut starved: Vec<String> = Vec::new();
+        for f in self.flows.values() {
+            if f.rate > 0.0 {
+                continue;
+            }
+            for r in &f.path {
+                let spec = &self.resources[r.index()];
+                if spec.capacity <= 0.0 && !starved.contains(&spec.name) {
+                    starved.push(spec.name.clone());
+                }
+            }
+        }
+        starved.sort();
+        StallError {
+            at: self.now,
+            starved,
+        }
     }
 
     fn ensure_rates(&mut self) {
@@ -802,6 +934,134 @@ mod tests {
         let a = net.add_flow(FlowSpec::new(vec![r[0]], 100.0));
         assert_eq!(net.flow_rate(a), Some(0.0));
         assert_eq!(net.next_completion_time(), None);
+    }
+
+    #[test]
+    fn set_capacity_rejects_infinity() {
+        let (mut net, r) = net_with(&[100.0]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.set_resource_capacity(r[0], f64::INFINITY);
+        }))
+        .expect_err("infinite capacity must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("finite"), "panic names the rule: {msg}");
+    }
+
+    #[test]
+    fn try_run_reports_starved_resource() {
+        let (mut net, r) = net_with(&[100.0, 0.0]);
+        net.add_flow(FlowSpec::new(vec![r[0], r[1]], 100.0));
+        net.advance_to(2.0);
+        let err = net
+            .try_run_to_completion(|_, _| {})
+            .expect_err("stalled network must error");
+        assert_eq!(err.at, 2.0);
+        assert_eq!(err.starved, vec!["r1".to_string()]);
+        assert!(err.to_string().contains("r1"));
+    }
+
+    #[test]
+    fn try_run_matches_run_to_completion_when_healthy() {
+        let make = || {
+            let (mut net, r) = net_with(&[100.0]);
+            net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+            net.add_flow(FlowSpec::new(vec![r[0]], 500.0));
+            net
+        };
+        let a = make().run_to_completion(|_, _| {});
+        let b = make().try_run_to_completion(|_, _| {}).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn empty_timeline_is_bit_identical_to_plain_run() {
+        let make = || {
+            let (mut net, r) = net_with(&[123.0, 77.0]);
+            net.add_flow(FlowSpec::new(vec![r[0], r[1]], 1000.0).with_tag(1));
+            net.add_flow(FlowSpec::new(vec![r[1]], 700.0).with_tag(2));
+            net
+        };
+        let mut plain_done = Vec::new();
+        let plain_end = make().run_to_completion(|_, c| plain_done.push((c.tag, c.at)));
+        let mut fault_done = Vec::new();
+        let report = make()
+            .run_with_faults(&FaultTimeline::empty(), |_, c| {
+                fault_done.push((c.tag, c.at))
+            })
+            .unwrap();
+        assert_eq!(plain_end.to_bits(), report.end.to_bits());
+        assert_eq!(plain_done.len(), fault_done.len());
+        for ((pt, pa), (ft, fa)) in plain_done.iter().zip(&fault_done) {
+            assert_eq!(pt, ft);
+            assert_eq!(pa.to_bits(), fa.to_bits());
+        }
+        assert_eq!(report.stall_seconds, 0.0);
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(report.last_event_at, None);
+    }
+
+    #[test]
+    fn outage_and_recovery_complete_without_panic() {
+        // Automates the manual model in tests/failure_injection.rs:
+        // 100 B/s link, 1000 B flow; outage at t=1 (100 B drained),
+        // recovery at t=5; remaining 900 B drain by t=14.
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        let tl = FaultTimeline::new(vec![
+            CapacityEvent::new(1.0, r[0], 0.0),
+            CapacityEvent::new(5.0, r[0], 1.0),
+        ]);
+        let report = net.run_with_faults(&tl, |_, _| {}).unwrap();
+        assert!((report.end - 14.0).abs() < 1e-6, "end = {}", report.end);
+        assert!(
+            (report.stall_seconds - 4.0).abs() < 1e-9,
+            "stall = {}",
+            report.stall_seconds
+        );
+        assert_eq!(report.events_applied, 2);
+        assert_eq!(report.last_event_at, Some(5.0));
+    }
+
+    #[test]
+    fn degradation_factor_scales_base_capacity() {
+        // Degrade to 10% at t=2 (200 B drained), restore at t=4:
+        // 20 B drain during the window, 780 B at full rate after.
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        let tl = FaultTimeline::new(vec![
+            CapacityEvent::new(2.0, r[0], 0.1),
+            CapacityEvent::new(4.0, r[0], 1.0),
+        ]);
+        let report = net.run_with_faults(&tl, |_, _| {}).unwrap();
+        assert!((report.end - 11.8).abs() < 1e-6, "end = {}", report.end);
+        assert_eq!(report.stall_seconds, 0.0);
+    }
+
+    #[test]
+    fn unrecovered_outage_returns_typed_stall() {
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0]], 1000.0));
+        let tl = FaultTimeline::new(vec![CapacityEvent::new(1.0, r[0], 0.0)]);
+        let err = net
+            .run_with_faults(&tl, |_, _| {})
+            .expect_err("no recovery scheduled");
+        assert_eq!(err.at, 1.0);
+        assert_eq!(err.starved, vec!["r0".to_string()]);
+    }
+
+    #[test]
+    fn trailing_events_after_completion_are_not_applied() {
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        net.add_flow(FlowSpec::new(vec![r[0]], 100.0));
+        let tl = FaultTimeline::new(vec![CapacityEvent::new(50.0, r[0], 0.0)]);
+        let report = net.run_with_faults(&tl, |_, _| {}).unwrap();
+        assert!((report.end - 1.0).abs() < 1e-9);
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(net.resource_capacity(r[0]), 100.0, "event never applied");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   so simulated time advances in O(#rate-changes) rather than
 //!   O(#bytes).
 //!
-//! Supporting modules: [`time`] (simulated time arithmetic), [`rng`]
+//! Supporting modules: [`faults`] (deterministic timed capacity
+//! schedules — outages, degradations, recoveries — consumed by
+//! [`flownet::FlowNet::run_with_faults`]), [`time`] (simulated time arithmetic), [`rng`]
 //! (seeded, label-splittable random streams), [`stats`] (online summary
 //! statistics), [`intervals`] (interval-set algebra used for I/O overlap
 //! analysis), and [`units`] (byte/bandwidth unit helpers).
@@ -30,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod faults;
 pub mod flowlog;
 pub mod flownet;
 pub mod intervals;
@@ -39,6 +42,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::{EventQueue, Simulation, World};
+pub use faults::{CapacityEvent, FaultRunReport, FaultTimeline, StallError};
 pub use flowlog::{AllocSample, FlowLog, FlowLogHandle, FlowRecord};
 pub use flownet::{FlowId, FlowNet, FlowRecorder, FlowSpec, ResourceId, ResourceSpec};
 pub use intervals::IntervalSet;

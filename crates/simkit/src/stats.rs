@@ -135,7 +135,7 @@ impl Summary {
         }
         let mut s = OnlineStats::new();
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         for &x in sample {
             s.push(x);
         }
@@ -149,6 +149,22 @@ impl Summary {
             p95: percentile_sorted(&sorted, 95.0),
         })
     }
+}
+
+/// Linear-interpolation percentile of an unsorted sample.
+///
+/// The one shared percentile kernel of the suite: sorts a copy with
+/// IEEE-754 total order (`total_cmp`, NaNs sort last instead of
+/// panicking) and interpolates with [`percentile_sorted`]. Both
+/// [`Summary::of`] and `hcs_core::metrics::Stats::percentile` reduce to
+/// this function, so the two layers are bit-identical by construction.
+///
+/// # Panics
+/// Panics if `sample` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, p)
 }
 
 /// Linear-interpolation percentile of an ascending-sorted slice.
@@ -232,5 +248,22 @@ mod tests {
         assert_eq!(percentile_sorted(&[1.0, 2.0], 0.0), 1.0);
         assert_eq!(percentile_sorted(&[1.0, 2.0], 100.0), 2.0);
         assert_eq!(percentile_sorted(&[1.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_sorts_then_interpolates() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[9.0, 5.0], 0.0), 5.0);
+    }
+
+    #[test]
+    fn summary_tolerates_nan_samples() {
+        // total_cmp sorts NaN after every finite value, so a NaN-tainted
+        // sample summarizes without panicking instead of taking the
+        // whole report down.
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 3.0, "NaN sorts last; median is the max finite");
+        assert_eq!(s.min, 1.0);
     }
 }

@@ -141,6 +141,7 @@ proptest! {
             edit_sets: (0..widen)
                 .map(|i| vec![GraphEdit::WidenGateway { count: i + 1 }])
                 .collect(),
+            fault_sets: Vec::new(),
         };
         let points = deck.expand();
         let mut names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
