@@ -1,12 +1,17 @@
-//! Self-profiling harness: runs every builtin deck at smoke scale
-//! through the metered executor and writes `BENCH_deck.json` — one
-//! record per point with its wall-clock cost, flow-solver epoch count
-//! and flow-group count, plus per-deck totals. The artifact answers
-//! "where does simulation time go" for the deck catalog the same way
-//! `hcs report` answers it for a workload.
+//! Self-profiling harness: runs every builtin deck at the selected
+//! scale through the metered executor and writes `BENCH_deck.json` —
+//! one record per point with its wall-clock cost, flow-solver epoch
+//! count and flow-group count, plus per-deck totals and throughput
+//! (points/sec, solver epochs/sec). The artifact answers "where does
+//! simulation time go" for the deck catalog the same way `hcs report`
+//! answers it for a workload, and the throughput fields make the
+//! equivalence-class planner's speedup a tracked trajectory across
+//! commits (a `--scale datacenter` run pushes 10^6-client points
+//! through the same harness).
 //!
-//! Usage: `hcs-bench [output-path]` (default `BENCH_deck.json` in the
-//! current directory — CI runs it from the repo root).
+//! Usage: `hcs-bench [--scale <paper|smoke|datacenter>] [output-path]`
+//! (default smoke scale, `BENCH_deck.json` in the current directory —
+//! CI runs it from the repo root).
 
 use serde::Serialize;
 use std::time::Instant;
@@ -33,6 +38,8 @@ struct DeckRecord {
     points: usize,
     wall_seconds: f64,
     solver_epochs: u64,
+    points_per_sec: f64,
+    epochs_per_sec: f64,
 }
 
 #[derive(Serialize)]
@@ -42,15 +49,37 @@ struct BenchReport {
     points: Vec<PointRecord>,
     total_wall_seconds: f64,
     total_solver_epochs: u64,
+    points_per_sec: f64,
+    epochs_per_sec: f64,
+}
+
+/// Throughput over a wall-clock window, 0.0 for an empty window (a
+/// sub-microsecond deck would otherwise print a meaningless spike).
+fn per_sec(count: f64, wall: f64) -> f64 {
+    if wall > 0.0 {
+        count / wall
+    } else {
+        0.0
+    }
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_deck.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Smoke;
+    let mut out_path = "BENCH_deck.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = Scale::parse(v).unwrap_or_else(|| panic!("--scale: unknown scale '{v}'"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
     let mut points = Vec::new();
     let mut decks = Vec::new();
-    for deck in figures::all_decks(Scale::Smoke) {
+    for deck in figures::all_decks(scale) {
         let start = Instant::now();
         let result = run_deck_with_metrics(&deck);
         let wall = start.elapsed().as_secs_f64();
@@ -74,23 +103,31 @@ fn main() {
             });
         }
         eprintln!(
-            "{:<22} {:>3} points  {:>7.3}s  {:>8} solver epochs",
+            "{:<22} {:>3} points  {:>7.3}s  {:>8} solver epochs  {:>9.1} points/sec",
             deck.name,
             result.points.len(),
             wall,
-            epochs
+            epochs,
+            per_sec(result.points.len() as f64, wall),
         );
         decks.push(DeckRecord {
             deck: deck.name.clone(),
             points: result.points.len(),
             wall_seconds: wall,
             solver_epochs: epochs,
+            points_per_sec: per_sec(result.points.len() as f64, wall),
+            epochs_per_sec: per_sec(epochs as f64, wall),
         });
     }
+    let total_wall: f64 = decks.iter().map(|d| d.wall_seconds).sum();
+    let total_epochs: u64 = decks.iter().map(|d| d.solver_epochs).sum();
+    let total_points: usize = decks.iter().map(|d| d.points).sum();
     let report = BenchReport {
-        scale: "smoke".to_string(),
-        total_wall_seconds: decks.iter().map(|d| d.wall_seconds).sum(),
-        total_solver_epochs: decks.iter().map(|d| d.solver_epochs).sum(),
+        scale: scale.label().to_string(),
+        total_wall_seconds: total_wall,
+        total_solver_epochs: total_epochs,
+        points_per_sec: per_sec(total_points as f64, total_wall),
+        epochs_per_sec: per_sec(total_epochs as f64, total_wall),
         decks,
         points,
     };

@@ -44,7 +44,9 @@ systems: see `hcs systems` (the shared registry is the single source)
 workloads (ior): scientific | analytics | ml
 
 options:
-  --scale <paper|smoke>  run at paper scale (default) or CI smoke scale
+  --scale <paper|smoke|datacenter>  run at paper scale (default), CI
+                   smoke scale, or datacenter scale (10^5-10^7 clients
+                   via the equivalence-class planner)
   --smoke                alias for --scale smoke
   --trace <path>   (ior, dlio, run) dump a Chrome trace of the run —
                    flows, per-resource utilization, bottleneck
@@ -120,7 +122,7 @@ fn format_flag(args: &[String]) -> (Vec<String>, String) {
     (rest, format)
 }
 
-/// Splits `--scale <paper|smoke>` (and its `--smoke` shorthand) out of
+/// Splits `--scale <paper|smoke|datacenter>` (and its `--smoke` shorthand) out of
 /// the arg list, returning the remaining positional args and the scale.
 fn scale_flag(args: &[String]) -> (Vec<String>, Scale) {
     let mut rest = Vec::with_capacity(args.len());
@@ -134,7 +136,7 @@ fn scale_flag(args: &[String]) -> (Vec<String>, Scale) {
                 Some(s) => {
                     Scale::parse(s).unwrap_or_else(|| die(&format!("--scale: unknown scale '{s}'")))
                 }
-                None => die("--scale: missing value (paper|smoke)"),
+                None => die("--scale: missing value (paper|smoke|datacenter)"),
             };
         } else {
             rest.push(a.clone());
@@ -246,7 +248,7 @@ fn main() {
             let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
             let ppn: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
             let cfg = match scale {
-                Scale::Smoke => IorConfig::smoke(w, nodes, ppn),
+                Scale::Smoke | Scale::Datacenter => IorConfig::smoke(w, nodes, ppn),
                 Scale::Paper => IorConfig::paper_scalability(w, nodes, ppn),
             };
             let mut recorder = Recorder::new();

@@ -32,6 +32,7 @@
 //! wider?" (§VII), "what does `nconnect` buy?" — into generic graph
 //! edits that work against any backend.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -40,7 +41,100 @@ use hcs_netsim::TransportSpec;
 use hcs_simkit::{FlowNet, ResourceSpec};
 
 use crate::phase::PhaseSpec;
-use crate::system::{Provisioned, StorageSystem};
+use crate::scenario::FaultSpec;
+use crate::system::{AggregateStage, NodeClass, Provisioned, StorageSystem};
+
+/// Node count above which `Auto`-mode provisioning switches to
+/// equivalence-class aggregation. The paper's largest sweep stops at
+/// 128 nodes, so every paper/smoke-scale run (and every golden
+/// fixture) stays on the fully expanded plan — bit-identical to the
+/// pre-aggregation planner — while datacenter-scale sweeps compile to
+/// one resource/flow per *class* instead of per node.
+pub const AGGREGATE_NODE_THRESHOLD: u32 = 1024;
+
+/// When `Auto`-mode provisioning aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AggregateMode {
+    /// Aggregate above [`AGGREGATE_NODE_THRESHOLD`] nodes (or as forced
+    /// by [`with_forced_aggregation`] on this thread).
+    #[default]
+    Auto,
+    /// Always aggregate (differential tests at small node counts).
+    Always,
+    /// Never aggregate (the expanded legacy plan).
+    Never,
+}
+
+thread_local! {
+    static FORCED_AGGREGATION: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with `Auto`-mode aggregation forced on or off for this
+/// thread — how the differential tests drive whole decks through the
+/// aggregated planner at smoke scale (and how they pin that the
+/// expanded twin is reproduced exactly) without plumbing a flag
+/// through every layer.
+pub fn with_forced_aggregation<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = FORCED_AGGREGATION.with(|c| c.replace(Some(on)));
+    let out = f();
+    FORCED_AGGREGATION.with(|c| c.set(prev));
+    out
+}
+
+/// Options for [`DeploymentGraph::provision_classed`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanOptions<'a> {
+    /// Whether to compile node equivalence classes into aggregate
+    /// resources.
+    pub aggregate: AggregateMode,
+    /// Fault specs the run will resolve: any spec with a `name` filter
+    /// that hits a strict subset of a class forces a deterministic
+    /// class split, so fault resolution stays all-or-nothing per class.
+    pub faults: &'a [FaultSpec],
+}
+
+impl<'a> PlanOptions<'a> {
+    /// Auto aggregation with the given fault schedule.
+    pub fn auto(faults: &'a [FaultSpec]) -> Self {
+        PlanOptions {
+            aggregate: AggregateMode::Auto,
+            faults,
+        }
+    }
+}
+
+impl PlanOptions<'static> {
+    /// The expanded legacy plan (no aggregation, no faults).
+    pub fn expanded() -> Self {
+        PlanOptions {
+            aggregate: AggregateMode::Never,
+            faults: &[],
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Whether a provisioned resource name belongs to the stage `name`:
+/// shared stages compile to the stage name itself, sharded and
+/// per-node stages to the name plus a decimal member index. This is
+/// the fault-spec name-filter contract; the class splitter applies the
+/// same predicate to *would-be* member names so a split class is
+/// all-in or all-out for every filter.
+pub(crate) fn resource_of_stage(stage_name: &str, resource_name: &str) -> bool {
+    match resource_name.strip_prefix(stage_name) {
+        Some("") => true,
+        Some(rest) => rest.chars().all(|c| c.is_ascii_digit()),
+        None => false,
+    }
+}
 
 /// The category of a deployment stage — the shared vocabulary used by
 /// bottleneck attribution, `hcs explain` output and figure legends.
@@ -378,6 +472,196 @@ impl DeploymentGraph {
             per_op_latency: self.per_op_latency,
             metadata_latency: self.metadata_latency,
             stage_kinds,
+            classes: vec![],
+            aggregates: vec![],
+        }
+    }
+
+    /// [`Self::provision`] with equivalence-class aggregation. In
+    /// `Auto` mode below [`AGGREGATE_NODE_THRESHOLD`] nodes (i.e. at
+    /// every paper/smoke scale) this *is* `provision` — same resources,
+    /// same names, same order, bit-identical plans. Above the threshold
+    /// (or when forced) nodes are partitioned into equivalence classes:
+    /// all members of a class share one shard-assignment pattern and
+    /// one fault-filter exposure, so each per-node stage compiles to a
+    /// single aggregate resource with `instances = |class|` and the
+    /// whole class runs as one weighted flow.
+    ///
+    /// Class splitting: a fault spec with a `name` filter selects
+    /// per-node resources by name (`"{stage}{node}"`). Any such filter
+    /// whose stage kind matches a per-node stage becomes a splitter
+    /// predicate, so a class is never a strict superset of a filter's
+    /// matches — fault resolution stays all-or-nothing per aggregate.
+    /// A split-off singleton keeps the *exact* expanded resource name
+    /// (so per-resource jitter RNG streams are reproduced); multi-member
+    /// aggregates are named `"{stage}[{len}x{first}]"`.
+    pub fn provision_classed(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        phase: &PhaseSpec,
+        opts: &PlanOptions<'_>,
+    ) -> Provisioned {
+        let aggregate = match opts.aggregate {
+            AggregateMode::Always => true,
+            AggregateMode::Never => false,
+            AggregateMode::Auto => FORCED_AGGREGATION
+                .with(|c| c.get())
+                .unwrap_or(nodes > AGGREGATE_NODE_THRESHOLD),
+        };
+        if !aggregate {
+            return self.provision(net, nodes, phase);
+        }
+        self.validate();
+
+        // Shared and sharded stages: identical to `provision`.
+        let mut stage_kinds = Vec::new();
+        let mut shared_ids: Vec<Option<Vec<hcs_simkit::ResourceId>>> =
+            vec![None; self.stages.len()];
+        for (si, stage) in self.stages.iter().enumerate() {
+            match stage.scope {
+                StageScope::Shared => {
+                    let id = net.add_resource(ResourceSpec::new(
+                        stage.name.clone(),
+                        stage.capacity.for_phase(phase),
+                    ));
+                    stage_kinds.push((id, stage.kind));
+                    shared_ids[si] = Some(vec![id]);
+                }
+                StageScope::Sharded { count } => {
+                    let ids = (0..count.max(1))
+                        .map(|i| {
+                            let id = net.add_resource(ResourceSpec::new(
+                                format!("{}{i}", stage.name),
+                                stage.capacity.for_phase(phase),
+                            ));
+                            stage_kinds.push((id, stage.kind));
+                            id
+                        })
+                        .collect();
+                    shared_ids[si] = Some(ids);
+                }
+                StageScope::PerNode => {}
+            }
+        }
+
+        // Equivalence-class signature. Two nodes are interchangeable
+        // when (a) they land on the same shard of every sharded stage —
+        // guaranteed by sharing a residue modulo the lcm of all shard
+        // counts — and (b) every fault-name splitter predicate answers
+        // the same for both.
+        let mut lcm: u64 = 1;
+        for stage in &self.stages {
+            if let StageScope::Sharded { count } = stage.scope {
+                let c = count.max(1) as u64;
+                lcm = lcm / gcd(lcm, c) * c;
+            }
+        }
+        let lcm = (lcm.min(nodes.max(1) as u64)) as u32;
+
+        // Splitters: (per-node stage index, fault name filter) pairs
+        // whose filter can select per-node resources of that stage.
+        let per_node_stages: Vec<usize> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.scope == StageScope::PerNode)
+            .map(|(si, _)| si)
+            .collect();
+        let splitters: Vec<(usize, &str)> = opts
+            .faults
+            .iter()
+            .filter_map(|f| f.name.as_deref().map(|n| (f.stage, n)))
+            .flat_map(|(kind, name)| {
+                per_node_stages
+                    .iter()
+                    .filter(move |&&si| self.stages[si].kind == kind)
+                    .map(move |&si| (si, name))
+            })
+            .collect();
+
+        // Partition nodes by signature, first-occurrence order.
+        let mut classes: Vec<(Vec<bool>, u32, Vec<u32>)> = Vec::new();
+        for node in 0..nodes {
+            let residue = node % lcm;
+            let sig: Vec<bool> = splitters
+                .iter()
+                .map(|&(si, name)| {
+                    resource_of_stage(name, &format!("{}{node}", self.stages[si].name))
+                })
+                .collect();
+            match classes
+                .iter_mut()
+                .find(|(s, r, _)| *s == sig && *r == residue)
+            {
+                Some((_, _, members)) => members.push(node),
+                None => classes.push((sig, residue, vec![node])),
+            }
+        }
+
+        let order = {
+            let mut order: Vec<usize> = (0..self.stages.len()).collect();
+            order.sort_by_key(|&si| (self.stages[si].kind, si));
+            order
+        };
+
+        let mut aggregates = Vec::new();
+        let out_classes = classes
+            .into_iter()
+            .map(|(_, _, members)| {
+                // Aggregate per-node resources for this class,
+                // declaration order.
+                let per_node: Vec<(usize, hcs_simkit::ResourceId)> = per_node_stages
+                    .iter()
+                    .map(|&si| {
+                        let s = &self.stages[si];
+                        let name = if members.len() == 1 {
+                            format!("{}{}", s.name, members[0])
+                        } else {
+                            format!("{}[{}x{}]", s.name, members.len(), members[0])
+                        };
+                        let id = net.add_resource(
+                            ResourceSpec::new(name, s.capacity.for_phase(phase))
+                                .with_instances(members.len() as u32),
+                        );
+                        stage_kinds.push((id, s.kind));
+                        aggregates.push(AggregateStage {
+                            id,
+                            stage_name: s.name.clone(),
+                            members: members.clone(),
+                        });
+                        (si, id)
+                    })
+                    .collect();
+                let path = order
+                    .iter()
+                    .map(|&si| match self.stages[si].scope {
+                        StageScope::Shared => shared_ids[si].as_ref().expect("compiled")[0],
+                        StageScope::Sharded { .. } => {
+                            let shards = shared_ids[si].as_ref().expect("compiled");
+                            shards[members[0] as usize % shards.len()]
+                        }
+                        StageScope::PerNode => {
+                            per_node
+                                .iter()
+                                .find(|(i, _)| *i == si)
+                                .expect("per-node stage compiled for this class")
+                                .1
+                        }
+                    })
+                    .collect();
+                NodeClass { members, path }
+            })
+            .collect();
+
+        Provisioned {
+            node_paths: vec![],
+            per_stream_bw: self.per_stream_bw,
+            per_op_latency: self.per_op_latency,
+            metadata_latency: self.metadata_latency,
+            stage_kinds,
+            classes: out_classes,
+            aggregates,
         }
     }
 

@@ -15,7 +15,7 @@ use hcs_simkit::{
     SimRng,
 };
 
-use crate::graph::StageKind;
+use crate::graph::{resource_of_stage, PlanOptions, StageKind};
 use crate::metrics::ResilienceMetrics;
 use crate::outcome::{Bottleneck, PhaseOutcome, RepeatedOutcome};
 use crate::phase::PhaseSpec;
@@ -73,17 +73,6 @@ impl fmt::Display for FaultPhaseError {
 
 impl std::error::Error for FaultPhaseError {}
 
-/// Whether a provisioned resource name belongs to the stage `name`:
-/// shared stages compile to the stage name itself, sharded and
-/// per-node stages to the name plus a decimal member index.
-fn resource_of_stage(stage_name: &str, resource_name: &str) -> bool {
-    match resource_name.strip_prefix(stage_name) {
-        Some("") => true,
-        Some(rest) => rest.chars().all(|c| c.is_ascii_digit()),
-        None => false,
-    }
-}
-
 /// Resolves [`FaultSpec`]s against a provisioned network into concrete
 /// timed capacity events.
 ///
@@ -108,6 +97,96 @@ pub fn resolve_faults(
                         .as_deref()
                         .map(|n| resource_of_stage(n, net.resource_name(*id)))
                         .unwrap_or(true)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if targets.is_empty() {
+            return Err(FaultPhaseError::UnmatchedStage {
+                stage: spec.stage,
+                name: spec.name.clone(),
+            });
+        }
+        for id in targets {
+            match &spec.fault {
+                FaultKind::Outage => {
+                    events.push(CapacityEvent::new(spec.start, id, 0.0));
+                    events.push(CapacityEvent::new(spec.end, id, 1.0));
+                }
+                FaultKind::Degrade { factor } => {
+                    events.push(CapacityEvent::new(spec.start, id, *factor));
+                    events.push(CapacityEvent::new(spec.end, id, 1.0));
+                }
+                FaultKind::Jitter {
+                    seed,
+                    amplitude,
+                    steps,
+                } => {
+                    let mut rng = SimRng::new(*seed).split(net.resource_name(id));
+                    let dt = (spec.end - spec.start) / *steps as f64;
+                    for i in 0..*steps {
+                        events.push(CapacityEvent::new(
+                            spec.start + i as f64 * dt,
+                            id,
+                            rng.jitter_factor(*amplitude),
+                        ));
+                    }
+                    events.push(CapacityEvent::new(spec.end, id, 1.0));
+                }
+            }
+        }
+    }
+    Ok(FaultTimeline::new(events))
+}
+
+/// [`resolve_faults`] against a possibly class-aggregated plan.
+///
+/// Plain resources are matched by stage kind and name exactly as in
+/// [`resolve_faults`] (an expanded plan degenerates to that function
+/// verbatim). An aggregate resource matches by its *members*: the
+/// spec's name filter is evaluated against the expanded member names
+/// (`"{stage}{node}"`), and because the planner split classes on every
+/// fault-name filter, a filter covers either every member or none — a
+/// partial hit is a planner bug and panics. A matched aggregate
+/// produces one capacity event per window edge (the engine counts each
+/// of its `instances` members in `events_applied`, so fault accounting
+/// survives aggregation unchanged).
+pub fn resolve_faults_planned(
+    faults: &[FaultSpec],
+    net: &FlowNet,
+    prov: &crate::system::Provisioned,
+) -> Result<FaultTimeline, FaultPhaseError> {
+    if prov.aggregates.is_empty() {
+        return resolve_faults(faults, net, &prov.stage_kinds);
+    }
+    let aggregate_of: std::collections::HashMap<usize, &crate::system::AggregateStage> =
+        prov.aggregates.iter().map(|a| (a.id.index(), a)).collect();
+    let mut events = Vec::new();
+    for spec in faults {
+        spec.check().map_err(FaultPhaseError::InvalidSpec)?;
+        let targets: Vec<ResourceId> = prov
+            .stage_kinds
+            .iter()
+            .filter(|(id, kind)| {
+                *kind == spec.stage
+                    && match (spec.name.as_deref(), aggregate_of.get(&id.index())) {
+                        (None, _) => true,
+                        (Some(n), None) => resource_of_stage(n, net.resource_name(*id)),
+                        (Some(n), Some(agg)) => {
+                            let hit = agg
+                                .members
+                                .iter()
+                                .filter(|m| resource_of_stage(n, &format!("{}{m}", agg.stage_name)))
+                                .count();
+                            assert!(
+                                hit == 0 || hit == agg.members.len(),
+                                "fault name filter '{n}' hits {hit}/{} members of \
+                                 aggregate '{}' — the planner failed to split this class",
+                                agg.members.len(),
+                                net.resource_name(*id),
+                            );
+                            hit > 0
+                        }
+                    }
             })
             .map(|(id, _)| *id)
             .collect();
@@ -254,13 +333,13 @@ fn run_phase_impl(
     // registration; it is a pure listener, so the provisioned network
     // and everything downstream are bit-identical either way.
     let probe = telemetry.is_some().then(|| FlowLogHandle::attach(&mut net));
-    let prov = system.provision(&mut net, nodes, ppn, phase);
+    let prov = system.provision_classed(&mut net, nodes, ppn, phase, &PlanOptions::auto(faults));
     assert_eq!(
-        prov.node_paths.len(),
+        prov.client_nodes(),
         nodes as usize,
-        "{}: provision returned {} node paths for {} nodes",
+        "{}: provision covered {} client nodes out of {}",
         system.name(),
-        prov.node_paths.len(),
+        prov.client_nodes(),
         nodes
     );
 
@@ -289,14 +368,33 @@ fn run_phase_impl(
         prov.metadata_latency / (nodes as f64 * ppn as f64)
     };
 
-    for (i, path) in prov.node_paths.iter().enumerate() {
-        let mut spec = FlowSpec::new(path.clone(), phase.bytes_per_rank)
-            .with_multiplicity(ppn)
-            .with_tag(i as u64);
-        if stream_cap.is_finite() && stream_cap > 0.0 {
-            spec = spec.with_rate_cap(stream_cap);
+    if prov.classes.is_empty() {
+        for (i, path) in prov.node_paths.iter().enumerate() {
+            let mut spec = FlowSpec::new(path.clone(), phase.bytes_per_rank)
+                .with_multiplicity(ppn)
+                .with_tag(i as u64);
+            if stream_cap.is_finite() && stream_cap > 0.0 {
+                spec = spec.with_rate_cap(stream_cap);
+            }
+            net.add_flow(spec);
         }
-        net.add_flow(spec);
+    } else {
+        // One weighted flow per equivalence class: multiplicity covers
+        // every rank the class stands for, `represents` keeps the
+        // flows-started tally per-node-equivalent, and the tag is the
+        // class index (completion fans out to the members below). The
+        // per-member rate cap is unchanged — `rate_cap` is a per-member
+        // ceiling in the engine.
+        for (i, class) in prov.classes.iter().enumerate() {
+            let mut spec = FlowSpec::new(class.path.clone(), phase.bytes_per_rank)
+                .with_multiplicity(class.members.len() as u32 * ppn)
+                .with_represents(class.members.len() as u32)
+                .with_tag(i as u64);
+            if stream_cap.is_finite() && stream_cap > 0.0 {
+                spec = spec.with_rate_cap(stream_cap);
+            }
+            net.add_flow(spec);
+        }
     }
 
     // Steady-state snapshot with every rank active: which resource
@@ -329,19 +427,32 @@ fn run_phase_impl(
     });
 
     let mut per_node_end = vec![0.0_f64; nodes as usize];
+    // In an aggregated plan a flow's tag is its class index and its
+    // completion is every member's completion; expanded plans tag by
+    // node directly.
+    let classes = &prov.classes;
+    let note_end = |per_node_end: &mut Vec<f64>, tag: u64, at: f64| {
+        if classes.is_empty() {
+            per_node_end[tag as usize] = at;
+        } else {
+            for &m in &classes[tag as usize].members {
+                per_node_end[m as usize] = at;
+            }
+        }
+    };
     let fault_report = if faults.is_empty() {
         // The fault-free drive loop is untouched: bit-identical to
         // every pre-fault-injection release, as the differential tests
         // pin.
         net.run_to_completion(|_, c| {
-            per_node_end[c.tag as usize] = c.at;
+            note_end(&mut per_node_end, c.tag, c.at);
         });
         None
     } else {
-        let timeline = resolve_faults(faults, &net, &prov.stage_kinds)?;
+        let timeline = resolve_faults_planned(faults, &net, &prov)?;
         let report = net
             .run_with_faults(&timeline, |_, c| {
-                per_node_end[c.tag as usize] = c.at;
+                note_end(&mut per_node_end, c.tag, c.at);
             })
             .map_err(|e| FaultPhaseError::Stalled {
                 at: e.at,

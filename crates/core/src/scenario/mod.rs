@@ -49,6 +49,10 @@ pub enum Scale {
     Paper,
     /// Reduced geometry: same shapes, minutes → seconds.
     Smoke,
+    /// Datacenter geometry: open-ended node sweeps into the 10^5–10^7
+    /// client range, runnable only because the planner compiles node
+    /// equivalence classes instead of per-node resources.
+    Datacenter,
 }
 
 impl Scale {
@@ -57,6 +61,7 @@ impl Scale {
         match name {
             "paper" | "full" => Some(Scale::Paper),
             "smoke" | "ci" => Some(Scale::Smoke),
+            "datacenter" | "dc" => Some(Scale::Datacenter),
             _ => None,
         }
     }
@@ -66,6 +71,7 @@ impl Scale {
         match self {
             Scale::Paper => "paper",
             Scale::Smoke => "smoke",
+            Scale::Datacenter => "datacenter",
         }
     }
 
@@ -73,7 +79,7 @@ impl Scale {
     pub fn reps(self) -> u32 {
         match self {
             Scale::Paper => 10,
-            Scale::Smoke => 2,
+            Scale::Smoke | Scale::Datacenter => 2,
         }
     }
 
@@ -83,6 +89,7 @@ impl Scale {
         match self {
             Scale::Paper => vec![1, 2, 4, 8, 16, 32, 64, 128],
             Scale::Smoke => vec![1, 4, 16, 64],
+            Scale::Datacenter => vec![1_000, 10_000, 100_000, 1_000_000],
         }
     }
 
@@ -92,6 +99,7 @@ impl Scale {
         match self {
             Scale::Paper => vec![1, 2, 4, 8],
             Scale::Smoke => vec![1, 2, 4, 8],
+            Scale::Datacenter => vec![1_000, 10_000, 100_000],
         }
     }
 
@@ -100,7 +108,7 @@ impl Scale {
     pub fn single_node_procs(self) -> Vec<u32> {
         match self {
             Scale::Paper => vec![1, 2, 4, 8, 16, 32],
-            Scale::Smoke => vec![1, 4, 16, 32],
+            Scale::Smoke | Scale::Datacenter => vec![1, 4, 16, 32],
         }
     }
 
@@ -108,7 +116,7 @@ impl Scale {
     pub fn resnet_nodes(self) -> Vec<u32> {
         match self {
             Scale::Paper => vec![1, 2, 4, 8, 16, 32],
-            Scale::Smoke => vec![1, 4],
+            Scale::Smoke | Scale::Datacenter => vec![1, 4],
         }
     }
 
@@ -116,7 +124,7 @@ impl Scale {
     pub fn cosmoflow_nodes(self) -> Vec<u32> {
         match self {
             Scale::Paper => vec![1, 2, 4, 8, 16],
-            Scale::Smoke => vec![1, 4],
+            Scale::Smoke | Scale::Datacenter => vec![1, 4],
         }
     }
 
@@ -124,7 +132,7 @@ impl Scale {
     pub fn dlio_samples(self) -> Option<u64> {
         match self {
             Scale::Paper => None,
-            Scale::Smoke => Some(96),
+            Scale::Smoke | Scale::Datacenter => Some(96),
         }
     }
 }

@@ -2,8 +2,35 @@
 
 use hcs_simkit::{FlowNet, ResourceId};
 
-use crate::graph::{DeploymentGraph, StageKind};
+use crate::graph::{DeploymentGraph, PlanOptions, StageKind};
 use crate::phase::PhaseSpec;
+
+/// One equivalence class of client nodes: every member traverses the
+/// same capacities (same shard assignment, same per-node stage
+/// capacities, same fault exposure), so the planner may compile the
+/// whole class into one weighted flow over aggregate resources.
+#[derive(Clone, Debug)]
+pub struct NodeClass {
+    /// Member node indices, ascending.
+    pub members: Vec<u32>,
+    /// The resource path every member traverses (per-node stages appear
+    /// as class aggregate resources).
+    pub path: Vec<ResourceId>,
+}
+
+/// One aggregate resource standing for a per-node stage across a whole
+/// node class — the mapping fault resolution needs to decide whether a
+/// name filter covers the class.
+#[derive(Clone, Debug)]
+pub struct AggregateStage {
+    /// The registered aggregate resource.
+    pub id: ResourceId,
+    /// The stage's base name (member `i` would have been named
+    /// `"{stage_name}{i}"` in an expanded plan).
+    pub stage_name: String,
+    /// Member node indices, ascending (same as the owning class).
+    pub members: Vec<u32>,
+}
 
 /// Metadata-path performance of a storage system, consumed by
 /// metadata benchmarks (MDTest-style create/stat/unlink storms).
@@ -39,9 +66,27 @@ pub struct Provisioned {
     /// parsing names, and stays correct when several systems share one
     /// [`FlowNet`] (resource ids are absolute, not zero-based).
     pub stage_kinds: Vec<(ResourceId, StageKind)>,
+    /// Node equivalence classes, populated **only** by class-aggregated
+    /// plans ([`DeploymentGraph::provision_classed`] with aggregation
+    /// on); empty for expanded plans, whose per-node paths live in
+    /// [`Self::node_paths`]. Exactly one of the two representations is
+    /// populated.
+    pub classes: Vec<NodeClass>,
+    /// Aggregate per-node-stage resources of a class-aggregated plan
+    /// (empty for expanded plans), in provisioning order.
+    pub aggregates: Vec<AggregateStage>,
 }
 
 impl Provisioned {
+    /// Number of client nodes this plan covers, whichever
+    /// representation is populated.
+    pub fn client_nodes(&self) -> usize {
+        if self.classes.is_empty() {
+            self.node_paths.len()
+        } else {
+            self.classes.iter().map(|c| c.members.len()).sum()
+        }
+    }
     /// The effective per-stream bandwidth for back-to-back operations of
     /// `transfer_size` bytes, folding [`Self::per_op_latency`] into
     /// [`Self::per_stream_bw`].
@@ -107,6 +152,24 @@ pub trait StorageSystem: Send + Sync {
         self.plan(nodes, ppn, phase).provision(net, nodes, phase)
     }
 
+    /// [`Self::provision`] with planning options: equivalence-class
+    /// aggregation mode plus the fault specs whose name filters must
+    /// split classes. The phase runner calls this; [`Self::provision`]
+    /// stays fully expanded for consumers that index
+    /// [`Provisioned::node_paths`] per node (trace replay, the DLIO
+    /// pipeline).
+    fn provision_classed(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        ppn: u32,
+        phase: &PhaseSpec,
+        opts: &PlanOptions<'_>,
+    ) -> Provisioned {
+        self.plan(nodes, ppn, phase)
+            .provision_classed(net, nodes, phase, opts)
+    }
+
     /// Run-to-run variability (multiplicative sigma) observed on this
     /// deployment — shared parallel file systems wobble more than
     /// dedicated appliances (§IV.C: "all file systems, including VAST,
@@ -147,6 +210,17 @@ impl StorageSystem for Box<dyn StorageSystem> {
         (**self).provision(net, nodes, ppn, phase)
     }
 
+    fn provision_classed(
+        &self,
+        net: &mut FlowNet,
+        nodes: u32,
+        ppn: u32,
+        phase: &PhaseSpec,
+        opts: &PlanOptions<'_>,
+    ) -> Provisioned {
+        (**self).provision_classed(net, nodes, ppn, phase, opts)
+    }
+
     fn noise_sigma(&self) -> f64 {
         (**self).noise_sigma()
     }
@@ -168,6 +242,8 @@ mod tests {
             per_op_latency: 1e-3,
             metadata_latency: 0.0,
             stage_kinds: vec![],
+            classes: vec![],
+            aggregates: vec![],
         };
         // 1 MB ops: 1e6 / (1e-3 + 1e-3) = 500 MB/s.
         let eff = p.effective_stream_bw(1e6);
@@ -182,6 +258,8 @@ mod tests {
             per_op_latency: 1e-3,
             metadata_latency: 0.0,
             stage_kinds: vec![],
+            classes: vec![],
+            aggregates: vec![],
         };
         assert!((p.effective_stream_bw(1e6) - 1e9).abs() < 1.0);
     }
@@ -194,6 +272,8 @@ mod tests {
             per_op_latency: 0.0,
             metadata_latency: 0.0,
             stage_kinds: vec![],
+            classes: vec![],
+            aggregates: vec![],
         };
         assert_eq!(p.effective_stream_bw(4096.0), 2e9);
     }
@@ -207,6 +287,8 @@ mod tests {
             per_op_latency: 1e-3,
             metadata_latency: 0.0,
             stage_kinds: vec![],
+            classes: vec![],
+            aggregates: vec![],
         };
         p.effective_stream_bw(1e6);
     }

@@ -230,7 +230,10 @@ impl Recorder {
         // Sim-engine counters: plain integer adds, visible to metrics
         // consumers without re-walking the log.
         self.solver_epochs += log.samples.len() as u64;
-        self.flow_groups += log.flows.len() as u64;
+        // Sum `groups`, not record count: an aggregated class flow
+        // stands for `groups` expanded flow groups, so the tally is
+        // invariant under equivalence-class aggregation.
+        self.flow_groups += log.flows.iter().map(|f| f.groups as u64).sum::<u64>();
 
         // Durations are computed in the phase's local frame and only
         // start times are shifted by the clock: `t0 + x` and `y - x`

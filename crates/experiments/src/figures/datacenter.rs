@@ -1,0 +1,27 @@
+//! The datacenter saturation showcase deck — the `--scale datacenter`
+//! flagship (shipped as `examples/scenarios/datacenter.saturation.json`).
+//!
+//! A node sweep from 10^5 to 10^6 clients (1 ppn) against the
+//! VAST-on-Lassen deployment. At these counts the planner compiles node
+//! equivalence classes instead of per-node resources — the whole sweep
+//! is a handful of aggregate flows per point, so a 10^6-client point
+//! plans and runs in seconds where the expanded plan would materialize
+//! a million resources. Per-rank geometry is the smoke config: the
+//! point of the deck is client *count*, not bytes moved per rank.
+
+use hcs_core::scenario::{IorConfig, Scenario, Workload, WorkloadClass};
+use hcs_core::Deck;
+
+/// The `datacenter.saturation` deck: 10^5–10^6 clients, 1 ppn.
+pub fn deck() -> Deck {
+    let base = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::smoke(WorkloadClass::Scientific, 1, 1)),
+    );
+    let mut deck = Deck::single("datacenter.saturation", base).with_title(
+        "Datacenter saturation: IOR seq-write, 10^5-10^6 clients on VAST (equivalence-class plan)",
+    );
+    deck.axes.nodes = vec![100_000, 250_000, 500_000, 1_000_000];
+    deck.axes.ppn = vec![1];
+    deck
+}

@@ -8,6 +8,7 @@
 
 pub mod ablations;
 pub mod consistency;
+pub mod datacenter;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -91,6 +92,7 @@ pub fn all_decks(scale: Scale) -> Vec<Deck> {
     decks.push(fig6::deck(scale));
     decks.push(consistency::deck());
     decks.extend(ablations::decks(scale));
+    decks.push(datacenter::deck());
     decks
 }
 

@@ -84,7 +84,9 @@ pub fn traced_ior_sweep(
     for &nodes in node_counts {
         let mut cfg = match scale {
             Scale::Paper => IorConfig::paper_scalability(workload, nodes, ppn),
-            Scale::Smoke => IorConfig::smoke(workload, nodes, ppn),
+            // Datacenter sweeps use the smoke geometry per point — the
+            // scale raises node counts, not per-rank bytes.
+            Scale::Smoke | Scale::Datacenter => IorConfig::smoke(workload, nodes, ppn),
         };
         cfg.reps = scale.reps();
         // Attribution must be per-point: diff the recorder's bottleneck

@@ -30,6 +30,10 @@ pub struct FlowRecord {
     pub bytes: f64,
     /// Member count.
     pub multiplicity: u32,
+    /// Expanded flow groups this record stands for (spec `represents`);
+    /// 1 for a plain flow. Group tallies sum this so they are invariant
+    /// under equivalence-class aggregation.
+    pub groups: u32,
     /// Start time, seconds.
     pub start: f64,
     /// End time, seconds; `None` while still active.
@@ -104,6 +108,7 @@ impl FlowRecorder for Probe {
             tag: spec.tag,
             bytes: spec.bytes,
             multiplicity: spec.multiplicity,
+            groups: spec.represents,
             start: now,
             end: None,
             completed: false,

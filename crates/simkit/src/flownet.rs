@@ -24,12 +24,39 @@
 //! shares at every bottleneck, which models nconnect-style transports
 //! that open multiple streams per client.
 //!
+//! # Equivalence-class aggregation
+//!
+//! A [`ResourceSpec`] may declare `instances = m`: one registered
+//! resource standing for `m` identical parallel instances (e.g. the
+//! node-local mounts of `m` interchangeable client nodes), each with
+//! the *per-instance* capacity. A flow group crossing such a resource
+//! is assumed to spread evenly over the instances, so it contributes
+//! `weight * multiplicity / instances` shares to the one registered
+//! resource — exactly what each individual instance would see. Because
+//! IEEE-754 division is exact when the quotient is representable
+//! (`(m * k) / m == k` for the integer ranges used here, and `x / 1.0
+//! == x` always), an aggregated network produces **bit-identical**
+//! per-member rates to the fully expanded one; the differential suite
+//! in `tests/` pins this.
+//!
+//! # Incremental solving
+//!
+//! Rates are a pure function of the active flow set and capacities, and
+//! the constraint graph (flows ↔ resources) decomposes into connected
+//! components that share nothing. `recompute_rates` therefore keeps
+//! per-resource membership sets plus a dirty set seeded by each event
+//! (flow start/finish, capacity change) and re-solves only the
+//! components reachable from a dirty seed; untouched components keep
+//! their cached rates, which are bit-equal to what a fresh solve would
+//! produce. Debug builds re-derive every rate from scratch after each
+//! epoch and assert bit-equality (the differential oracle).
+//!
 //! # Determinism
 //!
 //! Flows are kept in a `BTreeMap` keyed by creation order; the allocation
 //! loop iterates in that order, so allocations are bit-reproducible.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::faults::{FaultRunReport, FaultTimeline, StallError};
@@ -107,7 +134,13 @@ pub struct ResourceSpec {
     /// Human-readable name, used in diagnostics.
     pub name: String,
     /// Capacity in bytes per second shared by all flows crossing it.
+    /// With `instances > 1` this is the capacity of *each* instance.
     pub capacity: f64,
+    /// Identical parallel instances this one registered resource stands
+    /// for (≥ 1). Flows crossing it are assumed to spread evenly, so
+    /// each contributes `weight * multiplicity / instances` shares —
+    /// the per-instance load. Default 1 (a plain resource).
+    pub instances: u32,
 }
 
 impl ResourceSpec {
@@ -116,7 +149,16 @@ impl ResourceSpec {
         ResourceSpec {
             name: name.into(),
             capacity,
+            instances: 1,
         }
+    }
+
+    /// Declares this resource an aggregate of `m` identical instances
+    /// (capacity stays per-instance).
+    pub fn with_instances(mut self, m: u32) -> Self {
+        assert!(m >= 1, "instances must be >= 1");
+        self.instances = m;
+        self
     }
 }
 
@@ -138,6 +180,12 @@ pub struct FlowSpec {
     pub weight: f64,
     /// Opaque caller tag returned in completion reports.
     pub tag: u64,
+    /// How many expanded flow *groups* this spec stands for (≥ 1,
+    /// default 1). An equivalence-class planner collapsing `g` identical
+    /// per-node groups into one aggregate spec sets `represents = g` so
+    /// counters ([`FlowNet::flows_started`], telemetry flow-group
+    /// tallies) keep reporting expanded-equivalent values.
+    pub represents: u32,
 }
 
 impl FlowSpec {
@@ -150,7 +198,15 @@ impl FlowSpec {
             rate_cap: None,
             weight: 1.0,
             tag: 0,
+            represents: 1,
         }
+    }
+
+    /// Sets how many expanded flow groups this spec stands for.
+    pub fn with_represents(mut self, g: u32) -> Self {
+        assert!(g >= 1, "represents must be >= 1");
+        self.represents = g;
+        self
     }
 
     /// Sets the member multiplicity.
@@ -206,6 +262,9 @@ pub struct FlowNet {
     resources: Vec<ResourceSpec>,
     flows: BTreeMap<u64, Flow>,
     next_flow: u64,
+    /// Expanded-equivalent flow groups started (Σ `represents`), the
+    /// value [`FlowNet::flows_started`] reports.
+    started: u64,
     now: f64,
     rates_valid: bool,
     completed: Vec<Completion>,
@@ -213,6 +272,15 @@ pub struct FlowNet {
     /// run) — a plain integer add on the solver path, kept whether or
     /// not anything observes it.
     rate_epochs: u64,
+    /// Active flow keys crossing each resource, parallel to
+    /// `resources` — the constraint-graph adjacency the incremental
+    /// solver walks.
+    members: Vec<BTreeSet<u64>>,
+    /// Flows added since the last solve.
+    dirty_flows: BTreeSet<u64>,
+    /// Resources whose constraint set changed since the last solve
+    /// (capacity change, or a crossing flow finished/cancelled).
+    dirty_resources: BTreeSet<u32>,
     /// Optional pure listener; never consulted for any computation.
     recorder: Option<Box<dyn FlowRecorder>>,
 }
@@ -230,10 +298,14 @@ impl FlowNet {
             resources: Vec::new(),
             flows: BTreeMap::new(),
             next_flow: 0,
+            started: 0,
             now: 0.0,
             rates_valid: true,
             completed: Vec::new(),
             rate_epochs: 0,
+            members: Vec::new(),
+            dirty_flows: BTreeSet::new(),
+            dirty_resources: BTreeSet::new(),
             recorder: None,
         }
     }
@@ -250,9 +322,11 @@ impl FlowNet {
     }
 
     /// Flow groups placed into the network so far (completed groups
-    /// included).
+    /// included), in *expanded-equivalent* terms: an aggregate spec
+    /// with `represents = g` counts as `g` groups, so the value is
+    /// invariant under equivalence-class aggregation.
     pub fn flows_started(&self) -> u64 {
-        self.next_flow
+        self.started
     }
 
     /// Installs a [`FlowRecorder`]. Resources registered so far are
@@ -282,12 +356,14 @@ impl FlowNet {
             spec.name,
             spec.capacity
         );
+        assert!(spec.instances >= 1, "instances must be >= 1");
         let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
         if let Some(mut rec) = self.recorder.take() {
             rec.on_resource(id, &spec.name, spec.capacity);
             self.recorder = Some(rec);
         }
         self.resources.push(spec);
+        self.members.push(BTreeSet::new());
         id
     }
 
@@ -322,6 +398,7 @@ impl FlowNet {
         );
         self.resources[id.index()].capacity = capacity;
         self.rates_valid = false;
+        self.dirty_resources.insert(id.0);
         if let Some(mut rec) = self.recorder.take() {
             rec.on_capacity_change(self.now, id, capacity);
             self.recorder = Some(rec);
@@ -350,11 +427,16 @@ impl FlowNet {
         if let Some(cap) = spec.rate_cap {
             assert!(cap > 0.0, "rate cap must be positive");
         }
+        assert!(spec.represents >= 1, "represents must be >= 1");
         let key = self.next_flow;
         self.next_flow += 1;
+        self.started += spec.represents as u64;
         if let Some(mut rec) = self.recorder.take() {
             rec.on_flow_start(self.now, FlowId(key), &spec);
             self.recorder = Some(rec);
+        }
+        for r in &spec.path {
+            self.members[r.index()].insert(key);
         }
         self.flows.insert(
             key,
@@ -369,6 +451,7 @@ impl FlowNet {
             },
         );
         self.rates_valid = false;
+        self.dirty_flows.insert(key);
         FlowId(key)
     }
 
@@ -376,6 +459,7 @@ impl FlowNet {
     pub fn cancel(&mut self, id: FlowId) -> bool {
         let removed = self.flows.remove(&id.0);
         if let Some(f) = removed {
+            self.forget_flow(id.0, &f.path);
             self.rates_valid = false;
             if let Some(mut rec) = self.recorder.take() {
                 rec.on_flow_end(self.now, id, f.tag, false);
@@ -384,6 +468,16 @@ impl FlowNet {
             true
         } else {
             false
+        }
+    }
+
+    /// Removes a departed flow from the adjacency and dirties the
+    /// resources it crossed so their components re-solve.
+    fn forget_flow(&mut self, key: u64, path: &[ResourceId]) {
+        self.dirty_flows.remove(&key);
+        for r in path {
+            self.members[r.index()].remove(&key);
+            self.dirty_resources.insert(r.0);
         }
     }
 
@@ -462,6 +556,7 @@ impl FlowNet {
         if !done.is_empty() {
             for k in done {
                 let f = self.flows.remove(&k).expect("flow disappeared");
+                self.forget_flow(k, &f.path);
                 if let Some(mut rec) = self.recorder.take() {
                     rec.on_flow_end(self.now, FlowId(k), f.tag, true);
                     self.recorder = Some(rec);
@@ -572,7 +667,7 @@ impl FlowNet {
                         on_complete(self, c);
                     }
                     self.set_resource_capacity(e.resource, base[e.resource.index()] * e.factor);
-                    events_applied += 1;
+                    events_applied += self.resources[e.resource.index()].instances as usize;
                     last_event_at = Some(at);
                     next_event = pending.next();
                 }
@@ -589,7 +684,7 @@ impl FlowNet {
                     stall_seconds += at - self.now;
                     self.advance_to(at);
                     self.set_resource_capacity(e.resource, base[e.resource.index()] * e.factor);
-                    events_applied += 1;
+                    events_applied += self.resources[e.resource.index()].instances as usize;
                     last_event_at = Some(at);
                     next_event = pending.next();
                 }
@@ -641,9 +736,8 @@ impl FlowNet {
         if self.recorder.is_some() {
             let mut alloc = vec![0.0; self.resources.len()];
             for f in self.flows.values() {
-                let agg = f.rate * f.multiplicity as f64;
                 for r in &f.path {
-                    alloc[r.index()] += agg;
+                    alloc[r.index()] += f.rate * self.share(f.multiplicity, r.index());
                 }
             }
             let caps: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
@@ -653,39 +747,132 @@ impl FlowNet {
         }
     }
 
-    /// Weighted max-min fair allocation by progressive filling.
+    /// Per-instance member count a flow group loads onto resource `ri`:
+    /// `multiplicity / instances`. For a plain resource (`instances ==
+    /// 1`) this is exactly `multiplicity as f64` (division by 1.0 is an
+    /// identity); for an aggregate whose members divide evenly the IEEE
+    /// quotient is exact, so aggregated arithmetic is bit-identical to
+    /// expanded.
+    #[inline]
+    fn share(&self, multiplicity: u32, ri: usize) -> f64 {
+        multiplicity as f64 / self.resources[ri].instances as f64
+    }
+
+    /// Weighted max-min fair allocation, solved incrementally.
+    ///
+    /// The constraint graph decomposes into connected components (flows
+    /// joined by shared resources); each component's allocation is
+    /// independent of every other's. Only components reachable from a
+    /// dirty seed — a flow added, a resource whose capacity or crossing
+    /// set changed — are re-solved by progressive filling; the rest
+    /// keep their cached rates, which a fresh solve would reproduce
+    /// bit-for-bit (the allocation is a pure function of component
+    /// state, and the fill iterates in deterministic key order).
     fn recompute_rates(&mut self) {
-        let n_res = self.resources.len();
-        // Capacity consumed by frozen flows, per resource.
-        let mut frozen_alloc: Vec<f64> = vec![0.0; n_res];
-        let mut unfrozen: Vec<u64> = Vec::with_capacity(self.flows.len());
-        for (k, f) in self.flows.iter_mut() {
-            f.rate = 0.0;
-            unfrozen.push(*k);
+        // Seeds: flows added since the last solve, plus every flow
+        // crossing a dirtied resource.
+        let mut seeds: Vec<u64> = self.dirty_flows.iter().copied().collect();
+        for r in &self.dirty_resources {
+            seeds.extend(self.members[*r as usize].iter().copied());
+        }
+        self.dirty_flows.clear();
+        self.dirty_resources.clear();
+
+        let mut visited_flows: BTreeSet<u64> = BTreeSet::new();
+        let mut visited_res = vec![false; self.resources.len()];
+        let mut scratch = SolveScratch::new(self.resources.len());
+        let mut rates: Vec<(u64, f64)> = Vec::new();
+        for s in seeds {
+            if !self.flows.contains_key(&s) || visited_flows.contains(&s) {
+                continue;
+            }
+            let (comp_flows, comp_res) = self.component(s, &mut visited_flows, &mut visited_res);
+            rates.clear();
+            self.fill_component(&comp_flows, &comp_res, &mut scratch, &mut rates);
+            for (k, rate) in &rates {
+                self.flows.get_mut(k).expect("flow").rate = *rate;
+            }
         }
 
-        let mut weight_on: Vec<f64> = vec![0.0; n_res];
-        let mut cap_rem: Vec<f64> = vec![0.0; n_res];
+        #[cfg(debug_assertions)]
+        self.assert_rates_match_scratch();
+    }
+
+    /// Collects the connected component of `seed` (BFS over the flow ↔
+    /// resource adjacency), returning its flow keys and resource
+    /// indices in ascending order.
+    fn component(
+        &self,
+        seed: u64,
+        visited_flows: &mut BTreeSet<u64>,
+        visited_res: &mut [bool],
+    ) -> (Vec<u64>, Vec<u32>) {
+        let mut stack = vec![seed];
+        visited_flows.insert(seed);
+        let mut comp_flows: Vec<u64> = Vec::new();
+        let mut comp_res: Vec<u32> = Vec::new();
+        while let Some(k) = stack.pop() {
+            comp_flows.push(k);
+            for r in &self.flows[&k].path {
+                let ri = r.index();
+                if !visited_res[ri] {
+                    visited_res[ri] = true;
+                    comp_res.push(ri as u32);
+                    for m in &self.members[ri] {
+                        if visited_flows.insert(*m) {
+                            stack.push(*m);
+                        }
+                    }
+                }
+            }
+        }
+        comp_flows.sort_unstable();
+        comp_res.sort_unstable();
+        (comp_flows, comp_res)
+    }
+
+    /// Progressive filling over one connected component. Pure with
+    /// respect to flow state: resolved `(key, per-member rate)` pairs
+    /// are pushed into `out`.
+    fn fill_component(
+        &self,
+        comp_flows: &[u64],
+        comp_res: &[u32],
+        scratch: &mut SolveScratch,
+        out: &mut Vec<(u64, f64)>,
+    ) {
+        let SolveScratch {
+            frozen_alloc,
+            weight_on,
+            cap_rem,
+        } = scratch;
+        for &r in comp_res {
+            frozen_alloc[r as usize] = 0.0;
+        }
+        let mut unfrozen: Vec<u64> = comp_flows.to_vec();
         while !unfrozen.is_empty() {
             // Recompute active weights exactly each round (incremental
             // subtraction leaves floating-point residue that can make a
             // fully-frozen resource look contended and stall the loop).
-            weight_on.iter_mut().for_each(|w| *w = 0.0);
+            for &r in comp_res {
+                weight_on[r as usize] = 0.0;
+            }
             for k in &unfrozen {
                 let f = &self.flows[k];
-                let w = f.weight * f.multiplicity as f64;
                 for r in &f.path {
-                    weight_on[r.index()] += w;
+                    weight_on[r.index()] += f.weight * self.share(f.multiplicity, r.index());
                 }
             }
-            for r in 0..n_res {
-                cap_rem[r] = (self.resources[r].capacity - frozen_alloc[r]).max(0.0);
+            for &r in comp_res {
+                let ri = r as usize;
+                cap_rem[ri] = (self.resources[ri].capacity - frozen_alloc[ri]).max(0.0);
             }
             // Candidate fill level from resources.
             let mut level = f64::INFINITY;
-            for r in 0..n_res {
-                if weight_on[r] > 0.0 {
-                    level = level.min((cap_rem[r].max(0.0)) / weight_on[r]);
+            for &r in comp_res {
+                let ri = r as usize;
+                if weight_on[ri] > 0.0 {
+                    level = level.min((cap_rem[ri].max(0.0)) / weight_on[ri]);
                 }
             }
             // Candidate fill level from per-flow caps.
@@ -698,7 +885,7 @@ impl FlowNet {
             if !level.is_finite() {
                 // No shared resources and no caps: unconstrained flows.
                 for k in &unfrozen {
-                    self.flows.get_mut(k).expect("flow").rate = f64::INFINITY;
+                    out.push((*k, f64::INFINITY));
                 }
                 break;
             }
@@ -709,7 +896,7 @@ impl FlowNet {
             let mut still = Vec::with_capacity(unfrozen.len());
             let mut froze_any = false;
             for k in unfrozen {
-                let f = self.flows.get_mut(&k).expect("flow");
+                let f = &self.flows[&k];
                 let cap_level = f.rate_cap.map(|c| c / f.weight).unwrap_or(f64::INFINITY);
                 let on_bottleneck = f.path.iter().any(|r| {
                     weight_on[r.index()] > 0.0
@@ -717,10 +904,9 @@ impl FlowNet {
                 });
                 if cap_level <= level + tol || on_bottleneck {
                     let rate = f.weight * level.min(cap_level);
-                    f.rate = rate;
-                    let consumed = rate * f.multiplicity as f64;
+                    out.push((k, rate));
                     for r in &f.path {
-                        frozen_alloc[r.index()] += consumed;
+                        frozen_alloc[r.index()] += rate * self.share(f.multiplicity, r.index());
                     }
                     froze_any = true;
                 } else {
@@ -731,8 +917,7 @@ impl FlowNet {
             if !froze_any {
                 // Defensive: freeze everything at the current level.
                 for k in &still {
-                    let f = self.flows.get_mut(k).expect("flow");
-                    f.rate = f.weight * level;
+                    out.push((*k, self.flows[k].weight * level));
                 }
                 break;
             }
@@ -740,15 +925,53 @@ impl FlowNet {
         }
     }
 
+    /// The differential oracle: every active flow's rate re-derived
+    /// from scratch (full progressive filling, component by component),
+    /// ignoring all cached state. Sorted by flow key. Debug builds
+    /// assert after every epoch that the incremental solver matches
+    /// this bit-for-bit; the proptest differential suite does the same
+    /// in release builds.
+    pub fn scratch_rates(&self) -> Vec<(FlowId, f64)> {
+        let mut visited_flows: BTreeSet<u64> = BTreeSet::new();
+        let mut visited_res = vec![false; self.resources.len()];
+        let mut scratch = SolveScratch::new(self.resources.len());
+        let mut all: Vec<(u64, f64)> = Vec::with_capacity(self.flows.len());
+        for &k in self.flows.keys() {
+            if visited_flows.contains(&k) {
+                continue;
+            }
+            let (comp_flows, comp_res) = self.component(k, &mut visited_flows, &mut visited_res);
+            self.fill_component(&comp_flows, &comp_res, &mut scratch, &mut all);
+        }
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all.into_iter().map(|(k, r)| (FlowId(k), r)).collect()
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_rates_match_scratch(&self) {
+        for (id, want) in self.scratch_rates() {
+            let got = self.flows[&id.0].rate;
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "incremental solver drifted from scratch solve at t={}: \
+                 flow {id:?} rate {got:e} (bits {:016x}) != scratch {want:e} (bits {:016x})",
+                self.now,
+                got.to_bits(),
+                want.to_bits()
+            );
+        }
+    }
+
     /// Returns, for diagnostics, each resource's currently allocated
-    /// throughput as `(name, allocated, capacity)`.
+    /// throughput as `(name, allocated, capacity)` — per instance for
+    /// aggregate resources, so the saturation ratio reads the same
+    /// aggregated or expanded.
     pub fn resource_utilization(&mut self) -> Vec<(String, f64, f64)> {
         self.ensure_rates();
         let mut alloc = vec![0.0; self.resources.len()];
         for f in self.flows.values() {
-            let agg = f.rate * f.multiplicity as f64;
             for r in &f.path {
-                alloc[r.index()] += agg;
+                alloc[r.index()] += f.rate * self.share(f.multiplicity, r.index());
             }
         }
         self.resources
@@ -756,6 +979,26 @@ impl FlowNet {
             .zip(alloc)
             .map(|(r, a)| (r.name.clone(), a, r.capacity))
             .collect()
+    }
+}
+
+/// Reusable per-resource solver buffers, full network width. Each is
+/// only ever read for a component's own resources and reset before
+/// use, so one set serves every component of an epoch.
+struct SolveScratch {
+    /// Capacity consumed by frozen flows, per resource (per instance).
+    frozen_alloc: Vec<f64>,
+    weight_on: Vec<f64>,
+    cap_rem: Vec<f64>,
+}
+
+impl SolveScratch {
+    fn new(n_res: usize) -> Self {
+        SolveScratch {
+            frozen_alloc: vec![0.0; n_res],
+            weight_on: vec![0.0; n_res],
+            cap_rem: vec![0.0; n_res],
+        }
     }
 }
 
@@ -1062,6 +1305,110 @@ mod tests {
         assert!((report.end - 1.0).abs() < 1e-9);
         assert_eq!(report.events_applied, 0);
         assert_eq!(net.resource_capacity(r[0]), 100.0, "event never applied");
+    }
+
+    #[test]
+    fn instanced_resource_is_bit_identical_to_expanded_clones() {
+        // Expanded: 3 private mounts (40 B/s each) + one shared pool;
+        // one 4-member flow group per mount.
+        let expanded = || {
+            let mut net = FlowNet::new();
+            let pool = net.add_resource(ResourceSpec::new("pool", 90.0));
+            for i in 0..3u64 {
+                let m = net.add_resource(ResourceSpec::new(format!("m{i}"), 40.0));
+                net.add_flow(
+                    FlowSpec::new(vec![m, pool], 1000.0)
+                        .with_multiplicity(4)
+                        .with_tag(i),
+                );
+            }
+            net
+        };
+        // Aggregated: one 3-instance mount resource, one 12-member flow.
+        let aggregated = || {
+            let mut net = FlowNet::new();
+            let pool = net.add_resource(ResourceSpec::new("pool", 90.0));
+            let m = net.add_resource(ResourceSpec::new("m", 40.0).with_instances(3));
+            net.add_flow(
+                FlowSpec::new(vec![m, pool], 1000.0)
+                    .with_multiplicity(12)
+                    .with_represents(3),
+            );
+            net
+        };
+        let (mut e, mut a) = (expanded(), aggregated());
+        let te = e.run_to_completion(|_, _| {});
+        let ta = a.run_to_completion(|_, _| {});
+        assert_eq!(te.to_bits(), ta.to_bits());
+        // Counters report expanded-equivalent values either way.
+        assert_eq!(e.flows_started(), 3);
+        assert_eq!(a.flows_started(), 3);
+    }
+
+    #[test]
+    fn instanced_fault_counts_every_member_event() {
+        use crate::faults::CapacityEvent;
+        let mut net = FlowNet::new();
+        let m = net.add_resource(ResourceSpec::new("m", 100.0).with_instances(4));
+        net.add_flow(
+            FlowSpec::new(vec![m], 1000.0)
+                .with_multiplicity(4)
+                .with_represents(4),
+        );
+        let tl = FaultTimeline::new(vec![
+            CapacityEvent::new(1.0, m, 0.0),
+            CapacityEvent::new(5.0, m, 1.0),
+        ]);
+        let report = net.run_with_faults(&tl, |_, _| {}).unwrap();
+        // One aggregate event per edge, but it stands for 4 per-node
+        // events — the expanded run would have applied 8.
+        assert_eq!(report.events_applied, 8);
+        assert!((report.stall_seconds - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_solver_matches_scratch_through_event_churn() {
+        let (mut net, r) = net_with(&[100.0, 60.0, 250.0, 9.0]);
+        let check = |net: &mut FlowNet| {
+            net.aggregate_rate(); // force an epoch
+            for (id, want) in net.scratch_rates() {
+                let got = net.flow_rate(id).unwrap();
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        };
+        let a = net.add_flow(FlowSpec::new(vec![r[0], r[2]], 1e6).with_weight(2.0));
+        check(&mut net);
+        let b = net.add_flow(FlowSpec::new(vec![r[1], r[2]], 1e6).with_multiplicity(3));
+        net.add_flow(FlowSpec::new(vec![r[3]], 1e6));
+        check(&mut net);
+        net.advance_to(5.0);
+        net.set_resource_capacity(r[2], 120.0);
+        check(&mut net);
+        net.cancel(a);
+        check(&mut net);
+        net.add_flow(FlowSpec::new(vec![r[0], r[1]], 1e5).with_rate_cap(7.0));
+        check(&mut net);
+        net.cancel(b);
+        check(&mut net);
+        net.run_to_completion(|_, _| {});
+    }
+
+    #[test]
+    fn untouched_component_keeps_cached_rates_bit_for_bit() {
+        // Two disjoint components; churn in one must reproduce the
+        // other's rates exactly (they are never re-solved).
+        let (mut net, r) = net_with(&[100.0, 70.0]);
+        let quiet = net.add_flow(FlowSpec::new(vec![r[1]], 1e6).with_weight(0.3));
+        let before = net.flow_rate(quiet).unwrap();
+        for i in 0..5 {
+            let f = net.add_flow(FlowSpec::new(vec![r[0]], 1e3 * (i + 1) as f64));
+            net.flow_rate(f);
+            if i % 2 == 0 {
+                net.cancel(f);
+            }
+        }
+        net.set_resource_capacity(r[0], 55.0);
+        assert_eq!(net.flow_rate(quiet).unwrap().to_bits(), before.to_bits());
     }
 
     #[test]

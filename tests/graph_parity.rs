@@ -134,6 +134,181 @@ fn capture() -> ParityFile {
     ParityFile { records }
 }
 
+// ---------------------------------------------------------------------------
+// Class-split fixtures: the equivalence-class planner must be invisible.
+//
+// When the planner aggregates a per-node stage into one multi-instance
+// resource, a fault spec naming a single member must still behave
+// exactly like the PR-5 expanded resolution: the planner splits the
+// class so the named node becomes its own (exactly-named) resource, and
+// the resolved timeline and every simulated outcome — including the
+// `ResilienceMetrics` of the shipped outage example deck — stay
+// bit-identical to the expanded plan's.
+
+use hcs_core::graph::{with_forced_aggregation, AggregateMode, PlanOptions};
+use hcs_core::runner::{resolve_faults, resolve_faults_planned};
+use hcs_core::{FaultSpec, StageKind};
+use hcs_experiments::deck::run_scenario_metered;
+use hcs_simkit::flownet::FlowNet;
+
+/// A timeline flattened to comparable, bit-exact tuples. Events are
+/// compared by *resource name*, not id, so an aggregated and an
+/// expanded plan (which allocate different id spaces) can be diffed.
+fn named_events(
+    timeline: &hcs_simkit::faults::FaultTimeline,
+    net: &FlowNet,
+) -> Vec<(String, u64, u64)> {
+    let mut v: Vec<(String, u64, u64)> = timeline
+        .events()
+        .iter()
+        .map(|e| {
+            (
+                net.resource_name(e.resource).to_string(),
+                e.at.to_bits(),
+                e.factor.to_bits(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// A named per-node fault inside an aggregated class splits the class
+/// and resolves to exactly the events the expanded PR-5 path produces.
+#[test]
+fn named_fault_split_resolves_like_expanded_plan() {
+    let sys = vast_on_lassen();
+    let phase = PhaseSpec::seq_write(MIB, 64.0 * MIB);
+    let faults = vec![FaultSpec::outage(StageKind::ClientMount, 0.2, 0.4).named("vast:mount2")];
+
+    // Expanded plan: per-node resources, the original resolution path.
+    let mut net_e = FlowNet::new();
+    let prov_e = sys.provision_classed(
+        &mut net_e,
+        4,
+        4,
+        &phase,
+        &PlanOptions {
+            aggregate: AggregateMode::Never,
+            faults: &faults,
+        },
+    );
+    assert!(prov_e.aggregates.is_empty(), "Never must expand");
+    let tl_e = resolve_faults(&faults, &net_e, &prov_e.stage_kinds).expect("expanded resolves");
+
+    // Aggregated plan: the named node must be split into a singleton
+    // aggregate carrying its exact expanded name.
+    let mut net_a = FlowNet::new();
+    let prov_a = sys.provision_classed(
+        &mut net_a,
+        4,
+        4,
+        &phase,
+        &PlanOptions {
+            aggregate: AggregateMode::Always,
+            faults: &faults,
+        },
+    );
+    let mount_aggs: Vec<_> = prov_a
+        .aggregates
+        .iter()
+        .filter(|a| a.stage_name == "vast:mount")
+        .collect();
+    assert_eq!(mount_aggs.len(), 2, "class must split into two");
+    let singleton = mount_aggs
+        .iter()
+        .find(|a| a.members == vec![2])
+        .expect("named node split off as a singleton");
+    assert_eq!(net_a.resource_name(singleton.id), "vast:mount2");
+    let rest = mount_aggs.iter().find(|a| a.members.len() == 3).unwrap();
+    assert_eq!(rest.members, vec![0, 1, 3]);
+
+    let tl_a = resolve_faults_planned(&faults, &net_a, &prov_a).expect("aggregated resolves");
+    // Both plans schedule the same two events on the same-named
+    // resource; the expanded plan's events land on its per-node
+    // "vast:mount2", the aggregated plan's on the split singleton.
+    let want = vec![
+        (
+            "vast:mount2".to_string(),
+            0.2f64.to_bits(),
+            0.0f64.to_bits(),
+        ),
+        (
+            "vast:mount2".to_string(),
+            0.4f64.to_bits(),
+            1.0f64.to_bits(),
+        ),
+    ];
+    assert_eq!(named_events(&tl_e, &net_e), want);
+    assert_eq!(named_events(&tl_a, &net_a), want);
+}
+
+/// The shipped outage example deck (`fault.gateway-outage.json`) yields
+/// bit-identical `ResilienceMetrics` whether each point runs on the
+/// expanded or the class-aggregated plan. Points run sequentially in
+/// this thread: the forced-aggregation override is thread-local, so the
+/// rayon deck executor must not be used here.
+#[test]
+fn outage_example_deck_resilience_is_aggregation_invariant() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/fault.gateway-outage.json"
+    );
+    let json = std::fs::read_to_string(path).expect("shipped outage deck");
+    let deck: hcs_core::Deck = serde_json::from_str(&json).expect("deck parses");
+    let points = deck.expand();
+    assert_eq!(points.len(), 2, "fault-free twin + faulted point");
+    for scenario in &points {
+        let expanded = with_forced_aggregation(false, || run_scenario_metered(scenario));
+        let aggregated = with_forced_aggregation(true, || run_scenario_metered(scenario));
+        let (me, ma) = (
+            expanded.metrics.as_ref().unwrap(),
+            aggregated.metrics.as_ref().unwrap(),
+        );
+        let bw_e = expanded.outcome.ior().outcome.summary.mean;
+        let bw_a = aggregated.outcome.ior().outcome.summary.mean;
+        assert_eq!(
+            bw_e.to_bits(),
+            bw_a.to_bits(),
+            "bandwidth drift on '{}'",
+            scenario.name
+        );
+        assert_eq!(
+            me.solver_epochs, ma.solver_epochs,
+            "epoch drift on '{}'",
+            scenario.name
+        );
+        match (&me.resilience, &ma.resilience) {
+            (None, None) => assert!(scenario.faults.is_empty()),
+            (Some(re), Some(ra)) => {
+                for (label, e, a) in [
+                    ("slowdown_factor", re.slowdown_factor, ra.slowdown_factor),
+                    (
+                        "fault_free_seconds",
+                        re.fault_free_seconds,
+                        ra.fault_free_seconds,
+                    ),
+                    ("faulted_seconds", re.faulted_seconds, ra.faulted_seconds),
+                    ("stall_seconds", re.stall_seconds, ra.stall_seconds),
+                    ("drain_seconds", re.drain_seconds, ra.drain_seconds),
+                ] {
+                    assert_eq!(
+                        e.to_bits(),
+                        a.to_bits(),
+                        "{label} drift on '{}': {e} vs {a}",
+                        scenario.name
+                    );
+                }
+                assert_eq!(re.fault_events, ra.fault_events);
+            }
+            _ => panic!(
+                "resilience presence differs across plans on '{}'",
+                scenario.name
+            ),
+        }
+    }
+}
+
 #[test]
 fn outcomes_match_pre_port_fixtures() {
     let current = capture();
