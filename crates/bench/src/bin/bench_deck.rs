@@ -17,7 +17,7 @@ use serde::Serialize;
 use std::time::Instant;
 
 use hcs_core::scenario::Scale;
-use hcs_experiments::{figures, run_deck_with_metrics};
+use hcs_experiments::{figures, run_chaos_campaign, run_deck_with_metrics};
 
 #[derive(Serialize)]
 struct PointRecord {
@@ -51,6 +51,9 @@ struct BenchReport {
     total_solver_epochs: u64,
     points_per_sec: f64,
     epochs_per_sec: f64,
+    chaos_timelines: usize,
+    chaos_wall_seconds: f64,
+    chaos_timelines_per_sec: f64,
 }
 
 /// Throughput over a wall-clock window, 0.0 for an empty window (a
@@ -122,12 +125,42 @@ fn main() {
     let total_wall: f64 = decks.iter().map(|d| d.wall_seconds).sum();
     let total_epochs: u64 = decks.iter().map(|d| d.solver_epochs).sum();
     let total_points: usize = decks.iter().map(|d| d.points).sum();
+
+    // Campaign throughput: a seeded chaos population over the first
+    // builtin deck, so fuzzing cost is a tracked trajectory alongside
+    // point throughput.
+    let chaos_deck = figures::all_decks(scale)
+        .into_iter()
+        .next()
+        .expect("catalog has at least one deck");
+    let mut campaign = hcs_core::ChaosCampaign::new("bench-chaos", chaos_deck);
+    campaign.seed = 7;
+    campaign.population = 16;
+    let start = Instant::now();
+    let chaos = run_chaos_campaign(&campaign).expect("builtin deck fuzzes cleanly");
+    let chaos_wall = start.elapsed().as_secs_f64();
+    assert!(
+        chaos.violations.is_empty(),
+        "bench chaos campaign found invariant violations: {:?}",
+        chaos.violations
+    );
+    eprintln!(
+        "{:<22} {:>3} timelines {:>6.3}s  {:>9.1} timelines/sec",
+        "chaos campaign",
+        chaos.timelines,
+        chaos_wall,
+        per_sec(chaos.timelines as f64, chaos_wall),
+    );
+
     let report = BenchReport {
         scale: scale.label().to_string(),
         total_wall_seconds: total_wall,
         total_solver_epochs: total_epochs,
         points_per_sec: per_sec(total_points as f64, total_wall),
         epochs_per_sec: per_sec(total_epochs as f64, total_wall),
+        chaos_timelines: chaos.timelines,
+        chaos_wall_seconds: chaos_wall,
+        chaos_timelines_per_sec: per_sec(chaos.timelines as f64, chaos_wall),
         decks,
         points,
     };

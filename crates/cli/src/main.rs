@@ -7,7 +7,8 @@
 //! hcs mdtest <system> [nodes] [ppn]         run the metadata benchmark
 //! hcs replay <trace.json> <system>          what-if replay of a trace
 //! hcs run <deck.json|name> [--scale smoke] [--metrics]  execute a scenario deck
-//! hcs report <deck-result.json>             render a deck result as a report
+//! hcs chaos <campaign.json|deck> [--seed N --population K --budget ...]  fuzz the failure space
+//! hcs report <deck-result.json|chaos-report.json>  render a result as a report
 //! hcs decks [--export <dir>]                list/export the builtin decks
 //! hcs figures [--scale smoke]               regenerate every figure
 //! hcs takeaways [--scale smoke]             §VII paper-vs-measured
@@ -33,8 +34,10 @@ commands:
   explain <system> <workload> [nodes] [ppn]  show resources, utilization and the bottleneck
   replay <trace.json> <system>           what-if replay of a chrome trace
   run <deck.json|scenario.json|name>     execute a scenario deck (see `hcs decks`)
-  report <deck-result.json>              render a deck result written by `hcs run`
-                                         as a markdown attribution report
+  chaos <campaign.json|deck.json|name>   run a seeded fault-fuzzing campaign over
+                                         a deck and check metamorphic invariants
+  report <result.json>                   render a deck result (`hcs run`) or a
+                                         chaos report (`hcs chaos`) as markdown
   decks [--export <dir>]                 list builtin decks / export them as JSON
   figures                                regenerate every paper figure
   takeaways                              print §VII paper-vs-measured
@@ -55,7 +58,12 @@ options:
                    bottleneck shares and cross-rep statistics into the
                    result JSON (for `hcs report`); outcomes are
                    bit-identical with or without it
-  --format <md|json>  (report) output format, default md";
+  --format <md|json>  (report) output format, default md
+  --seed <N>       (chaos) master seed for timeline generation
+  --population <K> (chaos) timelines generated per deck point
+  --budget <k=v,...> (chaos) per-timeline fault bounds: max_faults,
+                   max_outage_seconds, min_degrade_factor,
+                   horizon_seconds, kinds (e.g. kinds=outage+degrade)";
 
 /// Resolves a system name via the shared registry to a deployment and
 /// its machine's full-node process count.
@@ -180,6 +188,58 @@ fn load_deck(target: &str, scale: Scale) -> Deck {
                     names.join(" ")
                 ))
             }
+        }
+    }
+}
+
+/// Loads a chaos campaign: a JSON file holding a `ChaosCampaign`, or
+/// anything `load_deck` accepts (deck file, bare scenario, builtin deck
+/// name) wrapped in a default campaign named after the deck.
+fn load_campaign(target: &str, scale: Scale) -> hcs_core::ChaosCampaign {
+    let path = std::path::Path::new(target);
+    if path.exists() {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("chaos: cannot read {target}: {e}")));
+        if let Ok(campaign) = serde_json::from_str::<hcs_core::ChaosCampaign>(&json) {
+            return campaign;
+        }
+    }
+    let deck = load_deck(target, scale);
+    hcs_core::ChaosCampaign::new(format!("chaos-{}", deck.name), deck)
+}
+
+/// Applies `--budget key=value,...` overrides to a fault budget.
+fn apply_budget_overrides(budget: &mut hcs_core::FaultBudget, spec: &str) {
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .unwrap_or_else(|| die(&format!("--budget: '{pair}' is not key=value")));
+        let parse = |v: &str| -> f64 {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("--budget: {key}: '{v}' is not a number")))
+        };
+        match key {
+            "max_faults" => budget.max_faults = parse(value) as u32,
+            "max_outage_seconds" => budget.max_outage_seconds = parse(value),
+            "min_degrade_factor" => budget.min_degrade_factor = parse(value),
+            "horizon_seconds" => budget.horizon_seconds = parse(value),
+            "kinds" => {
+                budget.kinds = value
+                    .split('+')
+                    .map(|k| match k {
+                        "outage" => hcs_core::ChaosFaultKind::Outage,
+                        "degrade" => hcs_core::ChaosFaultKind::Degrade,
+                        "jitter" => hcs_core::ChaosFaultKind::Jitter,
+                        other => die(&format!(
+                            "--budget: kinds: unknown kind '{other}' (outage|degrade|jitter)"
+                        )),
+                    })
+                    .collect();
+            }
+            other => die(&format!(
+                "--budget: unknown key '{other}' (max_faults, max_outage_seconds, \
+                 min_degrade_factor, horizon_seconds, kinds)"
+            )),
         }
     }
 }
@@ -443,14 +503,113 @@ fn main() {
                 dump_trace(&recorder, path);
             }
         }
+        "chaos" => {
+            let target = args
+                .get(1)
+                .unwrap_or_else(|| die("chaos: missing campaign file, deck file or deck name"));
+            let mut campaign = load_campaign(target, scale);
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => {
+                        campaign.seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--seed: missing or bad value"));
+                    }
+                    "--population" => {
+                        campaign.population = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--population: missing or bad value"));
+                    }
+                    "--budget" => {
+                        let spec = it.next().unwrap_or_else(|| die("--budget: missing value"));
+                        apply_budget_overrides(&mut campaign.budget, spec);
+                    }
+                    other => die(&format!("chaos: unknown argument '{other}'")),
+                }
+            }
+            if scale == Scale::Smoke {
+                campaign.base = campaign.base.smoked();
+            }
+            println!(
+                "chaos campaign {} — {} points x {} timelines, seed {} ({} scale)",
+                campaign.name,
+                campaign.base.expand().len(),
+                campaign.population,
+                campaign.seed,
+                scale.label()
+            );
+            let report = hcs_experiments::run_chaos_campaign(&campaign)
+                .unwrap_or_else(|e| die(&format!("chaos: {e}")));
+            for stat in &report.invariants {
+                println!(
+                    "  {:<40} {:>5}/{:<5} {}",
+                    stat.invariant.label(),
+                    stat.passed,
+                    stat.checked,
+                    if stat.passed == stat.checked {
+                        "ok"
+                    } else {
+                        "VIOLATED"
+                    }
+                );
+            }
+            println!(
+                "  pareto frontier: {} point{} · worst slowdown {:.2}x · most fragile stage: {}",
+                report.pareto.len(),
+                if report.pareto.len() == 1 { "" } else { "s" },
+                report.max_slowdown,
+                report
+                    .fragility
+                    .first()
+                    .map(|r| r.stage.label())
+                    .unwrap_or("n/a"),
+            );
+            let dir = std::path::PathBuf::from("results/chaos");
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| die(&format!("chaos: cannot create {}: {e}", dir.display())));
+            let out = dir.join(format!("{}.json", report.campaign));
+            let json = serde_json::to_string_pretty(&report)
+                .unwrap_or_else(|e| die(&format!("chaos: cannot serialize report: {e}")));
+            std::fs::write(&out, json)
+                .unwrap_or_else(|e| die(&format!("chaos: cannot write {}: {e}", out.display())));
+            println!("[wrote {}]", out.display());
+            if !report.violations.is_empty() {
+                eprintln!(
+                    "chaos: {} invariant violation(s) — see the counterexamples in {}",
+                    report.violations.len(),
+                    out.display()
+                );
+                std::process::exit(1);
+            }
+        }
         "report" => {
             let path = args
                 .get(1)
                 .unwrap_or_else(|| die("report: missing deck result path (from `hcs run`)"));
             let json = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("report: cannot read {path}: {e}")));
-            let result: hcs_experiments::DeckResult = serde_json::from_str(&json)
-                .unwrap_or_else(|e| die(&format!("report: {path} is not a deck result: {e}")));
+            let result: hcs_experiments::DeckResult = match serde_json::from_str(&json) {
+                Ok(result) => result,
+                // Not a deck result — try the chaos-report shape
+                // before giving up, so `hcs report` fronts both
+                // artifact kinds.
+                Err(deck_err) => match serde_json::from_str::<hcs_core::ChaosReport>(&json) {
+                    Ok(chaos) => {
+                        match format.as_str() {
+                            "json" => println!("{json}"),
+                            _ => print!("{}", hcs_experiments::render_chaos_markdown(&chaos)),
+                        }
+                        return;
+                    }
+                    Err(chaos_err) => die(&format!(
+                        "report: {path} is neither a deck result ({deck_err}) \
+                         nor a chaos report ({chaos_err})"
+                    )),
+                },
+            };
             match format.as_str() {
                 "json" => {
                     let out =

@@ -109,3 +109,34 @@ fn nonexistent_deck_name_exits_2() {
     let out = hcs(&["run", "no-such-deck-or-file"]);
     assert_dies_with(&out, "neither a file nor a builtin deck");
 }
+
+#[test]
+fn zero_length_fault_window_exits_2() {
+    // start == end is a distinct diagnostic from end < start: the
+    // window is well-ordered but covers no time at all.
+    let deck =
+        fault_deck(r#"[{ "stage": "Gateway", "start": 2.0, "end": 2.0, "fault": "Outage" }]"#);
+    let path = temp_deck("zero-window", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "zero-length window");
+}
+
+#[test]
+fn chaos_without_target_exits_2() {
+    let out = hcs(&["chaos"]);
+    assert_dies_with(&out, "chaos: missing campaign file");
+}
+
+#[test]
+fn chaos_campaign_with_literal_faults_exits_2() {
+    // A chaos campaign generates its own timelines; a base deck that
+    // schedules literal faults is rejected before any run.
+    let deck =
+        fault_deck(r#"[{ "stage": "Gateway", "start": 1.0, "end": 2.0, "fault": "Outage" }]"#);
+    let campaign = format!(r#"{{ "name": "bad-campaign", "population": 2, "base": {deck} }}"#);
+    let path = temp_deck("chaos-literal-faults", &campaign);
+    let out = hcs(&["chaos", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "literal faults");
+}

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod graph;
 pub mod metrics;
 pub mod outcome;
@@ -47,6 +48,7 @@ pub mod telemetry;
 pub mod testing;
 
 pub use campaign::{young_interval, JobOutcome, JobScript, JobStep};
+pub use chaos::{ChaosCampaign, ChaosFaultKind, ChaosInvariant, ChaosReport, FaultBudget};
 pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
 pub use hcs_devices::{AccessPattern, IoOp};
 pub use metrics::{

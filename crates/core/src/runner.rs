@@ -239,10 +239,62 @@ pub fn run_phase(
     ppn: u32,
     phase: &PhaseSpec,
 ) -> PhaseOutcome {
-    match run_phase_impl(system, nodes, ppn, phase, None, &[]) {
-        Ok((outcome, _)) => outcome,
+    match run_phase_impl(system, nodes, ppn, phase, None, &[], false) {
+        Ok((outcome, _, _)) => outcome,
         Err(e) => unreachable!("fault-free run cannot fail fault resolution: {e}"),
     }
+}
+
+/// Engine-state evidence captured by [`run_phase_chaos`] for the chaos
+/// campaign's metamorphic invariants (see [`crate::chaos`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosEvidence {
+    /// Per-resource capacities at drive-loop entry — the provisioned
+    /// values fault factors scale — indexed by registration order.
+    pub entry_capacities: Vec<f64>,
+    /// The same capacities after the run completed. When every
+    /// scheduled recovery event fired, these must equal the entry
+    /// snapshot bit for bit.
+    pub terminal_capacities: Vec<f64>,
+    /// Concrete capacity events the specs resolved into (including
+    /// events that end up scheduled past the completion time).
+    pub resolved_events: usize,
+}
+
+/// A completed run through the chaos executor: outcome, the engine's
+/// fault report, and the capacity evidence invariants inspect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPhaseRun {
+    /// The phase outcome (same shape as [`run_phase`]'s).
+    pub outcome: PhaseOutcome,
+    /// The engine's stall/event accounting for the run.
+    pub report: FaultRunReport,
+    /// Entry/terminal capacity snapshots and the resolved event count.
+    pub evidence: ChaosEvidence,
+}
+
+/// Runs one phase through the fault-injection drive loop even when the
+/// schedule is empty — the chaos-campaign executor's entry point.
+///
+/// The forced path is what makes the empty-timeline metamorphic
+/// invariant meaningful: an empty schedule must reproduce
+/// [`run_phase`]'s result bit for bit *through the fault engine*, not
+/// by skipping it. Provisioning is identical to [`run_phase`]'s for
+/// the same specs, so faulted and fault-free twins share one plan.
+pub fn run_phase_chaos(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    faults: &[FaultSpec],
+) -> Result<ChaosPhaseRun, FaultPhaseError> {
+    let (outcome, report, evidence) =
+        run_phase_impl(system, nodes, ppn, phase, None, faults, true)?;
+    Ok(ChaosPhaseRun {
+        outcome,
+        report: report.expect("chaos run always drives the fault loop"),
+        evidence: evidence.expect("chaos run captures capacity evidence"),
+    })
 }
 
 /// Runs one phase under a fault schedule: the specs are resolved
@@ -262,8 +314,8 @@ pub fn run_phase_with_faults(
         !faults.is_empty(),
         "empty fault schedule: use run_phase for fault-free runs"
     );
-    run_phase_impl(system, nodes, ppn, phase, None, faults)
-        .map(|(o, r)| (o, r.expect("faulted run carries a report")))
+    run_phase_impl(system, nodes, ppn, phase, None, faults, false)
+        .map(|(o, r, _)| (o, r.expect("faulted run carries a report")))
 }
 
 /// [`run_phase_with_faults`] with telemetry: capacity-change events and
@@ -282,8 +334,16 @@ pub fn run_phase_with_faults_traced(
         !faults.is_empty(),
         "empty fault schedule: use run_phase_traced for fault-free runs"
     );
-    run_phase_impl(system, nodes, ppn, phase, Some((recorder, label)), faults)
-        .map(|(o, r)| (o, r.expect("faulted run carries a report")))
+    run_phase_impl(
+        system,
+        nodes,
+        ppn,
+        phase,
+        Some((recorder, label)),
+        faults,
+        false,
+    )
+    .map(|(o, r, _)| (o, r.expect("faulted run carries a report")))
 }
 
 /// Runs one phase while feeding flow/resource telemetry into
@@ -310,12 +370,23 @@ pub fn run_phase_traced_labeled(
     phase: &PhaseSpec,
     recorder: &mut Recorder,
 ) -> PhaseOutcome {
-    match run_phase_impl(system, nodes, ppn, phase, Some((recorder, label)), &[]) {
-        Ok((outcome, _)) => outcome,
+    match run_phase_impl(
+        system,
+        nodes,
+        ppn,
+        phase,
+        Some((recorder, label)),
+        &[],
+        false,
+    ) {
+        Ok((outcome, _, _)) => outcome,
         Err(e) => unreachable!("fault-free run cannot fail fault resolution: {e}"),
     }
 }
 
+/// The shared phase executor. `chaos` forces the fault drive loop (and
+/// capacity-evidence capture) even for an empty schedule; with `chaos`
+/// false and no faults the pre-fault-injection loop runs untouched.
 fn run_phase_impl(
     system: &dyn StorageSystem,
     nodes: u32,
@@ -323,7 +394,8 @@ fn run_phase_impl(
     phase: &PhaseSpec,
     telemetry: Option<(&mut Recorder, &str)>,
     faults: &[FaultSpec],
-) -> Result<(PhaseOutcome, Option<FaultRunReport>), FaultPhaseError> {
+    chaos: bool,
+) -> Result<(PhaseOutcome, Option<FaultRunReport>, Option<ChaosEvidence>), FaultPhaseError> {
     phase.validate();
     assert!(nodes >= 1, "need at least one node");
     assert!(ppn >= 1, "need at least one rank per node");
@@ -440,16 +512,17 @@ fn run_phase_impl(
             }
         }
     };
-    let fault_report = if faults.is_empty() {
+    let (fault_report, evidence) = if faults.is_empty() && !chaos {
         // The fault-free drive loop is untouched: bit-identical to
         // every pre-fault-injection release, as the differential tests
         // pin.
         net.run_to_completion(|_, c| {
             note_end(&mut per_node_end, c.tag, c.at);
         });
-        None
+        (None, None)
     } else {
         let timeline = resolve_faults_planned(faults, &net, &prov)?;
+        let entry = chaos.then(|| net.capacity_snapshot());
         let report = net
             .run_with_faults(&timeline, |_, c| {
                 note_end(&mut per_node_end, c.tag, c.at);
@@ -458,7 +531,12 @@ fn run_phase_impl(
                 at: e.at,
                 starved: e.starved,
             })?;
-        Some(report)
+        let evidence = entry.map(|entry_capacities| ChaosEvidence {
+            entry_capacities,
+            terminal_capacities: net.capacity_snapshot(),
+            resolved_events: timeline.len(),
+        });
+        (Some(report), evidence)
     };
 
     let duration: f64 = per_node_end.iter().fold(0.0_f64, |a, &b| a.max(b)) + meta_cost;
@@ -478,6 +556,7 @@ fn run_phase_impl(
             bottleneck,
         },
         fault_report,
+        evidence,
     ))
 }
 

@@ -382,6 +382,14 @@ impl FaultSpec {
                 self.start
             ));
         }
+        if self.end == self.start {
+            return Err(format!(
+                "fault on {} stage: zero-length window [{}, {}) — end must be strictly after start",
+                self.stage.label(),
+                self.start,
+                self.end
+            ));
+        }
         if !(self.end.is_finite() && self.end > self.start) {
             return Err(format!(
                 "fault on {} stage: end must be finite and after start (got [{}, {}))",
@@ -1085,9 +1093,10 @@ mod tests {
         assert!(FaultSpec::outage(StageKind::Gateway, -1.0, 2.0)
             .check()
             .is_err());
-        assert!(FaultSpec::outage(StageKind::Gateway, 2.0, 2.0)
+        let zero = FaultSpec::outage(StageKind::Gateway, 2.0, 2.0)
             .check()
-            .is_err());
+            .unwrap_err();
+        assert!(zero.contains("zero-length window"), "{zero}");
         assert!(FaultSpec::outage(StageKind::Gateway, 0.0, f64::INFINITY)
             .check()
             .is_err());

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod deck;
 pub mod figures;
 pub mod metrics;
@@ -34,12 +35,13 @@ pub mod svg;
 pub mod sweep;
 pub mod traced;
 
+pub use chaos::run_chaos_campaign;
 pub use deck::{
     run_deck, run_deck_traced, run_deck_traced_with_metrics, run_deck_with_metrics,
     run_scenario_metered, validate_deck, DeckResult, PointResult, WorkloadOutcome,
 };
 pub use metrics::deck_metrics_summary;
-pub use report::{render_markdown, to_report_json, ReportJson};
+pub use report::{render_chaos_markdown, render_markdown, to_report_json, ReportJson};
 pub use series::{Figure, Point, Series};
 pub use sweep::Scale;
 pub use traced::{traced_ior_sweep, TracedPoint, TracedSweep};

@@ -14,6 +14,7 @@
 use std::fmt::Write as _;
 
 use hcs_core::metrics::{DeckMetricsSummary, PointMetrics, Stats};
+use hcs_core::ChaosReport;
 use serde::{Deserialize, Serialize};
 
 use crate::deck::{DeckResult, PointResult};
@@ -366,6 +367,101 @@ pub fn to_report_json(result: &DeckResult) -> ReportJson {
             .collect(),
         summary: result.metrics.clone(),
     }
+}
+
+/// Renders a chaos-campaign report as markdown: the invariant
+/// pass/fail table, minimized counterexamples (if any), the worst-case
+/// slowdown Pareto frontier and the per-stage fragility ranking.
+pub fn render_chaos_markdown(report: &ChaosReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Chaos campaign `{}`", report.campaign);
+    let _ = writeln!(
+        out,
+        "\n{} point{} × {} timelines = {} runs ({} engine runs incl. prefix probes) · seed {}\n",
+        report.points,
+        if report.points == 1 { "" } else { "s" },
+        report.population,
+        report.timelines,
+        report.engine_runs,
+        report.seed,
+    );
+
+    let _ = writeln!(out, "## Invariants\n");
+    let _ = writeln!(out, "| invariant | checked | passed | verdict |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for stat in &report.invariants {
+        let verdict = if stat.passed == stat.checked {
+            "ok"
+        } else {
+            "**VIOLATED**"
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            stat.invariant.label(),
+            stat.checked,
+            stat.passed,
+            verdict,
+        );
+    }
+
+    if !report.violations.is_empty() {
+        let _ = writeln!(out, "\n## Counterexamples\n");
+        for v in &report.violations {
+            let _ = writeln!(
+                out,
+                "- `{}` timeline {}: {} — {} ({} event{} after minimization)",
+                v.point,
+                v.timeline,
+                v.invariant.label(),
+                v.detail,
+                v.minimized.len(),
+                if v.minimized.len() == 1 { "" } else { "s" },
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## Worst-case slowdown per fault budget\n");
+    if report.pareto.is_empty() {
+        let _ = writeln!(out, "(no faulted timeline slowed its point down)");
+    } else {
+        let _ = writeln!(
+            out,
+            "| budget spent | faults | slowdown | point | timeline |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for p in &report.pareto {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.2}x | {} | {} |",
+                fmt::seconds2(p.cost_seconds),
+                p.faults,
+                p.slowdown,
+                p.point,
+                p.timeline,
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## Stage fragility\n");
+    let _ = writeln!(out, "| stage | timelines | mean slowdown | max slowdown |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for row in &report.fragility {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2}x | {:.2}x |",
+            row.stage.label(),
+            row.timelines,
+            row.mean_slowdown,
+            row.max_slowdown,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nworst slowdown anywhere: {:.2}x",
+        report.max_slowdown
+    );
+    out
 }
 
 #[cfg(test)]

@@ -382,6 +382,17 @@ impl FlowNet {
         self.resources[id.index()].capacity
     }
 
+    /// The current capacity of every resource, in registration order
+    /// (indexed by [`ResourceId::index`]); with `instances > 1` the
+    /// value is per-instance. Fault-injection harnesses snapshot this
+    /// before and after [`FlowNet::run_with_faults`] to check that
+    /// recovery events restored every capacity to its provisioned value
+    /// exactly — the terminal-rate evidence behind the chaos campaign's
+    /// recovery invariant.
+    pub fn capacity_snapshot(&self) -> Vec<f64> {
+        self.resources.iter().map(|r| r.capacity).collect()
+    }
+
     /// Changes a resource's capacity (failure injection / degradation).
     /// Takes effect from the current instant.
     ///

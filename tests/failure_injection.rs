@@ -149,3 +149,41 @@ fn cancelling_flows_releases_capacity_for_survivors() {
     let t = net.next_completion_time().unwrap();
     assert!((t - 10.5).abs() < 1e-6, "t = {t}");
 }
+
+#[test]
+fn overlapping_degrades_match_expanded_under_aggregation() {
+    // Two Degrade windows overlapping on the same resource exercise the
+    // engine's last-event-wins override (the second degrade's start
+    // replaces the first's factor mid-window, and the first's recovery
+    // restores full capacity inside the second window). The aggregated
+    // (class) plan must reproduce the expanded plan bit for bit through
+    // that interleaving, including the per-member event accounting.
+    use hcs_core::graph::with_forced_aggregation;
+    use hcs_core::runner::run_phase_with_faults;
+    use hcs_core::scenario::FaultSpec;
+    use hcs_core::testing::UniformSystem;
+    use hcs_core::{PhaseSpec, StageKind};
+    use hcs_simkit::units::{GIB, MIB};
+
+    let sys = UniformSystem::new("toy", 100.0 * GIB).with_node_bw(GIB);
+    let phase = PhaseSpec::seq_write(MIB, 64.0 * MIB);
+    let faults = [
+        FaultSpec::degrade(StageKind::ClientMount, 0.005, 0.030, 0.5),
+        FaultSpec::degrade(StageKind::ClientMount, 0.020, 0.045, 0.8),
+    ];
+    let run = || run_phase_with_faults(&sys, 6, 2, &phase, &faults).unwrap();
+    let exp = with_forced_aggregation(false, run);
+    let agg = with_forced_aggregation(true, run);
+    assert_eq!(exp.0.duration.to_bits(), agg.0.duration.to_bits());
+    assert_eq!(exp.0.agg_bandwidth.to_bits(), agg.0.agg_bandwidth.to_bits());
+    for (a, b) in exp.0.per_node_duration.iter().zip(&agg.0.per_node_duration) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(exp.1.stall_seconds.to_bits(), agg.1.stall_seconds.to_bits());
+    // 6 mounts x 2 windows x (start + recovery) in both plans.
+    assert_eq!(exp.1.events_applied, 24);
+    assert_eq!(agg.1.events_applied, 24);
+    // Overlap really throttled the run: slower than fault-free.
+    let clean = with_forced_aggregation(false, || hcs_core::runner::run_phase(&sys, 6, 2, &phase));
+    assert!(exp.0.duration > clean.duration);
+}
