@@ -54,6 +54,9 @@ struct BenchReport {
     chaos_timelines: usize,
     chaos_wall_seconds: f64,
     chaos_timelines_per_sec: f64,
+    open_loop_ops: u64,
+    open_loop_wall_seconds: f64,
+    open_loop_ops_per_sec: f64,
 }
 
 /// Throughput over a wall-clock window, 0.0 for an empty window (a
@@ -152,6 +155,44 @@ fn main() {
         per_sec(chaos.timelines as f64, chaos_wall),
     );
 
+    // Open-loop throughput: a fixed offered-load sweep through the
+    // per-operation arrival driver, so the cost of metering individual
+    // operations (instead of whole phases) is tracked alongside.
+    let open_deck = {
+        use hcs_core::scenario::{IorConfig, WorkloadClass};
+        use hcs_core::{Arrival, Deck, Discipline, Scenario, Workload};
+        let base = Scenario::new(
+            "vast-lassen",
+            Workload::Ior(IorConfig::smoke(WorkloadClass::Scientific, 1, 4)),
+        )
+        .with_arrival(Arrival::Open {
+            rate: 1.0,
+            discipline: Discipline::Poisson,
+            duration: 0.25,
+            seed: 0x0417,
+        });
+        let mut deck = Deck::single("bench-open-loop", base);
+        deck.axes.offered_load = vec![200.0, 800.0, 3200.0];
+        deck
+    };
+    let start = Instant::now();
+    let open_result = run_deck_with_metrics(&open_deck);
+    let open_wall = start.elapsed().as_secs_f64();
+    let open_ops: u64 = open_result
+        .points
+        .iter()
+        .flat_map(|p| &p.metrics.as_ref().expect("metered").latency)
+        .map(|row| row.histogram.count())
+        .sum();
+    eprintln!(
+        "{:<22} {:>3} points  {:>7.3}s  {:>8} ops       {:>9.1} ops/sec",
+        "open-loop sweep",
+        open_result.points.len(),
+        open_wall,
+        open_ops,
+        per_sec(open_ops as f64, open_wall),
+    );
+
     let report = BenchReport {
         scale: scale.label().to_string(),
         total_wall_seconds: total_wall,
@@ -161,6 +202,9 @@ fn main() {
         chaos_timelines: chaos.timelines,
         chaos_wall_seconds: chaos_wall,
         chaos_timelines_per_sec: per_sec(chaos.timelines as f64, chaos_wall),
+        open_loop_ops: open_ops,
+        open_loop_wall_seconds: open_wall,
+        open_loop_ops_per_sec: per_sec(open_ops as f64, open_wall),
         decks,
         points,
     };

@@ -122,6 +122,90 @@ fn zero_length_fault_window_exits_2() {
     assert_dies_with(&out, "zero-length window");
 }
 
+/// A well-formed single-point IOR deck body with an open `arrival` spec
+/// injected into the base scenario.
+fn arrival_deck(rate: &str, duration: &str) -> String {
+    fault_deck("[]").replace(
+        r#""faults": [],"#,
+        &format!(
+            r#""faults": [],
+    "arrival": {{ "Open": {{ "rate": {rate}, "duration": {duration}, "seed": 1 }} }},"#
+        ),
+    )
+}
+
+#[test]
+fn zero_arrival_rate_exits_2() {
+    let path = temp_deck("zero-rate", &arrival_deck("0.0", "1.0"));
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "arrival rate must be finite and positive");
+}
+
+#[test]
+fn negative_arrival_rate_exits_2() {
+    let path = temp_deck("negative-rate", &arrival_deck("-50.0", "1.0"));
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "arrival rate must be finite and positive");
+}
+
+#[test]
+fn nan_arrival_rate_exits_2() {
+    // JSON has no NaN literal, so a NaN rate dies at the parser with
+    // the usual one-line deck diagnostic rather than reaching check().
+    let path = temp_deck("nan-rate", &arrival_deck("NaN", "1.0"));
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "parses as neither a deck");
+}
+
+#[test]
+fn zero_arrival_duration_exits_2() {
+    let path = temp_deck("zero-duration", &arrival_deck("100.0", "0.0"));
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "duration must be finite and positive");
+}
+
+#[test]
+fn open_loop_on_unsupported_family_exits_2() {
+    // Open-loop arrival injection drives the flow-level phase runner,
+    // which only the IOR family exposes today.
+    let deck = r#"{
+  "name": "err-open-family",
+  "base": {
+    "system": "gpfs",
+    "arrival": { "Open": { "rate": 100.0, "duration": 1.0, "seed": 1 } },
+    "workload": {
+      "Mdtest": {
+        "nodes": 1, "tasks_per_node": 4, "files_per_proc": 10,
+        "reps": 2, "seed": 7
+      }
+    },
+    "full_node": false,
+    "trace": false
+  }
+}"#;
+    let path = temp_deck("open-family", deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "open-loop arrivals support the IOR family only");
+}
+
+#[test]
+fn offered_load_sweep_over_closed_base_exits_2() {
+    let deck = fault_deck("[]").replace(
+        r#""base": {"#,
+        r#""axes": { "offered_load": [100.0, 200.0] },
+  "base": {"#,
+    );
+    let path = temp_deck("closed-sweep", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "sweeps offered_load");
+}
+
 #[test]
 fn chaos_without_target_exits_2() {
     let out = hcs(&["chaos"]);

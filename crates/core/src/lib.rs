@@ -52,10 +52,14 @@ pub use chaos::{ChaosCampaign, ChaosFaultKind, ChaosInvariant, ChaosReport, Faul
 pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
 pub use hcs_devices::{AccessPattern, IoOp};
 pub use metrics::{
-    DeckMetricsSummary, PointMetrics, ResilienceMetrics, Stats, StatsSummary, SystemMetrics,
+    DeckMetricsSummary, KneeVerdict, LatencyHistogram, OpLatency, PointMetrics, ResilienceMetrics,
+    Stats, StatsSummary, SystemMetrics,
 };
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;
-pub use scenario::{Deck, FaultKind, FaultSpec, GraphEdit, Scale, Scenario, SweepAxes, Workload};
+pub use scenario::{
+    Arrival, Deck, Discipline, FaultKind, FaultSpec, GraphEdit, Scale, Scenario, SweepAxes,
+    Workload,
+};
 pub use system::{MetadataProfile, Provisioned, StorageSystem};
 pub use telemetry::{MetricsSummary, Recorder, UtilizationTimeline};

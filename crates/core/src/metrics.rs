@@ -132,8 +132,22 @@ impl Stats {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Linear-interpolation percentile, `p` in `[0, 100]` (0 when
-    /// empty). Delegates to the suite's one shared percentile kernel
+    /// Percentile of the sample, `p` in `[0, 100]` (0 when empty).
+    ///
+    /// This doc comment is the suite's single statement of its quantile
+    /// conventions:
+    ///
+    /// * **`n == 1`** — the lone sample *is* every quantile: p50, p95
+    ///   and p999 all return it directly, with no interpolation
+    ///   branching (the nearest — indeed only — rank).
+    /// * **`n > 1`** — the fractional rank `p/100 · (n−1)` is linearly
+    ///   interpolated between its two nearest order statistics (the
+    ///   type-7 / NumPy-default estimator).
+    /// * **[`LatencyHistogram`]** answers the same queries bucketwise:
+    ///   nearest-rank over cumulative integer bucket counts, reporting
+    ///   the matched bucket's upper edge (a conservative tail bound).
+    ///
+    /// Delegates to the suite's one shared percentile kernel
     /// ([`hcs_simkit::stats::percentile`]), so this layer and the
     /// simkit [`Summary`](hcs_simkit::Summary) are bit-identical by
     /// construction.
@@ -188,6 +202,166 @@ pub struct StatsSummary {
     pub p50: f64,
     /// 95th percentile (linear interpolation).
     pub p95: f64,
+}
+
+/// Number of sub-buckets per power-of-two decade (HDR-style layout
+/// with 5 significant bits: ≤ 1/32 ≈ 3.1 % relative bucket width).
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Log-bucketed fixed-point latency histogram with exact integer
+/// counts (HDR-histogram style).
+///
+/// Latencies are quantized to **1 µs ticks** and bucketed with
+/// [`SUB_BITS`] significant bits: ticks below 32 land in exact
+/// width-1 buckets; above that, each power-of-two decade is split into
+/// 32 sub-buckets, bounding relative bucket width by 1/32. Counts are
+/// exact `u64` integers in a sparse sorted map, so [`merge`] is
+/// bucketwise integer addition — associative, commutative and
+/// bit-identical regardless of how recordings were grouped across
+/// rayon workers. Quantile queries use nearest-rank over cumulative
+/// counts and report the matched bucket's **upper edge** (see
+/// [`Stats::percentile`] for the suite's quantile conventions).
+///
+/// [`merge`]: LatencyHistogram::merge
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Sparse bucket-index → count map (sorted, so serialization and
+    /// iteration order are canonical).
+    counts: std::collections::BTreeMap<u32, u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ticks_of(seconds: f64) -> u64 {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "latency must be finite and non-negative: {seconds}"
+        );
+        (seconds * 1e6).round() as u64
+    }
+
+    fn bucket_index(ticks: u64) -> u32 {
+        if ticks < SUB_BUCKETS {
+            ticks as u32
+        } else {
+            let msb = 63 - ticks.leading_zeros();
+            let decade = msb - SUB_BITS;
+            let offset = ((ticks >> decade) - SUB_BUCKETS) as u32;
+            (decade + 1) * SUB_BUCKETS as u32 + offset
+        }
+    }
+
+    fn bucket_upper_ticks(index: u32) -> u64 {
+        if u64::from(index) < SUB_BUCKETS {
+            u64::from(index)
+        } else {
+            let decade = index / SUB_BUCKETS as u32 - 1;
+            let offset = u64::from(index % SUB_BUCKETS as u32);
+            let lower = (SUB_BUCKETS + offset) << decade;
+            lower + ((1u64 << decade) - 1)
+        }
+    }
+
+    /// Records one observation of `seconds`.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is negative or non-finite.
+    pub fn record(&mut self, seconds: f64) {
+        self.record_n(seconds, 1);
+    }
+
+    /// Records `n` identical observations of `seconds` — the
+    /// aggregation path's primitive: an equivalence class of `m`
+    /// members records its member-equivalent latency with count `m`,
+    /// which is bit-identical to `m` separate [`record`] calls.
+    ///
+    /// [`record`]: LatencyHistogram::record
+    pub fn record_n(&mut self, seconds: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(Self::ticks_of(seconds));
+        *self.counts.entry(idx).or_insert(0) += n;
+    }
+
+    /// Merges `other` into `self` by bucketwise integer addition —
+    /// associative, commutative and order-stable at the bit level.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (idx, n) in &other.counts {
+            *self.counts.entry(*idx).or_insert(0) += n;
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Nearest-rank percentile in seconds, `p` in `[0, 100]` (0 when
+    /// empty): the upper edge of the bucket holding the
+    /// `ceil(p/100 · count)`-th smallest observation (at least the 1st).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (idx, n) in &self.counts {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper_ticks(*idx) as f64 / 1e6;
+            }
+        }
+        unreachable!("rank {rank} not reached with total {total}");
+    }
+
+    /// Median (p50), seconds.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile, seconds.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile, seconds.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile, seconds.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
+}
+
+/// Per-op-class, size-bucketed latency: one histogram for one
+/// `(op class, transfer size)` combination of an open-loop point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Operation class label ("write", "read").
+    pub op: String,
+    /// Transfer size bucket, bytes per operation.
+    pub size_bytes: u64,
+    /// Submit→finish latency histogram for this class (queueing
+    /// included when admission was deferred).
+    pub histogram: LatencyHistogram,
 }
 
 /// One deck point's observability bundle: decomposition, throughputs,
@@ -250,6 +424,11 @@ pub struct PointMetrics {
     /// stay byte-compatible.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub resilience: Option<ResilienceMetrics>,
+    /// Per-op-class latency histograms. Present only for open-loop
+    /// points; skipped from serialization otherwise, so closed-loop
+    /// artifacts stay byte-compatible.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub latency: Vec<OpLatency>,
 }
 
 /// How a fault-injected point degraded relative to its fault-free twin.
@@ -317,6 +496,37 @@ pub struct DeckMetricsSummary {
     /// "loser -> winner at point-name" descriptions (empty without a
     /// multi-system aligned sweep).
     pub crossovers: Vec<String>,
+    /// Per-system throughput–latency knee verdicts (empty unless the
+    /// deck swept offered load with latency recording; skipped from
+    /// serialization then, so closed-loop artifacts stay
+    /// byte-compatible).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub knees: Vec<KneeVerdict>,
+}
+
+/// Where (if anywhere) a system's tail latency leaves its low-load
+/// regime across an offered-load sweep.
+///
+/// The knee is the first sweep point whose merged p99 exceeds
+/// `threshold ×` the first (lowest-load) point's p99 — the classic
+/// throughput–latency saturation diagnostic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KneeVerdict {
+    /// System display label (one `by_system` group).
+    pub system: String,
+    /// Multiplier `k` applied to the baseline p99.
+    pub threshold: f64,
+    /// p99 at the first (lowest-load) sweep point, seconds.
+    pub baseline_p99: f64,
+    /// Offered load of the baseline point, operations per second.
+    pub baseline_rate: f64,
+    /// Offered load at the knee (`None` when p99 never exceeded the
+    /// threshold inside the sweep — the system never saturated).
+    pub knee_rate: Option<f64>,
+    /// Deck point name at the knee.
+    pub knee_point: Option<String>,
+    /// p99 at the knee, seconds.
+    pub knee_p99: Option<f64>,
 }
 
 #[cfg(test)]
@@ -400,6 +610,95 @@ mod tests {
         assert!((s.percentile(50.0) - 25.0).abs() < 1e-12);
         assert!((s.percentile(100.0) - 40.0).abs() < 1e-12);
         assert!((s.percentile(0.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        // Pin the n=1 convention: the lone sample is returned for every
+        // quantile, bit for bit — p50 == p95 == p999.
+        let s = Stats::from_values(vec![42.5]);
+        for p in [0.0, 50.0, 95.0, 99.9, 100.0] {
+            assert_eq!(s.percentile(p).to_bits(), 42.5f64.to_bits(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_small_ticks_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for us in [0, 1, 17, 31] {
+            h.record(us as f64 / 1e6);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(100.0), 31.0 / 1e6);
+        // Sub-32-tick buckets have width 1: values round-trip exactly.
+        let mut one = LatencyHistogram::new();
+        one.record(17e-6);
+        assert_eq!(one.p50(), 17e-6);
+        assert_eq!(one.p50(), one.p999());
+    }
+
+    #[test]
+    fn histogram_bucket_width_is_bounded() {
+        // Above 32 ticks the reported upper edge exceeds the recorded
+        // value by at most one bucket width (1/32 relative).
+        for seconds in [33e-6, 1e-3, 0.0427, 1.5, 97.3] {
+            let mut h = LatencyHistogram::new();
+            h.record(seconds);
+            let got = h.p50();
+            assert!(got >= seconds - 1e-6, "{seconds} -> {got}");
+            assert!(
+                got <= seconds * (1.0 + 1.0 / 32.0) + 1e-6,
+                "{seconds} -> {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_addition() {
+        let mut a = LatencyHistogram::new();
+        a.record(5e-6);
+        a.record(1e-3);
+        let mut b = LatencyHistogram::new();
+        b.record(5e-6);
+        b.record_n(2.0, 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.count(), 6);
+        // record_n(x, m) ≡ m × record(x).
+        let mut c = LatencyHistogram::new();
+        for _ in 0..3 {
+            c.record(2.0);
+        }
+        let mut d = LatencyHistogram::new();
+        d.record_n(2.0, 3);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn histogram_percentiles_walk_the_tail() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(1e-3, 99);
+        h.record_n(1.0, 1);
+        assert!(h.p50() < 2e-3);
+        assert!(h.p95() < 2e-3);
+        assert!(h.percentile(100.0) >= 1.0);
+        // The single 1 s outlier is exactly the 100th of 100 ranks, so
+        // p99 still lands on the 99th (fast) observation.
+        assert!(h.p99() < 2e-3);
+    }
+
+    #[test]
+    fn histogram_serde_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(3.7e-4);
+        h.record_n(0.25, 7);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
     }
 
     #[test]

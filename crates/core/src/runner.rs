@@ -16,10 +16,10 @@ use hcs_simkit::{
 };
 
 use crate::graph::{resource_of_stage, PlanOptions, StageKind};
-use crate::metrics::ResilienceMetrics;
+use crate::metrics::{LatencyHistogram, ResilienceMetrics};
 use crate::outcome::{Bottleneck, PhaseOutcome, RepeatedOutcome};
 use crate::phase::PhaseSpec;
-use crate::scenario::{FaultKind, FaultSpec};
+use crate::scenario::{Arrival, FaultKind, FaultSpec};
 use crate::system::StorageSystem;
 use crate::telemetry::Recorder;
 
@@ -560,6 +560,181 @@ fn run_phase_impl(
     ))
 }
 
+/// Result of one open-loop phase run: throughput accounting plus the
+/// per-operation latency distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopOutcome {
+    /// Client node count.
+    pub nodes: u32,
+    /// Ranks per node (provisioning scale; arrivals are per node).
+    pub ppn: u32,
+    /// Operations injected over the window (member-weighted under
+    /// aggregation).
+    pub ops_offered: u64,
+    /// Operations completed (equals [`Self::ops_offered`] — the drive
+    /// loop drains the backlog after the window closes).
+    pub ops_completed: u64,
+    /// Bytes transferred across all completed operations.
+    pub total_bytes: f64,
+    /// Simulated completion time of the last operation, seconds.
+    pub end: f64,
+    /// Achieved throughput: [`Self::total_bytes`] over [`Self::end`].
+    pub agg_bandwidth: f64,
+    /// Submit→finish latency of every operation (queueing during
+    /// deferred admission and outage stalls included), merged across
+    /// all client units with class multiplicity.
+    pub histogram: LatencyHistogram,
+    /// The engine's stall/event accounting for the run.
+    pub report: FaultRunReport,
+}
+
+/// Runs one phase open loop: operations of `transfer_size` bytes are
+/// injected at seeded inter-arrival times instead of every rank
+/// re-issuing on completion, and the headline is the per-operation
+/// latency distribution.
+///
+/// Each client node offers `rate / nodes` operations per second over
+/// `duration` simulated seconds (gaps per the arrival discipline, one
+/// independent substream per node unit). Under class aggregation one
+/// member-equivalent schedule is drawn per class and every arrival
+/// carries the class multiplicity, so each completion records
+/// `members` observations — the merged histogram is the class-weighted
+/// population. Provisioning, per-stream caps and the fault machinery
+/// are exactly the closed-loop runner's: `faults` resolve against the
+/// same planned graph and compose with the arrival schedule in one
+/// deterministic drive loop.
+///
+/// # Panics
+/// Panics on a `Closed` arrival (the executor validates specs first),
+/// an invalid rate/duration, or a window so short it injects nothing.
+pub fn run_phase_open_loop(
+    system: &dyn StorageSystem,
+    nodes: u32,
+    ppn: u32,
+    phase: &PhaseSpec,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+    telemetry: Option<(&mut Recorder, &str)>,
+) -> Result<OpenLoopOutcome, FaultPhaseError> {
+    let Arrival::Open {
+        rate,
+        discipline,
+        duration,
+        seed,
+    } = *arrival
+    else {
+        panic!("run_phase_open_loop needs an Open arrival spec");
+    };
+    arrival.check().expect("validated arrival spec");
+    phase.validate();
+    assert!(nodes >= 1, "need at least one node");
+    assert!(ppn >= 1, "need at least one rank per node");
+
+    let mut net = FlowNet::new();
+    let probe = telemetry.is_some().then(|| FlowLogHandle::attach(&mut net));
+    let prov = system.provision_classed(&mut net, nodes, ppn, phase, &PlanOptions::auto(faults));
+    assert_eq!(
+        prov.client_nodes(),
+        nodes as usize,
+        "{}: provision covered {} client nodes out of {}",
+        system.name(),
+        prov.client_nodes(),
+        nodes
+    );
+
+    // Same per-stream ceiling as the closed-loop runner: an operation
+    // is one blocking transfer on one rank's stream.
+    let lock_latency = shared_file_lock_latency(phase, nodes, ppn);
+    let stream_cap = {
+        let base = prov.effective_stream_bw(phase.transfer_size);
+        if lock_latency > 0.0 && base.is_finite() && base > 0.0 {
+            phase.transfer_size / (phase.transfer_size / base + lock_latency)
+        } else if lock_latency > 0.0 {
+            phase.transfer_size / lock_latency
+        } else {
+            base
+        }
+    };
+
+    // One arrival stream per client unit — a node in an expanded plan,
+    // a node-equivalence class in an aggregated one. Each unit offers
+    // the per-node rate; a class arrival carries the class multiplicity
+    // and records `members` observations per completion, so aggregated
+    // and expanded decks describe the same offered load.
+    let op_code = match phase.op {
+        hcs_devices::IoOp::Write => 0,
+        hcs_devices::IoOp::Read => 1,
+    };
+    let size_code = phase.transfer_size.max(1.0).log2().round() as u32;
+    let unit_rate = rate / nodes as f64;
+    let units: Vec<(Vec<ResourceId>, u32)> = if prov.classes.is_empty() {
+        prov.node_paths.iter().map(|p| (p.clone(), 1)).collect()
+    } else {
+        prov.classes
+            .iter()
+            .map(|c| (c.path.clone(), c.members.len() as u32))
+            .collect()
+    };
+    let arrival_rng = SimRng::new(seed);
+    let mut arrivals: Vec<(f64, FlowSpec)> = Vec::new();
+    let mut weights: Vec<u64> = Vec::with_capacity(units.len());
+    let mut ops_offered = 0u64;
+    for (unit, (path, members)) in units.iter().enumerate() {
+        let mut rng = arrival_rng.split_idx("open-arrivals", unit as u64);
+        let times =
+            hcs_simkit::arrival_times(discipline.as_simkit(), unit_rate, duration, &mut rng);
+        ops_offered += *members as u64 * times.len() as u64;
+        weights.push(*members as u64);
+        for t in times {
+            let mut spec = FlowSpec::new(path.clone(), phase.transfer_size)
+                .with_multiplicity(*members)
+                .with_represents(*members)
+                .with_tag(unit as u64)
+                .with_op(op_code, size_code);
+            if stream_cap.is_finite() && stream_cap > 0.0 {
+                spec = spec.with_rate_cap(stream_cap);
+            }
+            arrivals.push((t, spec));
+        }
+    }
+    assert!(
+        ops_offered > 0,
+        "open-loop window injected no operations (rate {rate} ops/s x {duration} s \
+         across {nodes} nodes); increase the rate or the duration"
+    );
+
+    let timeline = resolve_faults_planned(faults, &net, &prov)?;
+    let mut histogram = LatencyHistogram::new();
+    let mut ops_completed = 0u64;
+    let mut bytes = 0.0;
+    let report = net
+        .run_open_loop(arrivals, &timeline, |_, c| {
+            let weight = weights[c.tag as usize];
+            histogram.record_n(c.latency, weight);
+            ops_completed += weight;
+            bytes += weight as f64 * phase.transfer_size;
+        })
+        .map_err(|e| FaultPhaseError::Stalled {
+            at: e.at,
+            starved: e.starved,
+        })?;
+
+    if let (Some((recorder, label)), Some(probe)) = (telemetry, probe) {
+        recorder.absorb_phase(label, &probe.snapshot(), &prov.stage_kinds, report.end);
+    }
+    Ok(OpenLoopOutcome {
+        nodes,
+        ppn,
+        ops_offered,
+        ops_completed,
+        total_bytes: bytes,
+        end: report.end,
+        agg_bandwidth: bytes / report.end,
+        histogram,
+        report,
+    })
+}
+
 /// Extra per-operation latency paid by N-1 (shared-file) access.
 ///
 /// Writers take extent locks on the shared file; with `r` ranks the
@@ -888,6 +1063,101 @@ mod tests {
         assert!((out.duration - (twin.duration + 0.2)).abs() < 1e-9);
         // Two mount resources, each with an outage + recovery event.
         assert_eq!(report.events_applied, 4);
+    }
+
+    #[test]
+    fn open_loop_low_load_latency_is_the_service_time() {
+        use crate::scenario::Discipline;
+        let sys = UniformSystem::new("toy", 100.0 * GIB).with_stream_bw(GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let arrival = Arrival::Open {
+            rate: 40.0,
+            discipline: Discipline::Poisson,
+            duration: 0.5,
+            seed: 1,
+        };
+        let out = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        assert!(out.ops_offered > 0);
+        assert_eq!(out.ops_completed, out.ops_offered);
+        assert_eq!(out.histogram.count(), out.ops_completed);
+        // 1 MiB over a 1 GiB/s stream ≈ 0.98 ms; at 20 ops/s/node the
+        // streams barely overlap, so even the tail sits near service
+        // time (one bucket width of slack).
+        let service = MIB / GIB;
+        assert!(
+            out.histogram.p50() >= service * 0.9,
+            "{}",
+            out.histogram.p50()
+        );
+        assert!(
+            out.histogram.p999() < service * 3.0,
+            "{}",
+            out.histogram.p999()
+        );
+        assert!((out.total_bytes - out.ops_completed as f64 * MIB).abs() < 1.0);
+        assert!(out.end > 0.0 && out.agg_bandwidth > 0.0);
+    }
+
+    #[test]
+    fn open_loop_is_seed_deterministic() {
+        use crate::scenario::Discipline;
+        let sys = UniformSystem::new("toy", 10.0 * GIB).with_stream_bw(GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let arrival = Arrival::Open {
+            rate: 200.0,
+            discipline: Discipline::Poisson,
+            duration: 0.3,
+            seed: 7,
+        };
+        let a = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        let b = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        assert_eq!(a.histogram, b.histogram);
+        assert_eq!(a.end.to_bits(), b.end.to_bits());
+        let other = Arrival::Open {
+            rate: 200.0,
+            discipline: Discipline::Poisson,
+            duration: 0.3,
+            seed: 8,
+        };
+        let c = run_phase_open_loop(&sys, 2, 4, &phase, &other, &[], None).unwrap();
+        assert_ne!(a.end.to_bits(), c.end.to_bits(), "seed matters");
+    }
+
+    #[test]
+    fn open_loop_outage_lifts_the_tail_and_bounds_the_stall() {
+        use crate::scenario::Discipline;
+        let sys = UniformSystem::new("toy", 100.0 * GIB).with_stream_bw(GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let arrival = Arrival::Open {
+            rate: 100.0,
+            discipline: Discipline::Poisson,
+            duration: 0.5,
+            seed: 3,
+        };
+        let clean = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        let faults = [FaultSpec::outage(StageKind::ServerPool, 0.1, 0.3)];
+        let faulted = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &faults, None).unwrap();
+        // Same offered schedule, so the same population completes.
+        assert_eq!(faulted.ops_completed, clean.ops_completed);
+        // Ops caught by the 0.2 s outage wait it out: the tail grows by
+        // roughly the window, and the all-stopped stall never exceeds it.
+        assert!(
+            faulted.histogram.p99() > clean.histogram.p99() + 0.1,
+            "{} vs {}",
+            faulted.histogram.p99(),
+            clean.histogram.p99()
+        );
+        assert!(faulted.report.stall_seconds <= 0.2 + 1e-9);
+        assert!(faulted.report.stall_seconds > 0.0);
+        assert_eq!(faulted.report.events_applied, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an Open arrival spec")]
+    fn open_loop_rejects_closed_arrival() {
+        let sys = UniformSystem::new("toy", GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let _ = run_phase_open_loop(&sys, 1, 1, &phase, &Arrival::Closed, &[], None);
     }
 
     #[test]

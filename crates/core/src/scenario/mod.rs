@@ -441,6 +441,114 @@ impl FaultSpec {
     }
 }
 
+/// How inter-arrival gaps of an open-loop schedule are drawn — the IR
+/// counterpart of [`hcs_simkit::ArrivalDiscipline`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Deterministic spacing: one arrival every `1/rate` seconds.
+    FixedRate,
+    /// Poisson process via inverse CDF over the seeded noise stream
+    /// (the default — the memoryless arrival model latency studies
+    /// assume).
+    #[default]
+    Poisson,
+}
+
+impl Discipline {
+    /// The simkit discipline this IR value drives.
+    pub fn as_simkit(self) -> hcs_simkit::ArrivalDiscipline {
+        match self {
+            Discipline::FixedRate => hcs_simkit::ArrivalDiscipline::FixedRate,
+            Discipline::Poisson => hcs_simkit::ArrivalDiscipline::Poisson,
+        }
+    }
+}
+
+/// How operations are offered to the system.
+///
+/// `Closed` (the default) is the paper's regime: every rank re-issues
+/// as soon as its previous operation completes, and the headline is
+/// aggregate bandwidth. `Open` decouples offered load from service:
+/// operations are injected at seeded deterministic inter-arrival
+/// times and the headline becomes the per-operation latency
+/// distribution. Serialized externally tagged (`"Closed"` or
+/// `{"Open": {...}}`) and skipped when closed, so every pre-existing
+/// scenario file and result artifact stays byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Arrival {
+    /// Closed loop: ranks re-issue on completion (the existing
+    /// `run_to_completion` pipeline, untouched).
+    #[default]
+    Closed,
+    /// Open loop: operations arrive at `rate` ops/s for `duration`
+    /// simulated seconds, gaps drawn per `discipline` from a stream
+    /// seeded by `seed`.
+    Open {
+        /// Offered load, operations per second across the whole client
+        /// population (must be finite and positive).
+        rate: f64,
+        /// Inter-arrival gap discipline.
+        #[serde(default)]
+        discipline: Discipline,
+        /// Injection window length, simulated seconds (must be finite
+        /// and positive).
+        duration: f64,
+        /// Seed of the arrival stream (independent of the workload's
+        /// noise seed).
+        #[serde(default)]
+        seed: u64,
+    },
+}
+
+impl Arrival {
+    /// True for the closed-loop default (drives
+    /// `skip_serializing_if`).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Arrival::Closed)
+    }
+
+    /// The arrival with its offered rate replaced — how the
+    /// `offered_load` sweep axis fans one open-loop base out. Inert on
+    /// `Closed` (deck validation rejects that combination).
+    pub fn with_rate(self, rate: f64) -> Arrival {
+        match self {
+            Arrival::Closed => Arrival::Closed,
+            Arrival::Open {
+                discipline,
+                duration,
+                seed,
+                ..
+            } => Arrival::Open {
+                rate,
+                discipline,
+                duration,
+                seed,
+            },
+        }
+    }
+
+    /// Validates the spec, returning a one-line diagnostic on failure
+    /// (the CLI prints it and exits 2).
+    pub fn check(&self) -> Result<(), String> {
+        match self {
+            Arrival::Closed => Ok(()),
+            Arrival::Open { rate, duration, .. } => {
+                if !(rate.is_finite() && *rate > 0.0) {
+                    return Err(format!(
+                        "open-loop arrival rate must be finite and positive (got {rate})"
+                    ));
+                }
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return Err(format!(
+                        "open-loop duration must be finite and positive (got {duration})"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// One executable experiment point: a workload against a named storage
 /// deployment, with optional graph edits and scale overrides.
 ///
@@ -466,6 +574,12 @@ pub struct Scenario {
     /// files and result artifacts stay byte-identical).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub faults: Vec<FaultSpec>,
+    /// Arrival discipline: closed loop (default) or open loop at a
+    /// fixed offered rate. Skipped from serialization when closed, so
+    /// existing scenario files and result artifacts stay
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "Arrival::is_closed")]
+    pub arrival: Arrival,
     /// The workload to run.
     pub workload: Workload,
     /// Client node count override.
@@ -498,6 +612,7 @@ impl Scenario {
             system: system.into(),
             edits: Vec::new(),
             faults: Vec::new(),
+            arrival: Arrival::Closed,
             workload,
             nodes: None,
             ppn: None,
@@ -535,6 +650,12 @@ impl Scenario {
     /// Adds a fault to the scenario's schedule (builder style).
     pub fn with_fault(mut self, fault: FaultSpec) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Sets the arrival discipline (builder style).
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
         self
     }
 
@@ -641,6 +762,14 @@ pub struct SweepAxes {
     /// round-trip byte-identically.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub fault_sets: Vec<Vec<FaultSpec>>,
+    /// Offered-load values (ops/s) to sweep — each rewrites the rate of
+    /// the base scenario's open-loop [`Arrival`], so a latency-vs-load
+    /// saturation study is one deck. Requires an open-loop base
+    /// (`validate_deck` rejects the axis on a closed-loop scenario).
+    /// Skipped from serialization when empty so pre-latency deck files
+    /// round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub offered_load: Vec<f64>,
 }
 
 impl SweepAxes {
@@ -652,6 +781,7 @@ impl SweepAxes {
             && self.transfer_sizes.is_empty()
             && self.edit_sets.is_empty()
             && self.fault_sets.is_empty()
+            && self.offered_load.is_empty()
     }
 }
 
@@ -702,10 +832,10 @@ impl Deck {
     /// Expands the axes into concrete scenario points.
     ///
     /// Deterministic: the nesting order is systems → edit sets → fault
-    /// sets → nodes → ppn → transfer sizes, each axis deduplicated to
-    /// its first occurrences. Duplicate-free: every point differs from
-    /// every other in at least one swept coordinate (encoded in its
-    /// name).
+    /// sets → nodes → ppn → transfer sizes → offered load, each axis
+    /// deduplicated to its first occurrences. Duplicate-free: every
+    /// point differs from every other in at least one swept coordinate
+    /// (encoded in its name).
     pub fn expand(&self) -> Vec<Scenario> {
         let systems = if self.axes.systems.is_empty() {
             vec![self.base.system.clone()]
@@ -749,6 +879,14 @@ impl Deck {
                 .map(Some)
                 .collect()
         };
+        let rates: Vec<Option<f64>> = if self.axes.offered_load.is_empty() {
+            vec![None]
+        } else {
+            dedup(&self.axes.offered_load)
+                .into_iter()
+                .map(Some)
+                .collect()
+        };
 
         let mut points = Vec::with_capacity(
             systems.len() * edit_sets.len() * fault_sets.len() * nodes.len() * ppns.len(),
@@ -778,12 +916,20 @@ impl Deck {
                                     s.ppn = Some(p);
                                     label.push(format!("p{p}"));
                                 }
-                                if let Some(ts) = ts {
-                                    s.workload.set_transfer_size(ts);
-                                    label.push(format!("t{ts}"));
+                                for &rate in &rates {
+                                    let mut s = s.clone();
+                                    let mut label = label.clone();
+                                    if let Some(ts) = ts {
+                                        s.workload.set_transfer_size(ts);
+                                        label.push(format!("t{ts}"));
+                                    }
+                                    if let Some(rate) = rate {
+                                        s.arrival = s.arrival.with_rate(rate);
+                                        label.push(format!("r{rate}"));
+                                    }
+                                    s.name = label.join("/");
+                                    points.push(s);
                                 }
-                                s.name = label.join("/");
-                                points.push(s);
                             }
                         }
                     }
@@ -1123,6 +1269,112 @@ mod tests {
         assert!(jitter(0.5, 4).check().is_ok());
         assert!(jitter(1.0, 4).check().is_err());
         assert!(jitter(0.5, 0).check().is_err());
+    }
+
+    #[test]
+    fn closed_scenario_json_has_no_arrival_key() {
+        // Byte-compat: pre-latency scenario files and result artifacts
+        // must serialize exactly as before this field existed.
+        let json = serde_json::to_string(&ior_scenario()).unwrap();
+        assert!(!json.contains("arrival"), "{json}");
+        let mut deck = Deck::single("d", ior_scenario());
+        deck.axes.nodes = vec![1, 2];
+        let deck_json = serde_json::to_string(&deck).unwrap();
+        assert!(!deck_json.contains("offered_load"), "{deck_json}");
+    }
+
+    #[test]
+    fn arrival_serde_round_trips_and_defaults() {
+        let open = Arrival::Open {
+            rate: 500.0,
+            discipline: Discipline::FixedRate,
+            duration: 2.0,
+            seed: 9,
+        };
+        let s = ior_scenario().with_arrival(open);
+        let back: Scenario = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Sparse JSON: discipline and seed default (Poisson, 0).
+        let json = r#"{"Open": {"rate": 100.0, "duration": 1.0}}"#;
+        let a: Arrival = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            a,
+            Arrival::Open {
+                rate: 100.0,
+                discipline: Discipline::Poisson,
+                duration: 1.0,
+                seed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn arrival_check_rejects_bad_rates_and_durations() {
+        let open = |rate, duration| Arrival::Open {
+            rate,
+            discipline: Discipline::Poisson,
+            duration,
+            seed: 0,
+        };
+        assert!(Arrival::Closed.check().is_ok());
+        assert!(open(100.0, 1.0).check().is_ok());
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = open(bad, 1.0).check().unwrap_err();
+            assert!(
+                err.contains("arrival rate must be finite and positive"),
+                "{err}"
+            );
+            assert!(!err.contains('\n'), "one-line diagnostic: {err}");
+        }
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = open(100.0, bad).check().unwrap_err();
+            assert!(
+                err.contains("duration must be finite and positive"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn offered_load_axis_rewrites_open_arrivals() {
+        let base = ior_scenario().with_arrival(Arrival::Open {
+            rate: 1.0,
+            discipline: Discipline::Poisson,
+            duration: 2.0,
+            seed: 3,
+        });
+        let mut deck = Deck::single("d", base);
+        deck.axes.offered_load = vec![100.0, 400.0, 100.0];
+        let points = deck.expand();
+        assert_eq!(
+            points.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            vec!["vast-lassen/r100", "vast-lassen/r400"]
+        );
+        match points[1].arrival {
+            Arrival::Open {
+                rate,
+                duration,
+                seed,
+                ..
+            } => {
+                assert_eq!(rate, 400.0);
+                assert_eq!(duration, 2.0, "other fields preserved");
+                assert_eq!(seed, 3);
+            }
+            Arrival::Closed => panic!("still open"),
+        }
+    }
+
+    #[test]
+    fn offered_load_axis_is_inert_on_a_closed_base() {
+        // The executor's validate_deck rejects this combination; the
+        // expander itself just leaves the arrival closed.
+        let mut deck = Deck::single("d", ior_scenario());
+        deck.axes.offered_load = vec![100.0];
+        let points = deck.expand();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].arrival, Arrival::Closed);
+        assert_eq!(points[0].name, "vast-lassen/r100");
     }
 
     #[test]

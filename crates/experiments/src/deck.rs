@@ -14,12 +14,16 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+use hcs_core::runner::OpenLoopOutcome;
 use hcs_core::{
-    Deck, DeckMetricsSummary, FaultSpec, PointMetrics, Reconfigured, Recorder, ResilienceMetrics,
-    Scenario, StorageSystem, Workload,
+    Arrival, Deck, DeckMetricsSummary, FaultSpec, IoOp, OpLatency, PointMetrics, Reconfigured,
+    Recorder, ResilienceMetrics, Scenario, StorageSystem, Workload,
 };
 use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
-use hcs_ior::{run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_traced, IorReport};
+use hcs_ior::{
+    run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_open_loop, run_ior_open_loop_traced,
+    run_ior_traced, IorReport,
+};
 use hcs_mdtest::{run_mdtest, MdtestReport};
 use hcs_replay::{replay, ReplayResult};
 
@@ -296,13 +300,76 @@ fn run_workload_faulted(
     }
 }
 
+/// Runs an open-loop workload: operations arrive at the scenario's
+/// offered rate instead of back-to-back, and every completion's
+/// submit→finish latency lands in an HDR-style histogram. Returns the
+/// (single-rep) outcome plus the open-loop observables.
+///
+/// # Panics
+/// Panics when the workload family is not IOR (open-loop arrival
+/// injection drives the flow-level phase runner, like fault injection)
+/// or when the run stalls unrecovered — `validate_deck` catches the
+/// family mismatch ahead of time with a clean diagnostic.
+fn run_workload_open_loop(
+    system: &dyn StorageSystem,
+    workload: &Workload,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+    recorder: Option<&mut Recorder>,
+    label: &str,
+) -> (WorkloadOutcome, OpenLoopOutcome) {
+    let config = match workload {
+        Workload::Ior(c) => c,
+        other => panic!(
+            "scenario '{label}': open-loop arrivals support the IOR family only (got {})",
+            other.kind()
+        ),
+    };
+    let result = match recorder {
+        Some(rec) => run_ior_open_loop_traced(system, config, arrival, faults, rec),
+        None => run_ior_open_loop(system, config, arrival, faults),
+    };
+    match result {
+        Ok((report, open)) => (WorkloadOutcome::Ior(report), open),
+        Err(e) => panic!("scenario '{label}': {e}"),
+    }
+}
+
+/// Distills an open-loop run into the point's latency rows: one
+/// [`OpLatency`] per op class and size bucket the window exercised (IOR
+/// phases are homogeneous, so exactly one row today).
+fn open_loop_latency(workload: &Workload, open: &OpenLoopOutcome) -> Vec<OpLatency> {
+    let Workload::Ior(config) = workload else {
+        unreachable!("open-loop runs are IOR-only");
+    };
+    let phase = config.phase();
+    let op = match phase.op {
+        IoOp::Write => "write",
+        IoOp::Read => "read",
+    };
+    vec![OpLatency {
+        op: op.to_string(),
+        size_bytes: phase.transfer_size as u64,
+        histogram: open.histogram.clone(),
+    }]
+}
+
 /// Checks a deck before execution, returning a one-line diagnostic on
-/// the first problem: an unknown system name, fault injection on a
-/// workload family that does not support it (IOR only today), a
-/// malformed fault window, or a fault targeting a stage the scenario's
-/// deployment plan does not contain. `hcs run` calls this up front so
-/// bad decks exit with a message instead of a panic backtrace.
+/// the first problem: an unknown system name, fault injection or
+/// open-loop arrivals on a workload family that does not support them
+/// (IOR only today), a malformed fault window or arrival spec, an
+/// `offered_load` sweep over a closed-loop base, or a fault targeting a
+/// stage the scenario's deployment plan does not contain. `hcs run`
+/// calls this up front so bad decks exit with a message instead of a
+/// panic backtrace.
 pub fn validate_deck(deck: &Deck) -> Result<(), String> {
+    if !deck.axes.offered_load.is_empty() && deck.base.arrival.is_closed() {
+        return Err(format!(
+            "deck '{}' sweeps offered_load but the base scenario's arrival is closed-loop; \
+             give the base an open arrival spec (the sweep overrides its rate)",
+            deck.name
+        ));
+    }
     for scenario in deck.expand() {
         let entry = registry::resolve(&scenario.system).ok_or_else(|| {
             format!(
@@ -311,6 +378,17 @@ pub fn validate_deck(deck: &Deck) -> Result<(), String> {
                 registry::names().join(", ")
             )
         })?;
+        scenario
+            .arrival
+            .check()
+            .map_err(|e| format!("scenario '{}': {e}", scenario.name))?;
+        if !scenario.arrival.is_closed() && !matches!(scenario.workload, Workload::Ior(_)) {
+            return Err(format!(
+                "scenario '{}': open-loop arrivals support the IOR family only (got {})",
+                scenario.name,
+                scenario.workload.kind()
+            ));
+        }
         if scenario.faults.is_empty() {
             continue;
         }
@@ -381,7 +459,17 @@ fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> Po
     workload.validate();
     let nodes = scenario.run_nodes();
     let ppn = scenario.run_ppn(full_ppn);
-    let outcome = if scenario.faults.is_empty() {
+    let outcome = if !scenario.arrival.is_closed() {
+        run_workload_open_loop(
+            &*system,
+            &workload,
+            &scenario.arrival,
+            &scenario.faults,
+            recorder,
+            &scenario.name,
+        )
+        .0
+    } else if scenario.faults.is_empty() {
         match recorder {
             Some(rec) => run_workload_on_traced(&system, &workload, nodes, ppn, rec),
             None => run_workload_on(&system, &workload, nodes, ppn),
@@ -424,9 +512,20 @@ fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
     let nodes = scenario.run_nodes();
     let ppn = scenario.run_ppn(full_ppn);
     let mut rec = Recorder::new();
-    let (outcome, resilience) = if scenario.faults.is_empty() {
+    let (outcome, resilience, latency) = if !scenario.arrival.is_closed() {
+        let (outcome, open) = run_workload_open_loop(
+            &*system,
+            &workload,
+            &scenario.arrival,
+            &scenario.faults,
+            Some(&mut rec),
+            &scenario.name,
+        );
+        let latency = open_loop_latency(&workload, &open);
+        (outcome, None, latency)
+    } else if scenario.faults.is_empty() {
         let outcome = run_workload_on_traced(&system, &workload, nodes, ppn, &mut rec);
-        (outcome, None)
+        (outcome, None, Vec::new())
     } else {
         let (outcome, resilience) = run_workload_faulted(
             &*system,
@@ -435,11 +534,12 @@ fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
             Some(&mut rec),
             &scenario.name,
         );
-        (outcome, Some(resilience))
+        (outcome, Some(resilience), Vec::new())
     };
     let mut metrics = collect_point_metrics(&workload, &outcome, &rec, nodes, ppn);
     metrics.wall_clock_seconds = start.elapsed().as_secs_f64();
     metrics.resilience = resilience;
+    metrics.latency = latency;
     (
         PointResult {
             scenario: scenario.clone(),
@@ -686,6 +786,110 @@ mod tests {
         let json = serde_json::to_string(&run_deck_with_metrics(&deck)).unwrap();
         assert!(!json.contains("\"resilience\""), "byte-compat broken");
         assert!(!json.contains("\"faults\""), "byte-compat broken");
+        // Closed-loop runs must not mention the open-loop fields either.
+        assert!(!json.contains("\"arrival\""), "byte-compat broken");
+        assert!(!json.contains("\"latency\""), "byte-compat broken");
+        assert!(!json.contains("\"knees\""), "byte-compat broken");
+    }
+
+    fn open_scenario(system: &str, rate: f64) -> Scenario {
+        smoke_scenario(system).with_arrival(Arrival::Open {
+            rate,
+            discipline: hcs_core::Discipline::Poisson,
+            duration: 0.4,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn open_loop_deck_carries_latency_and_knees() {
+        let mut deck = Deck::single("sat", open_scenario("vast-lassen", 1.0));
+        deck.axes.offered_load = vec![50.0, 2000.0];
+        assert_eq!(validate_deck(&deck), Ok(()));
+        let result = run_deck_with_metrics(&deck);
+        assert_eq!(result.points.len(), 2);
+        let p99s: Vec<f64> = result
+            .points
+            .iter()
+            .map(|p| {
+                let rows = &p.metrics.as_ref().unwrap().latency;
+                assert_eq!(rows.len(), 1, "one op class per IOR phase");
+                assert_eq!(rows[0].op, "read");
+                assert!(!rows[0].histogram.is_empty());
+                rows[0].histogram.p99()
+            })
+            .collect();
+        assert!(
+            p99s[1] >= p99s[0],
+            "p99 must not improve under load: {p99s:?}"
+        );
+        let summary = result.metrics.as_ref().expect("metered deck summarizes");
+        assert_eq!(summary.knees.len(), 1);
+        assert_eq!(summary.knees[0].system, "VAST");
+        assert_eq!(summary.knees[0].baseline_rate, 50.0);
+        // A metered open-loop run reproduces the un-metered outcome.
+        let plain = run_deck(&deck);
+        for (p, m) in plain.points.iter().zip(&result.points) {
+            assert_eq!(p.outcome, m.outcome, "metering must not perturb outcomes");
+        }
+    }
+
+    #[test]
+    fn open_loop_composes_with_faults_in_the_executor() {
+        let calm = Deck::single("calm", open_scenario("vast-lassen", 200.0));
+        let mut stormy = Deck::single("stormy", open_scenario("vast-lassen", 200.0));
+        stormy.base.faults = vec![gateway_outage(0.1, 0.25)];
+        assert_eq!(validate_deck(&stormy), Ok(()));
+        let calm_p99 = run_deck_with_metrics(&calm).points[0]
+            .metrics
+            .as_ref()
+            .unwrap()
+            .latency[0]
+            .histogram
+            .p99();
+        let stormy_p99 = run_deck_with_metrics(&stormy).points[0]
+            .metrics
+            .as_ref()
+            .unwrap()
+            .latency[0]
+            .histogram
+            .p99();
+        assert!(
+            stormy_p99 > calm_p99,
+            "a mid-run outage must push the tail out: {stormy_p99} vs {calm_p99}"
+        );
+    }
+
+    #[test]
+    fn validate_deck_names_bad_arrival_specs() {
+        let mut closed_sweep = Deck::single("c", smoke_scenario("vast-lassen"));
+        closed_sweep.axes.offered_load = vec![100.0];
+        let err = validate_deck(&closed_sweep).unwrap_err();
+        assert!(err.contains("sweeps offered_load"), "{err}");
+
+        let family = Deck::single(
+            "f",
+            Scenario::new("gpfs", Workload::Mdtest(MdtestConfig::new(1, 4))).with_arrival(
+                Arrival::Open {
+                    rate: 100.0,
+                    discipline: hcs_core::Discipline::Poisson,
+                    duration: 1.0,
+                    seed: 0,
+                },
+            ),
+        );
+        let err = validate_deck(&family).unwrap_err();
+        assert!(
+            err.contains("open-loop arrivals support the IOR family only (got mdtest)"),
+            "{err}"
+        );
+
+        let zero_rate = Deck::single("z", open_scenario("vast-lassen", 0.0));
+        let err = validate_deck(&zero_rate).unwrap_err();
+        assert!(
+            err.contains("arrival rate must be finite and positive"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! campaigns are accounted at phase level (an IOR run *is* one I/O
 //! phase; a job's steps partition its wall time).
 
-use hcs_core::metrics::{DeckMetricsSummary, PointMetrics, Stats, SystemMetrics};
-use hcs_core::{IoOp, JobStep, Recorder, Workload};
+use hcs_core::metrics::{
+    DeckMetricsSummary, KneeVerdict, LatencyHistogram, PointMetrics, Stats, SystemMetrics,
+};
+use hcs_core::{Arrival, IoOp, JobStep, Recorder, Workload};
 use hcs_dftrace::{EventCategory, IoDecomposition};
 use hcs_simkit::Summary;
 
@@ -211,7 +213,57 @@ pub(crate) fn collect_point_metrics(
         flow_groups: recorder.flow_groups(),
         wall_clock_seconds: 0.0,
         resilience: None,
+        latency: Vec::new(),
     }
+}
+
+/// The p99 multiple over the low-load baseline that declares
+/// saturation: the knee is the first offered-load point whose merged
+/// p99 exceeds this factor times the first (lowest-rate) point's p99.
+const KNEE_THRESHOLD: f64 = 2.0;
+
+/// Extracts one throughput–latency knee verdict per system from an
+/// offered-load sweep: within each `by_system` group (sweep order), the
+/// first open-loop point is the baseline and the knee is the first
+/// point whose merged p99 exceeds [`KNEE_THRESHOLD`]× the baseline p99.
+/// Systems that never cross report `knee_rate: None` (no knee within
+/// the swept range). Closed-loop points carry no latency and are
+/// skipped, so fault-free closed decks produce no verdicts at all.
+fn knee_verdicts(result: &DeckResult) -> Vec<KneeVerdict> {
+    let mut knees = Vec::new();
+    for (label, points) in result.by_system() {
+        let mut series: Vec<(f64, f64, String)> = Vec::new();
+        for p in &points {
+            let Some(m) = &p.metrics else { continue };
+            let Arrival::Open { rate, .. } = &p.scenario.arrival else {
+                continue;
+            };
+            let mut merged = LatencyHistogram::new();
+            for row in &m.latency {
+                merged.merge(&row.histogram);
+            }
+            if !merged.is_empty() {
+                series.push((*rate, merged.p99(), p.scenario.name.clone()));
+            }
+        }
+        let Some(first) = series.first() else {
+            continue;
+        };
+        let (baseline_rate, baseline_p99) = (first.0, first.1);
+        let knee = series
+            .iter()
+            .find(|(_, p99, _)| *p99 > KNEE_THRESHOLD * baseline_p99);
+        knees.push(KneeVerdict {
+            system: label.clone(),
+            threshold: KNEE_THRESHOLD,
+            baseline_p99,
+            baseline_rate,
+            knee_rate: knee.map(|(r, _, _)| *r),
+            knee_point: knee.map(|(_, _, n)| n.clone()),
+            knee_p99: knee.map(|(_, p99, _)| *p99),
+        });
+    }
+    knees
 }
 
 /// The group's dominant bottleneck: the resource with the most
@@ -359,5 +411,6 @@ pub fn deck_metrics_summary(result: &DeckResult) -> Option<DeckMetricsSummary> {
         winner,
         factor,
         crossovers,
+        knees: knee_verdicts(result),
     })
 }

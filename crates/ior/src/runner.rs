@@ -5,10 +5,10 @@ use serde::{Deserialize, Serialize};
 use hcs_core::metrics::ResilienceMetrics;
 use hcs_core::outcome::RepeatedOutcome;
 use hcs_core::runner::{
-    run_phase_repeated, run_phase_repeated_faulted, run_phase_repeated_faulted_traced,
-    run_phase_repeated_traced, FaultPhaseError,
+    run_phase_open_loop, run_phase_repeated, run_phase_repeated_faulted,
+    run_phase_repeated_faulted_traced, run_phase_repeated_traced, FaultPhaseError, OpenLoopOutcome,
 };
-use hcs_core::scenario::FaultSpec;
+use hcs_core::scenario::{Arrival, FaultSpec};
 use hcs_core::telemetry::Recorder;
 use hcs_core::StorageSystem;
 use hcs_simkit::SimRng;
@@ -171,6 +171,77 @@ pub fn run_ior_faulted_traced(
     ))
 }
 
+/// Runs the configuration's measured phase open loop: operations of
+/// the config's transfer size arrive at the spec's seeded rate instead
+/// of every rank re-issuing on completion (see
+/// [`run_phase_open_loop`]). The report's single "repetition" is the
+/// achieved throughput over the drained window — repetitions and
+/// run-to-run noise do not apply to an open-loop latency measurement,
+/// whose cross-run story is the histogram itself. Faults compose: the
+/// schedule resolves against the same planned graph as in
+/// [`run_ior_faulted`].
+pub fn run_ior_open_loop(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
+    run_ior_open_loop_impl(system, config, arrival, faults, None)
+}
+
+/// [`run_ior_open_loop`] with telemetry: the run's flows and resource
+/// utilization land in `recorder` (labeled by system, op and scale).
+pub fn run_ior_open_loop_traced(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+    recorder: &mut Recorder,
+) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
+    run_ior_open_loop_impl(system, config, arrival, faults, Some(recorder))
+}
+
+fn run_ior_open_loop_impl(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+    recorder: Option<&mut Recorder>,
+) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
+    config.validate();
+    let phase = config.phase();
+    let label = format!(
+        "{} {:?} {}x{} (open loop)",
+        system.name(),
+        phase.op,
+        config.nodes,
+        config.tasks_per_node
+    );
+    let telemetry = recorder.map(|r| (r, label.as_str()));
+    let open = run_phase_open_loop(
+        system,
+        config.nodes,
+        config.tasks_per_node,
+        &phase,
+        arrival,
+        faults,
+        telemetry,
+    )?;
+    let outcome = RepeatedOutcome::from_bandwidths(
+        config.nodes,
+        config.tasks_per_node,
+        vec![open.agg_bandwidth],
+    );
+    Ok((
+        IorReport {
+            system: system.description(),
+            config: config.clone(),
+            outcome,
+        },
+        open,
+    ))
+}
+
 /// A full IOR job: write the dataset, then read it back — what IOR
 /// actually does when both `-w` and `-r` are given. The read phase
 /// keeps the workload class's access pattern; the write phase is always
@@ -269,6 +340,28 @@ mod tests {
         let rep = run_ior(&sys, &cfg);
         let back: IorReport = serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn open_loop_report_carries_latency_and_single_rep() {
+        use hcs_core::scenario::Discipline;
+        let sys = vast_on_lassen();
+        let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 2, 4);
+        let arrival = Arrival::Open {
+            rate: 100.0,
+            discipline: Discipline::Poisson,
+            duration: 0.5,
+            seed: 5,
+        };
+        let (report, open) = run_ior_open_loop(&sys, &cfg, &arrival, &[]).unwrap();
+        assert_eq!(report.outcome.bandwidths.len(), 1);
+        assert_eq!(report.outcome.bandwidths[0], open.agg_bandwidth);
+        assert!(open.histogram.count() > 0);
+        assert!(open.histogram.p50() > 0.0);
+        // Deterministic: re-running reproduces the histogram bit for bit.
+        let (_, again) = run_ior_open_loop(&sys, &cfg, &arrival, &[]).unwrap();
+        assert_eq!(open.histogram, again.histogram);
+        assert_eq!(open.end.to_bits(), again.end.to_bits());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Seeded open-loop arrival schedules.
+//!
+//! An open-loop experiment offers load at a rate that does not react to
+//! the system's backlog — the discipline production latency studies use
+//! (and the opposite of the closed-loop `run_to_completion` benchmarks,
+//! where every rank immediately re-issues). The two disciplines here
+//! are the standard pair: deterministic fixed-rate spacing and a
+//! Poisson process drawn by inverse CDF from the suite's seeded noise
+//! stream ([`SimRng`]), so a schedule is a pure function of
+//! `(discipline, rate, duration, seed)` and bit-reproducible anywhere.
+
+use crate::rng::SimRng;
+
+/// How inter-arrival gaps are drawn for an open-loop schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalDiscipline {
+    /// Deterministic spacing: one arrival every `1/rate` seconds.
+    FixedRate,
+    /// Poisson process: exponential gaps via inverse CDF
+    /// (`-ln(1-u)/rate`) over the provided random stream.
+    Poisson,
+}
+
+/// Arrival instants in `[0, duration)` at the given mean `rate`
+/// (operations per second), strictly increasing, starting after the
+/// first drawn gap.
+///
+/// Fixed-rate consumes no randomness; Poisson consumes one uniform per
+/// arrival. The expected count is `rate * duration` either way.
+///
+/// # Panics
+/// Panics if `rate` or `duration` is non-finite or not positive.
+pub fn arrival_times(
+    discipline: ArrivalDiscipline,
+    rate: f64,
+    duration: f64,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "arrival rate must be finite and positive: {rate}"
+    );
+    assert!(
+        duration.is_finite() && duration > 0.0,
+        "arrival duration must be finite and positive: {duration}"
+    );
+    let mut times = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t = match discipline {
+            // Computed by multiplication, not accumulation, so the k-th
+            // instant is exactly `k/rate` with one rounding.
+            ArrivalDiscipline::FixedRate => (times.len() + 1) as f64 / rate,
+            // Inverse CDF of Exp(rate); uniform() is in [0, 1) so the
+            // argument of ln is in (0, 1] and the gap is finite.
+            ArrivalDiscipline::Poisson => t + -(1.0 - rng.uniform()).ln() / rate,
+        };
+        if t >= duration {
+            return times;
+        }
+        times.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_is_evenly_spaced() {
+        let mut rng = SimRng::new(1);
+        let times = arrival_times(ArrivalDiscipline::FixedRate, 10.0, 1.0, &mut rng);
+        assert_eq!(times.len(), 9, "gaps of 0.1 in [0, 1): 0.1 .. 0.9");
+        for (i, t) in times.iter().enumerate() {
+            assert!((t - 0.1 * (i + 1) as f64).abs() < 1e-9, "t[{i}] = {t}");
+        }
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_with_plausible_mean() {
+        let a = arrival_times(ArrivalDiscipline::Poisson, 100.0, 50.0, &mut SimRng::new(7));
+        let b = arrival_times(ArrivalDiscipline::Poisson, 100.0, 50.0, &mut SimRng::new(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // ~5000 expected arrivals; allow generous slack.
+        assert!((4000..6000).contains(&a.len()), "count = {}", a.len());
+        let c = arrival_times(ArrivalDiscipline::Poisson, 100.0, 50.0, &mut SimRng::new(8));
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_inside_the_window() {
+        let times = arrival_times(ArrivalDiscipline::Poisson, 500.0, 2.0, &mut SimRng::new(3));
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(times.iter().all(|t| *t > 0.0 && *t < 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn zero_rate_rejected() {
+        arrival_times(ArrivalDiscipline::FixedRate, 0.0, 1.0, &mut SimRng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be finite and positive")]
+    fn zero_duration_rejected() {
+        arrival_times(ArrivalDiscipline::FixedRate, 1.0, 0.0, &mut SimRng::new(1));
+    }
+}

@@ -162,6 +162,19 @@ impl ResourceSpec {
     }
 }
 
+/// Optional operation identity carried by a flow and echoed on its
+/// [`Completion`]: which operation class issued it and which size
+/// bucket it belongs to. Purely descriptive — the engine never reads
+/// it back, so tagging a flow cannot change any simulated value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpIdentity {
+    /// Caller-defined operation class index (e.g. read vs. write, or a
+    /// workload-class ordinal).
+    pub class: u32,
+    /// Caller-defined size-bucket index (e.g. a transfer-size rank).
+    pub size_bucket: u32,
+}
+
 /// Static description of a flow (or group of identical flows).
 #[derive(Clone, Debug)]
 pub struct FlowSpec {
@@ -186,6 +199,14 @@ pub struct FlowSpec {
     /// counters ([`FlowNet::flows_started`], telemetry flow-group
     /// tallies) keep reporting expanded-equivalent values.
     pub represents: u32,
+    /// Optional operation identity echoed on the completion.
+    pub op: Option<OpIdentity>,
+    /// When the operation was *submitted*, as opposed to when it was
+    /// admitted into the network ([`FlowNet::add_flow`] time). `None`
+    /// means "submitted at admission". The completion's latency is
+    /// measured from this instant, so deferred admission counts as
+    /// queueing time.
+    pub submitted_at: Option<f64>,
 }
 
 impl FlowSpec {
@@ -199,6 +220,8 @@ impl FlowSpec {
             weight: 1.0,
             tag: 0,
             represents: 1,
+            op: None,
+            submitted_at: None,
         }
     }
 
@@ -232,6 +255,18 @@ impl FlowSpec {
         self.tag = tag;
         self
     }
+
+    /// Attaches an operation identity (echoed on the completion).
+    pub fn with_op(mut self, class: u32, size_bucket: u32) -> Self {
+        self.op = Some(OpIdentity { class, size_bucket });
+        self
+    }
+
+    /// Sets the submit time the completion latency is measured from.
+    pub fn submitted_at(mut self, t: f64) -> Self {
+        self.submitted_at = Some(t);
+        self
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -242,6 +277,8 @@ struct Flow {
     rate_cap: Option<f64>,
     weight: f64,
     tag: u64,
+    op: Option<OpIdentity>,
+    submitted_at: f64,
     /// Current per-member rate, valid when `rates_valid`.
     rate: f64,
 }
@@ -255,6 +292,14 @@ pub struct Completion {
     pub tag: u64,
     /// Completion time in seconds.
     pub at: f64,
+    /// When the operation was submitted ([`FlowSpec::submitted_at`],
+    /// defaulting to the admission instant).
+    pub submitted_at: f64,
+    /// Submit-to-finish latency in seconds (`at - submitted_at`) —
+    /// queueing included when admission was deferred.
+    pub latency: f64,
+    /// Operation identity from the [`FlowSpec`], if any.
+    pub op: Option<OpIdentity>,
 }
 
 /// The flow-sharing network: resources plus currently active flows.
@@ -439,6 +484,12 @@ impl FlowNet {
             assert!(cap > 0.0, "rate cap must be positive");
         }
         assert!(spec.represents >= 1, "represents must be >= 1");
+        let submitted_at = spec.submitted_at.unwrap_or(self.now);
+        assert!(
+            submitted_at.is_finite() && submitted_at <= self.now,
+            "submit time must be finite and not after admission: {submitted_at} > {}",
+            self.now
+        );
         let key = self.next_flow;
         self.next_flow += 1;
         self.started += spec.represents as u64;
@@ -458,6 +509,8 @@ impl FlowNet {
                 rate_cap: spec.rate_cap,
                 weight: spec.weight,
                 tag: spec.tag,
+                op: spec.op,
+                submitted_at,
                 rate: 0.0,
             },
         );
@@ -576,6 +629,9 @@ impl FlowNet {
                     id: FlowId(k),
                     tag: f.tag,
                     at: self.now,
+                    submitted_at: f.submitted_at,
+                    latency: self.now - f.submitted_at,
+                    op: f.op,
                 });
             }
             self.rates_valid = false;
@@ -701,6 +757,110 @@ impl FlowNet {
                 }
                 // Full stall with nothing scheduled: unrecoverable.
                 (None, None) => return Err(self.stall_error()),
+            }
+        }
+        Ok(FaultRunReport {
+            end: self.now,
+            stall_seconds,
+            events_applied,
+            last_event_at,
+        })
+    }
+
+    /// The open-loop drive loop: operations are *injected* at scheduled
+    /// absolute times instead of all being present at entry, while a
+    /// [`FaultTimeline`] of capacity events is applied exactly as in
+    /// [`FlowNet::run_with_faults`] — open-loop arrivals and fault
+    /// injection compose in one loop.
+    ///
+    /// `arrivals` is a list of `(time, spec)` pairs (sorted by time
+    /// here, stably, so same-instant arrivals keep their given order).
+    /// Each spec is admitted when simulated time reaches its arrival
+    /// instant; a spec without an explicit submit time gets the arrival
+    /// instant as its [`FlowSpec::submitted_at`], so completions report
+    /// submit→finish latency including any queueing behind earlier
+    /// operations or outage windows. Flows already active at entry are
+    /// driven alongside the injected ones.
+    ///
+    /// Interleaving is deterministic: time leaps to the earliest of
+    /// (next completion, next capacity event, next arrival); completions
+    /// are drained first at a shared instant, then capacity events
+    /// apply, then arrivals are admitted. Trailing capacity events past
+    /// the last completion *and* last arrival are not applied (matching
+    /// [`FlowNet::run_with_faults`]). An interval in which every active
+    /// flow sits at rate zero counts toward
+    /// [`FaultRunReport::stall_seconds`]; idle gaps with *no* active
+    /// flow (waiting for the next arrival) do not. Only a stall with no
+    /// event or arrival left returns [`StallError`].
+    ///
+    /// # Panics
+    /// Panics if an arrival time is non-finite, before the current
+    /// time, or an event references an unknown resource.
+    pub fn run_open_loop(
+        &mut self,
+        mut arrivals: Vec<(f64, FlowSpec)>,
+        timeline: &FaultTimeline,
+        mut on_complete: impl FnMut(&mut FlowNet, Completion),
+    ) -> Result<FaultRunReport, StallError> {
+        for e in timeline.events() {
+            assert!(
+                e.resource.index() < self.resources.len(),
+                "fault event references unknown resource {:?}",
+                e.resource
+            );
+        }
+        for (t, _) in &arrivals {
+            assert!(
+                t.is_finite() && *t >= self.now,
+                "arrival time must be finite and not before the current time: {t} < {}",
+                self.now
+            );
+        }
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let base: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut pending_events = timeline.events().iter().peekable();
+        let mut pending_arrivals = arrivals.into_iter().peekable();
+        let mut stall_seconds = 0.0;
+        let mut events_applied = 0usize;
+        let mut last_event_at = None;
+        loop {
+            let has_arrivals = pending_arrivals.peek().is_some();
+            if self.active_flow_count() == 0 && !has_arrivals {
+                break;
+            }
+            let completion = self.next_completion_time();
+            let stalled = self.active_flow_count() > 0 && completion.is_none();
+            let next_arrival = pending_arrivals.peek().map(|(t, _)| *t);
+            let next_event = pending_events.peek().map(|e| e.at);
+            let mut target = f64::INFINITY;
+            for t in [completion, next_event, next_arrival].into_iter().flatten() {
+                target = target.min(t);
+            }
+            if !target.is_finite() {
+                // Active flows at rate zero with nothing scheduled to
+                // lift them and nothing left to inject: unrecoverable.
+                return Err(self.stall_error());
+            }
+            let at = target.max(self.now);
+            if stalled {
+                stall_seconds += at - self.now;
+            }
+            self.advance_to(at);
+            for c in self.take_completed() {
+                on_complete(self, c);
+            }
+            while pending_events.peek().is_some_and(|e| e.at <= self.now) {
+                let e = pending_events.next().expect("peeked event");
+                self.set_resource_capacity(e.resource, base[e.resource.index()] * e.factor);
+                events_applied += self.resources[e.resource.index()].instances as usize;
+                last_event_at = Some(e.at.max(at));
+            }
+            while pending_arrivals.peek().is_some_and(|(t, _)| *t <= self.now) {
+                let (t, mut spec) = pending_arrivals.next().expect("peeked arrival");
+                if spec.submitted_at.is_none() {
+                    spec.submitted_at = Some(t);
+                }
+                self.add_flow(spec);
             }
         }
         Ok(FaultRunReport {
@@ -1375,6 +1535,164 @@ mod tests {
         // events — the expanded run would have applied 8.
         assert_eq!(report.events_applied, 8);
         assert!((report.stall_seconds - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_serial_ops_have_service_latency() {
+        // 100 B/s link, 100 B ops arriving far apart: no queueing, each
+        // op's latency is its pure service time.
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![
+            (1.0, FlowSpec::new(vec![r[0]], 100.0).with_tag(1)),
+            (10.0, FlowSpec::new(vec![r[0]], 100.0).with_tag(2)),
+        ];
+        let mut done = Vec::new();
+        let report = net
+            .run_open_loop(arrivals, &FaultTimeline::empty(), |_, c| {
+                done.push((c.tag, c.latency))
+            })
+            .unwrap();
+        assert_eq!(done.len(), 2);
+        assert!((done[0].1 - 1.0).abs() < 1e-6, "{done:?}");
+        assert!((done[1].1 - 1.0).abs() < 1e-6, "{done:?}");
+        assert!((report.end - 11.0).abs() < 1e-6);
+        assert_eq!(report.stall_seconds, 0.0);
+    }
+
+    #[test]
+    fn open_loop_contention_inflates_latency() {
+        // Two simultaneous 100 B ops share the 100 B/s link: both take
+        // 2 s instead of 1 s.
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![
+            (0.5, FlowSpec::new(vec![r[0]], 100.0)),
+            (0.5, FlowSpec::new(vec![r[0]], 100.0)),
+        ];
+        let mut latencies = Vec::new();
+        net.run_open_loop(arrivals, &FaultTimeline::empty(), |_, c| {
+            latencies.push(c.latency)
+        })
+        .unwrap();
+        assert_eq!(latencies.len(), 2);
+        for l in &latencies {
+            assert!((l - 2.0).abs() < 1e-6, "{latencies:?}");
+        }
+    }
+
+    #[test]
+    fn open_loop_composes_with_outage_and_accounts_stall() {
+        // Op arrives at t=0; outage [0.5, 1.5) stalls it mid-transfer;
+        // a second op arrives after recovery and is unaffected.
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![
+            (0.0, FlowSpec::new(vec![r[0]], 100.0).with_tag(1)),
+            (3.0, FlowSpec::new(vec![r[0]], 100.0).with_tag(2)),
+        ];
+        let tl = FaultTimeline::new(vec![
+            CapacityEvent::new(0.5, r[0], 0.0),
+            CapacityEvent::new(1.5, r[0], 1.0),
+        ]);
+        let mut done = Vec::new();
+        let report = net
+            .run_open_loop(arrivals, &tl, |_, c| done.push((c.tag, c.latency)))
+            .unwrap();
+        assert_eq!(done.len(), 2);
+        assert!((done[0].1 - 2.0).abs() < 1e-6, "{done:?}");
+        assert!((done[1].1 - 1.0).abs() < 1e-6, "{done:?}");
+        assert!((report.stall_seconds - 1.0).abs() < 1e-9);
+        assert_eq!(report.events_applied, 2);
+        assert!((report.end - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn open_loop_deferred_submit_counts_queueing() {
+        // The op was submitted at t=0 but only admitted at t=2 (deferred
+        // admission): its latency includes the 2 s queue.
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![(2.0, FlowSpec::new(vec![r[0]], 100.0).submitted_at(0.0))];
+        let mut latencies = Vec::new();
+        net.run_open_loop(arrivals, &FaultTimeline::empty(), |_, c| {
+            latencies.push(c.latency)
+        })
+        .unwrap();
+        assert!((latencies[0] - 3.0).abs() < 1e-6, "{latencies:?}");
+    }
+
+    #[test]
+    fn open_loop_echoes_op_identity() {
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![(0.0, FlowSpec::new(vec![r[0]], 100.0).with_op(3, 7))];
+        let mut ops = Vec::new();
+        net.run_open_loop(arrivals, &FaultTimeline::empty(), |_, c| ops.push(c.op))
+            .unwrap();
+        assert_eq!(
+            ops,
+            vec![Some(OpIdentity {
+                class: 3,
+                size_bucket: 7
+            })]
+        );
+    }
+
+    #[test]
+    fn open_loop_trailing_events_are_not_applied() {
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![(0.0, FlowSpec::new(vec![r[0]], 100.0))];
+        let tl = FaultTimeline::new(vec![CapacityEvent::new(50.0, r[0], 0.0)]);
+        let report = net.run_open_loop(arrivals, &tl, |_, _| {}).unwrap();
+        assert!((report.end - 1.0).abs() < 1e-9);
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(net.resource_capacity(r[0]), 100.0);
+    }
+
+    #[test]
+    fn open_loop_unrecovered_outage_is_a_typed_stall() {
+        use crate::faults::CapacityEvent;
+        let (mut net, r) = net_with(&[100.0]);
+        let arrivals = vec![(0.0, FlowSpec::new(vec![r[0]], 100.0))];
+        let tl = FaultTimeline::new(vec![CapacityEvent::new(0.5, r[0], 0.0)]);
+        let err = net
+            .run_open_loop(arrivals, &tl, |_, _| {})
+            .expect_err("no recovery and no arrival left");
+        assert_eq!(err.starved, vec!["r0".to_string()]);
+    }
+
+    #[test]
+    fn open_loop_with_preloaded_flows_matches_run_with_faults() {
+        // No arrivals: the open-loop driver degenerates to
+        // run_with_faults bit for bit.
+        use crate::faults::CapacityEvent;
+        let make = || {
+            let (mut net, r) = net_with(&[123.0, 77.0]);
+            net.add_flow(FlowSpec::new(vec![r[0], r[1]], 1000.0).with_tag(1));
+            net.add_flow(FlowSpec::new(vec![r[1]], 700.0).with_tag(2));
+            (net, r)
+        };
+        let tl = |r: &Vec<ResourceId>| {
+            FaultTimeline::new(vec![
+                CapacityEvent::new(1.0, r[0], 0.25),
+                CapacityEvent::new(4.0, r[0], 1.0),
+            ])
+        };
+        let (mut a, ra) = make();
+        let mut done_a = Vec::new();
+        let ra_report = a
+            .run_with_faults(&tl(&ra), |_, c| done_a.push((c.tag, c.at)))
+            .unwrap();
+        let (mut b, rb) = make();
+        let mut done_b = Vec::new();
+        let rb_report = b
+            .run_open_loop(Vec::new(), &tl(&rb), |_, c| done_b.push((c.tag, c.at)))
+            .unwrap();
+        assert_eq!(ra_report.end.to_bits(), rb_report.end.to_bits());
+        assert_eq!(ra_report.events_applied, rb_report.events_applied);
+        assert_eq!(done_a.len(), done_b.len());
+        for ((ta, aa), (tb, ab)) in done_a.iter().zip(&done_b) {
+            assert_eq!(ta, tb);
+            assert_eq!(aa.to_bits(), ab.to_bits());
+        }
     }
 
     #[test]

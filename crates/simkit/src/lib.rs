@@ -20,7 +20,9 @@
 //!
 //! Supporting modules: [`faults`] (deterministic timed capacity
 //! schedules — outages, degradations, recoveries — consumed by
-//! [`flownet::FlowNet::run_with_faults`]), [`time`] (simulated time arithmetic), [`rng`]
+//! [`flownet::FlowNet::run_with_faults`]), [`arrivals`] (seeded
+//! open-loop arrival schedules — fixed-rate and Poisson — consumed by
+//! [`flownet::FlowNet::run_open_loop`]), [`time`] (simulated time arithmetic), [`rng`]
 //! (seeded, label-splittable random streams), [`stats`] (online summary
 //! statistics), [`intervals`] (interval-set algebra used for I/O overlap
 //! analysis), and [`units`] (byte/bandwidth unit helpers).
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod engine;
 pub mod faults;
 pub mod flowlog;
@@ -41,10 +44,13 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use arrivals::{arrival_times, ArrivalDiscipline};
 pub use engine::{EventQueue, Simulation, World};
 pub use faults::{CapacityEvent, FaultRunReport, FaultTimeline, StallError};
 pub use flowlog::{AllocSample, FlowLog, FlowLogHandle, FlowRecord};
-pub use flownet::{FlowId, FlowNet, FlowRecorder, FlowSpec, ResourceId, ResourceSpec};
+pub use flownet::{
+    Completion, FlowId, FlowNet, FlowRecorder, FlowSpec, OpIdentity, ResourceId, ResourceSpec,
+};
 pub use intervals::IntervalSet;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};

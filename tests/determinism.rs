@@ -132,6 +132,110 @@ fn deck_metrics_are_independent_of_worker_count() {
     }
 }
 
+#[test]
+fn open_loop_deck_metrics_are_independent_of_worker_count() {
+    // Open-loop points carry latency histograms and the deck summary
+    // gains knee verdicts; both are built from integer bucket counts,
+    // so they must be bit-identical across pool sizes too.
+    use hcs_core::{Arrival, Deck, Discipline, Scenario, Workload};
+    use hcs_experiments::run_deck_with_metrics;
+    let scenario = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4)),
+    )
+    .with_arrival(Arrival::Open {
+        rate: 1.0,
+        discipline: Discipline::Poisson,
+        duration: 0.3,
+        seed: 11,
+    });
+    let mut deck = Deck::single("open-parity", scenario);
+    deck.axes.offered_load = vec![100.0, 200.0];
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_deck_with_metrics(&deck);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = run_deck_with_metrics(&deck);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(serial.metrics, parallel.metrics, "deck summaries differ");
+    let knees = &serial.metrics.as_ref().unwrap().knees;
+    assert_eq!(knees.len(), 1, "offered-load sweep yields a knee verdict");
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        let (ma, mb) = (a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+        assert!(!ma.latency.is_empty(), "open-loop points carry latency");
+        let mut mb = mb.clone();
+        mb.wall_clock_seconds = ma.wall_clock_seconds;
+        assert_eq!(
+            *ma, mb,
+            "metrics for {} differ across pool sizes",
+            a.scenario.name
+        );
+    }
+}
+
+mod latency_histogram {
+    //! The latency histogram is the other merge algebra behind
+    //! worker-count independence: counts are exact integers, so merge
+    //! must be a bitwise-exact commutative monoid, and a recorded value
+    //! must read back from `percentile` within its own bucket width.
+    use hcs_core::LatencyHistogram;
+    use proptest::prelude::*;
+
+    fn from_ticks(ticks: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &t in ticks {
+            h.record(t as f64 / 1e6);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in prop::collection::vec(0u64..10_000_000_000, 0..16),
+            b in prop::collection::vec(0u64..10_000_000_000, 0..16),
+            c in prop::collection::vec(0u64..10_000_000_000, 0..16),
+        ) {
+            let (ha, hb, hc) = (from_ticks(&a), from_ticks(&b), from_ticks(&c));
+            // ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)) bitwise.
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+            // b ⊕ a == a ⊕ b bitwise.
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(&ab, &ba);
+            // And the merge equals recording every value in one pass.
+            let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+            prop_assert_eq!(&left, &from_ticks(&all));
+        }
+
+        #[test]
+        fn percentile_round_trips_within_one_bucket_width(
+            ticks in 0u64..10_000_000_000,
+            p in 0.0f64..=100.0,
+        ) {
+            // A lone sample is every quantile; the reported value is its
+            // bucket's upper edge, which bounds the sample from above
+            // within 1/32 relative error (exact below 32 µs).
+            let h = from_ticks(&[ticks]);
+            let got = (h.percentile(p) * 1e6).round() as u64;
+            prop_assert!(got >= ticks, "{got} < {ticks}");
+            prop_assert!(
+                got <= ticks + ticks / 32,
+                "{got} beyond one bucket width above {ticks}"
+            );
+        }
+    }
+}
+
 mod stats_merge {
     //! The deck summary is built from [`hcs_core::Stats`] accumulators
     //! merged across points; merge is concatenation, so it must be

@@ -151,6 +151,103 @@ fn cancelling_flows_releases_capacity_for_survivors() {
 }
 
 #[test]
+fn open_loop_outage_lifts_the_tail_and_bounds_stall() {
+    // The open-loop driver composes with timed fault injection: a
+    // mid-run gateway outage must push p99 out, and the closed-loop
+    // stall invariant carries over — full-stall seconds never exceed
+    // the outage window.
+    use hcs_core::{Arrival, Discipline, FaultSpec, StageKind};
+    use hcs_ior::run_ior_open_loop;
+
+    let sys = vast_on_lassen();
+    let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4);
+    let arrival = Arrival::Open {
+        rate: 200.0,
+        discipline: Discipline::Poisson,
+        duration: 0.4,
+        seed: 3,
+    };
+
+    let (_, calm) = run_ior_open_loop(&sys, &cfg, &arrival, &[]).expect("fault-free run");
+    assert_eq!(calm.report.stall_seconds, 0.0, "no faults, no stall");
+    assert_eq!(calm.ops_completed, calm.ops_offered);
+
+    let outage = [FaultSpec::outage(StageKind::Gateway, 0.1, 0.25)];
+    let (_, stormy) = run_ior_open_loop(&sys, &cfg, &arrival, &outage).expect("recovered run");
+    assert!(
+        stormy.histogram.p99() > calm.histogram.p99(),
+        "outage must push the tail: {} vs {}",
+        stormy.histogram.p99(),
+        calm.histogram.p99()
+    );
+    assert!(
+        stormy.report.stall_seconds <= 0.15 + 1e-9,
+        "stall is bounded by the outage window: {}",
+        stormy.report.stall_seconds
+    );
+    assert_eq!(stormy.report.events_applied, 2, "outage start + recovery");
+    assert_eq!(stormy.ops_completed, calm.ops_completed, "same offered ops");
+}
+
+#[test]
+fn open_loop_composes_with_chaos_timelines() {
+    // The chaos fuzzer's seeded timeline generator drives the open-loop
+    // path exactly like the closed-loop one: every generated timeline
+    // either completes with full-stall seconds bounded by its total
+    // outage time, or stalls as a typed error — never a wrong answer.
+    use hcs_core::chaos::{generate_timeline, FaultBudget};
+    use hcs_core::scenario::FaultKind;
+    use hcs_core::{Arrival, Discipline, StageKind};
+    use hcs_ior::run_ior_open_loop;
+
+    let sys = vast_on_lassen();
+    let cfg = IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4);
+    let arrival = Arrival::Open {
+        rate: 150.0,
+        discipline: Discipline::Poisson,
+        duration: 0.4,
+        seed: 9,
+    };
+    let budget = FaultBudget {
+        horizon_seconds: 0.5,
+        max_outage_seconds: 0.2,
+        ..FaultBudget::default()
+    };
+    let stages = [StageKind::ClientMount, StageKind::Gateway];
+
+    let mut faulted_runs = 0;
+    for k in 0..4 {
+        let specs = generate_timeline(&budget, &stages, 0xC4A05, "open-chaos", k);
+        let outage_budget: f64 = specs
+            .iter()
+            .filter(|s| s.fault == FaultKind::Outage)
+            .map(|s| s.end - s.start)
+            .sum();
+        match run_ior_open_loop(&sys, &cfg, &arrival, &specs) {
+            Ok((_, open)) => {
+                assert!(
+                    open.report.stall_seconds <= outage_budget + 1e-9,
+                    "timeline {k}: stall {} exceeds its outage budget {outage_budget}",
+                    open.report.stall_seconds
+                );
+                if !specs.is_empty() {
+                    faulted_runs += 1;
+                }
+            }
+            Err(e) => {
+                // A terminal outage may starve the tail of the window;
+                // that surfaces as the typed stall diagnostic.
+                assert!(e.to_string().contains("stall"), "unexpected error: {e}");
+            }
+        }
+    }
+    assert!(
+        faulted_runs > 0,
+        "the seeded population must exercise faults"
+    );
+}
+
+#[test]
 fn overlapping_degrades_match_expanded_under_aggregation() {
     // Two Degrade windows overlapping on the same resource exercise the
     // engine's last-event-wins override (the second degrade's start

@@ -142,6 +142,7 @@ proptest! {
                 .map(|i| vec![GraphEdit::WidenGateway { count: i + 1 }])
                 .collect(),
             fault_sets: Vec::new(),
+            offered_load: Vec::new(),
         };
         let points = deck.expand();
         let mut names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();

@@ -8,7 +8,9 @@
 //! * the field attributes `#[serde(default)]`, `#[serde(rename = "…")]`
 //!   and `#[serde(skip_serializing_if = "…")]`;
 //! * `serde::Serialize`, `serde::Deserialize` and
-//!   `serde::de::DeserializeOwned` bounds.
+//!   `serde::de::DeserializeOwned` bounds;
+//! * `BTreeMap` with stringifiable keys (rendered as a JSON object in
+//!   key order).
 //!
 //! Instead of serde's visitor architecture, serialization goes through a
 //! JSON-shaped [`Value`] tree: `Serialize` renders into a `Value`,
@@ -269,6 +271,37 @@ tuple_impls! {
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<K: std::fmt::Display + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Iteration is in key order, so the rendered map is canonical.
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, val) in entries {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| Error::msg(format!("unparseable map key: {k:?}")))?;
+                    out.insert(key, V::from_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::msg("expected map")),
+        }
+    }
 }
 
 impl Serialize for Value {
