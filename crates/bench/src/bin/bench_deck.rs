@@ -17,7 +17,7 @@ use serde::Serialize;
 use std::time::Instant;
 
 use hcs_core::scenario::Scale;
-use hcs_experiments::{figures, run_chaos_campaign, run_deck_with_metrics};
+use hcs_experiments::{figures, run_chaos_campaign, run_deck_with_metrics, run_deck_with_provenance};
 
 #[derive(Serialize)]
 struct PointRecord {
@@ -57,6 +57,9 @@ struct BenchReport {
     open_loop_ops: u64,
     open_loop_wall_seconds: f64,
     open_loop_ops_per_sec: f64,
+    provenance_wall_seconds: f64,
+    provenance_ops_per_sec: f64,
+    provenance_overhead: f64,
 }
 
 /// Throughput over a wall-clock window, 0.0 for an empty window (a
@@ -193,6 +196,30 @@ fn main() {
         per_sec(open_ops as f64, open_wall),
     );
 
+    // The same sweep with the latency-provenance probe attached: the
+    // probe observes every rate epoch per op, so its cost relative to
+    // the plain metered run is the tracked observer overhead
+    // (provenance_overhead = observed wall / plain wall).
+    let start = Instant::now();
+    let prov_result = run_deck_with_provenance(&open_deck);
+    let prov_wall = start.elapsed().as_secs_f64();
+    assert!(
+        prov_result
+            .points
+            .iter()
+            .all(|p| p.metrics.as_ref().is_some_and(|m| m.provenance.is_some())),
+        "provenance run must decompose every point"
+    );
+    eprintln!(
+        "{:<22} {:>3} points  {:>7.3}s  {:>8} ops       {:>9.1} ops/sec  ({:.2}x plain)",
+        "  + provenance",
+        prov_result.points.len(),
+        prov_wall,
+        open_ops,
+        per_sec(open_ops as f64, prov_wall),
+        if open_wall > 0.0 { prov_wall / open_wall } else { 0.0 },
+    );
+
     let report = BenchReport {
         scale: scale.label().to_string(),
         total_wall_seconds: total_wall,
@@ -205,6 +232,13 @@ fn main() {
         open_loop_ops: open_ops,
         open_loop_wall_seconds: open_wall,
         open_loop_ops_per_sec: per_sec(open_ops as f64, open_wall),
+        provenance_wall_seconds: prov_wall,
+        provenance_ops_per_sec: per_sec(open_ops as f64, prov_wall),
+        provenance_overhead: if open_wall > 0.0 {
+            prov_wall / open_wall
+        } else {
+            0.0
+        },
         decks,
         points,
     };

@@ -6,7 +6,7 @@
 //! hcs dlio  <system> <resnet50|cosmoflow> [nodes]   run DLIO
 //! hcs mdtest <system> [nodes] [ppn]         run the metadata benchmark
 //! hcs replay <trace.json> <system>          what-if replay of a trace
-//! hcs run <deck.json|name> [--scale smoke] [--metrics]  execute a scenario deck
+//! hcs run <deck.json|name> [--scale smoke] [--metrics] [--provenance]  execute a scenario deck
 //! hcs chaos <campaign.json|deck> [--seed N --population K --budget ...]  fuzz the failure space
 //! hcs report <deck-result.json|chaos-report.json>  render a result as a report
 //! hcs decks [--export <dir>]                list/export the builtin decks
@@ -58,6 +58,12 @@ options:
                    bottleneck shares and cross-rep statistics into the
                    result JSON (for `hcs report`); outcomes are
                    bit-identical with or without it
+  --provenance     (run, needs --metrics) attach the per-op latency
+                   provenance probe to every open-loop point: blame
+                   each op's latency on the binding stage per rate
+                   epoch, feed the report's Tail forensics section and
+                   name the stage behind each knee; IOR open-loop
+                   decks only, outcomes stay bit-identical
   --format <md|json>  (report) output format, default md
   --seed <N>       (chaos) master seed for timeline generation
   --population <K> (chaos) timelines generated per deck point
@@ -109,6 +115,17 @@ fn metrics_flag(args: &[String]) -> (Vec<String>, bool) {
     let rest: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
     let metrics = rest.len() != args.len();
     (rest, metrics)
+}
+
+/// Splits the boolean `--provenance` flag out of the arg list.
+fn provenance_flag(args: &[String]) -> (Vec<String>, bool) {
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--provenance")
+        .cloned()
+        .collect();
+    let provenance = rest.len() != args.len();
+    (rest, provenance)
 }
 
 /// Splits `--format <md|json>` out of the arg list.
@@ -280,6 +297,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (raw, trace) = trace_flag(&raw);
     let (raw, metrics) = metrics_flag(&raw);
+    let (raw, provenance) = provenance_flag(&raw);
     let (raw, format) = format_flag(&raw);
     let (args, scale) = scale_flag(&raw);
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -454,6 +472,14 @@ fn main() {
             if let Err(e) = hcs_experiments::validate_deck(&deck) {
                 die(&format!("run: {e}"));
             }
+            if provenance {
+                if !metrics {
+                    die("run: --provenance rides the metrics pipeline; add --metrics");
+                }
+                if let Err(e) = hcs_experiments::validate_provenance(&deck) {
+                    die(&format!("run: {e}"));
+                }
+            }
             println!(
                 "deck {} — {} ({} points, {} scale)",
                 deck.name,
@@ -466,13 +492,17 @@ fn main() {
                 scale.label()
             );
             let mut recorder = Recorder::new();
-            let result = match (&trace, metrics) {
-                (Some(_), true) => {
+            let result = match (&trace, metrics, provenance) {
+                (Some(_), _, true) => {
+                    hcs_experiments::run_deck_traced_with_provenance(&deck, &mut recorder)
+                }
+                (Some(_), true, false) => {
                     hcs_experiments::run_deck_traced_with_metrics(&deck, &mut recorder)
                 }
-                (Some(_), false) => hcs_experiments::run_deck_traced(&deck, &mut recorder),
-                (None, true) => hcs_experiments::run_deck_with_metrics(&deck),
-                (None, false) => hcs_experiments::run_deck(&deck),
+                (Some(_), false, false) => hcs_experiments::run_deck_traced(&deck, &mut recorder),
+                (None, _, true) => hcs_experiments::run_deck_with_provenance(&deck),
+                (None, true, false) => hcs_experiments::run_deck_with_metrics(&deck),
+                (None, false, false) => hcs_experiments::run_deck(&deck),
             };
             for p in &result.points {
                 println!(

@@ -224,3 +224,50 @@ fn chaos_campaign_with_literal_faults_exits_2() {
     std::fs::remove_file(&path).ok();
     assert_dies_with(&out, "literal faults");
 }
+
+#[test]
+fn provenance_without_metrics_exits_2() {
+    // --provenance decorates the metrics pipeline; alone it has
+    // nowhere to put the decomposition.
+    let path = temp_deck("prov-no-metrics", &arrival_deck("50.0", "0.2"));
+    let out = hcs(&["run", path.to_str().unwrap(), "--provenance"]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "--provenance rides the metrics pipeline; add --metrics");
+}
+
+#[test]
+fn provenance_on_closed_loop_deck_exits_2() {
+    // Per-op latency exists only under an open arrival process, so a
+    // closed-loop point cannot carry the blame probe.
+    let path = temp_deck("prov-closed", &fault_deck("[]"));
+    let out = hcs(&["run", path.to_str().unwrap(), "--metrics", "--provenance"]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "latency provenance needs open-loop arrivals");
+}
+
+#[test]
+fn provenance_on_non_ior_workload_exits_2() {
+    // The blame probe rides the IOR open-loop phase runner; other
+    // families have no per-op latency stream to decompose.
+    let deck = fault_deck("[]").replace(
+        r#""workload": {
+      "Ior": {
+        "nodes": 1, "tasks_per_node": 4,
+        "block_size": 1048576.0, "transfer_size": 1048576.0,
+        "segments": 8, "workload": "Scientific",
+        "fsync": false, "file_per_proc": true, "reorder_tasks": true,
+        "reps": 2, "seed": 7
+      }
+    },"#,
+        r#""workload": {
+      "Mdtest": {
+        "nodes": 1, "tasks_per_node": 4,
+        "files_per_proc": 10, "reps": 2, "seed": 7
+      }
+    },"#,
+    );
+    let path = temp_deck("prov-family", &deck);
+    let out = hcs(&["run", path.to_str().unwrap(), "--metrics", "--provenance"]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "latency provenance supports the IOR family only");
+}

@@ -52,8 +52,8 @@ pub use chaos::{ChaosCampaign, ChaosFaultKind, ChaosInvariant, ChaosReport, Faul
 pub use graph::{Capacity, DeploymentGraph, Reconfigured, Stage, StageKind, StageScope};
 pub use hcs_devices::{AccessPattern, IoOp};
 pub use metrics::{
-    DeckMetricsSummary, KneeVerdict, LatencyHistogram, OpLatency, PointMetrics, ResilienceMetrics,
-    Stats, StatsSummary, SystemMetrics,
+    DeckMetricsSummary, KneeVerdict, LatencyHistogram, OpLatency, PointMetrics, ProvenanceMetrics,
+    ResilienceMetrics, StageBlame, Stats, StatsSummary, SystemMetrics,
 };
 pub use outcome::{Bottleneck, PhaseOutcome};
 pub use phase::PhaseSpec;

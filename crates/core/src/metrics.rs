@@ -307,46 +307,48 @@ impl LatencyHistogram {
         self.counts.is_empty()
     }
 
-    /// Nearest-rank percentile in seconds, `p` in `[0, 100]` (0 when
-    /// empty): the upper edge of the bucket holding the
-    /// `ceil(p/100 · count)`-th smallest observation (at least the 1st).
+    /// Nearest-rank percentile in seconds, `p` in `[0, 100]`: the upper
+    /// edge of the bucket holding the `ceil(p/100 · count)`-th smallest
+    /// observation (at least the 1st). `None` when the histogram is
+    /// empty — an empty histogram has no quantiles, and the former
+    /// 0-edge answer read as "an observation at zero latency".
     ///
     /// # Panics
     /// Panics if `p` is outside `[0, 100]`.
-    pub fn percentile(&self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> Option<f64> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         let total = self.count();
         if total == 0 {
-            return 0.0;
+            return None;
         }
         let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
         let mut cumulative = 0u64;
         for (idx, n) in &self.counts {
             cumulative += n;
             if cumulative >= rank {
-                return Self::bucket_upper_ticks(*idx) as f64 / 1e6;
+                return Some(Self::bucket_upper_ticks(*idx) as f64 / 1e6);
             }
         }
         unreachable!("rank {rank} not reached with total {total}");
     }
 
-    /// Median (p50), seconds.
-    pub fn p50(&self) -> f64 {
+    /// Median (p50), seconds (`None` when empty).
+    pub fn p50(&self) -> Option<f64> {
         self.percentile(50.0)
     }
 
-    /// 95th percentile, seconds.
-    pub fn p95(&self) -> f64 {
+    /// 95th percentile, seconds (`None` when empty).
+    pub fn p95(&self) -> Option<f64> {
         self.percentile(95.0)
     }
 
-    /// 99th percentile, seconds.
-    pub fn p99(&self) -> f64 {
+    /// 99th percentile, seconds (`None` when empty).
+    pub fn p99(&self) -> Option<f64> {
         self.percentile(99.0)
     }
 
-    /// 99.9th percentile, seconds.
-    pub fn p999(&self) -> f64 {
+    /// 99.9th percentile, seconds (`None` when empty).
+    pub fn p999(&self) -> Option<f64> {
         self.percentile(99.9)
     }
 }
@@ -362,6 +364,212 @@ pub struct OpLatency {
     /// Submit→finish latency histogram for this class (queueing
     /// included when admission was deferred).
     pub histogram: LatencyHistogram,
+}
+
+/// One stage's (resource's) slice of a point's latency blame.
+///
+/// Part of [`ProvenanceMetrics`]; all seconds and counts are weighted
+/// by each op's expanded-equivalent group count, so aggregated runs
+/// report the same totals as expanded ones.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageBlame {
+    /// Resource (stage) name as registered in the flow network.
+    pub resource: String,
+    /// Contention seconds charged to this resource across all ops.
+    pub blame_seconds: f64,
+    /// Ops whose *dominant* blame component is this resource.
+    pub ops_blamed: u64,
+    /// Contention seconds charged to this resource by tail ops (ops
+    /// whose latency exceeded [`ProvenanceMetrics::tail_threshold`]).
+    pub tail_blame_seconds: f64,
+    /// Submit→finish latency histogram of the ops dominated by this
+    /// resource — the blame-conditioned histogram; merges bucketwise
+    /// like every [`LatencyHistogram`].
+    pub histogram: LatencyHistogram,
+}
+
+/// A point's aggregate latency provenance: where its ops' time went.
+///
+/// Built from the per-op exact decompositions the simkit provenance
+/// probe records (queueing + stall + per-resource blame + ideal, the
+/// shares summing bitwise to each op's measured latency) by weighted
+/// summation in completion order — deterministic, so provenance
+/// metrics are bit-identical across rayon worker counts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceMetrics {
+    /// Ops decomposed (expanded-equivalent count).
+    pub ops: u64,
+    /// Total measured submit→finish latency, seconds.
+    pub latency_seconds: f64,
+    /// Total submit→admission queueing delay, seconds.
+    pub queueing_seconds: f64,
+    /// Total rate-zero (fault stall) time, seconds.
+    pub stall_seconds: f64,
+    /// Total contention blame across all stages, seconds.
+    pub blame_seconds: f64,
+    /// Total ideal service time (ops running at full demand), seconds.
+    pub ideal_seconds: f64,
+    /// Per-stage blame breakdown, descending by blame seconds (ties
+    /// alphabetically).
+    pub stages: Vec<StageBlame>,
+    /// Latency threshold classifying tail ops, seconds — the point's
+    /// open-loop histogram p99.
+    pub tail_threshold: f64,
+    /// Ops above the threshold at the histogram's microsecond tick
+    /// resolution (expanded-equivalent count).
+    pub tail_ops: u64,
+    /// Tail ops' queueing delay, seconds.
+    pub tail_queueing_seconds: f64,
+    /// Tail ops' stall time, seconds.
+    pub tail_stall_seconds: f64,
+    /// Tail ops' ideal service time, seconds.
+    pub tail_ideal_seconds: f64,
+}
+
+impl ProvenanceMetrics {
+    /// Aggregates a probe's per-op decompositions into the point-level
+    /// record. `tail_threshold` (seconds) classifies tail ops — the
+    /// caller passes the point's open-loop histogram p99. Every op is
+    /// weighted by its expanded-equivalent group count; summation runs
+    /// in completion order, so the result is deterministic.
+    pub fn from_log(log: &hcs_simkit::ProvenanceLog, tail_threshold: f64) -> Self {
+        struct Acc {
+            blame_seconds: f64,
+            ops_blamed: u64,
+            tail_blame_seconds: f64,
+            histogram: LatencyHistogram,
+        }
+        let mut out = ProvenanceMetrics {
+            ops: 0,
+            latency_seconds: 0.0,
+            queueing_seconds: 0.0,
+            stall_seconds: 0.0,
+            blame_seconds: 0.0,
+            ideal_seconds: 0.0,
+            stages: Vec::new(),
+            tail_threshold,
+            tail_ops: 0,
+            tail_queueing_seconds: 0.0,
+            tail_stall_seconds: 0.0,
+            tail_ideal_seconds: 0.0,
+        };
+        let mut stages: std::collections::BTreeMap<u32, Acc> = std::collections::BTreeMap::new();
+        for op in &log.ops {
+            let wn = op.groups as u64;
+            let w = op.groups as f64;
+            out.ops += wn;
+            out.latency_seconds += w * op.latency;
+            out.queueing_seconds += w * op.queueing;
+            out.stall_seconds += w * op.stall;
+            out.ideal_seconds += w * op.ideal;
+            // Classify at the histogram's own tick resolution:
+            // recorded latencies are rounded to the nearest
+            // microsecond and the threshold is a bucket upper edge,
+            // so comparing raw seconds would sweep a whole bucket of
+            // ops into the tail whenever their sub-tick remainder
+            // peeked past the edge.
+            let is_tail =
+                LatencyHistogram::ticks_of(op.latency) > LatencyHistogram::ticks_of(tail_threshold);
+            if is_tail {
+                out.tail_ops += wn;
+                out.tail_queueing_seconds += w * op.queueing;
+                out.tail_stall_seconds += w * op.stall;
+                out.tail_ideal_seconds += w * op.ideal;
+            }
+            let mut dominant: Option<(u32, f64)> = None;
+            for &(r, s) in &op.blame {
+                out.blame_seconds += w * s;
+                let e = stages.entry(r).or_insert_with(|| Acc {
+                    blame_seconds: 0.0,
+                    ops_blamed: 0,
+                    tail_blame_seconds: 0.0,
+                    histogram: LatencyHistogram::new(),
+                });
+                e.blame_seconds += w * s;
+                if is_tail {
+                    e.tail_blame_seconds += w * s;
+                }
+                // Blame entries are in ascending resource order, so a
+                // strict `>` deterministically ties to the lowest index.
+                if dominant.map_or(true, |(_, best)| s > best) {
+                    dominant = Some((r, s));
+                }
+            }
+            if let Some((r, _)) = dominant {
+                let e = stages.get_mut(&r).expect("dominant stage accumulated");
+                e.ops_blamed += wn;
+                e.histogram.record_n(op.latency, wn);
+            }
+        }
+        out.stages = stages
+            .into_iter()
+            .map(|(r, a)| StageBlame {
+                resource: log
+                    .resources
+                    .get(r as usize)
+                    .map(|(name, _)| name.clone())
+                    .unwrap_or_else(|| format!("resource-{r}")),
+                blame_seconds: a.blame_seconds,
+                ops_blamed: a.ops_blamed,
+                tail_blame_seconds: a.tail_blame_seconds,
+                histogram: a.histogram,
+            })
+            .collect();
+        out.stages.sort_by(|a, b| {
+            b.blame_seconds
+                .total_cmp(&a.blame_seconds)
+                .then_with(|| a.resource.cmp(&b.resource))
+        });
+        out
+    }
+
+    /// Merges another point's provenance into this one: component
+    /// seconds add, stages merge by resource name (histograms
+    /// bucketwise), and tail tallies add — each op stays classified
+    /// against its own point's threshold, of which the merged record
+    /// keeps the largest. Deterministic regardless of merge grouping.
+    pub fn merge(&mut self, other: &ProvenanceMetrics) {
+        self.ops += other.ops;
+        self.latency_seconds += other.latency_seconds;
+        self.queueing_seconds += other.queueing_seconds;
+        self.stall_seconds += other.stall_seconds;
+        self.blame_seconds += other.blame_seconds;
+        self.ideal_seconds += other.ideal_seconds;
+        self.tail_threshold = self.tail_threshold.max(other.tail_threshold);
+        self.tail_ops += other.tail_ops;
+        self.tail_queueing_seconds += other.tail_queueing_seconds;
+        self.tail_stall_seconds += other.tail_stall_seconds;
+        self.tail_ideal_seconds += other.tail_ideal_seconds;
+        for s in &other.stages {
+            match self.stages.iter_mut().find(|m| m.resource == s.resource) {
+                Some(m) => {
+                    m.blame_seconds += s.blame_seconds;
+                    m.ops_blamed += s.ops_blamed;
+                    m.tail_blame_seconds += s.tail_blame_seconds;
+                    m.histogram.merge(&s.histogram);
+                }
+                None => self.stages.push(s.clone()),
+            }
+        }
+        self.stages.sort_by(|a, b| {
+            b.blame_seconds
+                .total_cmp(&a.blame_seconds)
+                .then_with(|| a.resource.cmp(&b.resource))
+        });
+    }
+
+    /// The blame share of each stage among tail ops: `(resource, tail
+    /// blame seconds)` for stages that touched the tail, descending.
+    pub fn tail_stages(&self) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .stages
+            .iter()
+            .filter(|s| s.tail_blame_seconds > 0.0)
+            .map(|s| (s.resource.as_str(), s.tail_blame_seconds))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
 }
 
 /// One deck point's observability bundle: decomposition, throughputs,
@@ -429,6 +637,12 @@ pub struct PointMetrics {
     /// artifacts stay byte-compatible.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub latency: Vec<OpLatency>,
+    /// Per-resource latency-blame attribution (opt-in `hcs run
+    /// --provenance`). Present only for provenance-enabled open-loop
+    /// points; skipped from serialization otherwise, so existing
+    /// artifacts stay byte-compatible.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub provenance: Option<ProvenanceMetrics>,
 }
 
 /// How a fault-injected point degraded relative to its fault-free twin.
@@ -527,6 +741,13 @@ pub struct KneeVerdict {
     pub knee_point: Option<String>,
     /// p99 at the knee, seconds.
     pub knee_p99: Option<f64>,
+    /// The stage (resource) whose share of per-op latency blame grew
+    /// most between the baseline point and the knee point — what the
+    /// system saturated *on*. Present only when both points carried
+    /// provenance metrics; skipped from serialization otherwise, so
+    /// provenance-off artifacts stay byte-compatible.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub knee_blame: Option<String>,
 }
 
 #[cfg(test)]
@@ -629,13 +850,28 @@ mod tests {
             h.record(us as f64 / 1e6);
         }
         assert_eq!(h.count(), 4);
-        assert_eq!(h.percentile(0.0), 0.0);
-        assert_eq!(h.percentile(100.0), 31.0 / 1e6);
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(100.0), Some(31.0 / 1e6));
         // Sub-32-tick buckets have width 1: values round-trip exactly.
         let mut one = LatencyHistogram::new();
         one.record(17e-6);
-        assert_eq!(one.p50(), 17e-6);
+        assert_eq!(one.p50(), Some(17e-6));
         assert_eq!(one.p50(), one.p999());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        // An empty histogram must answer None, never a 0-second edge
+        // that reads as a real zero-latency observation.
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        for p in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), None, "p={p}");
+        }
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
     }
 
     #[test]
@@ -645,7 +881,7 @@ mod tests {
         for seconds in [33e-6, 1e-3, 0.0427, 1.5, 97.3] {
             let mut h = LatencyHistogram::new();
             h.record(seconds);
-            let got = h.p50();
+            let got = h.p50().expect("non-empty");
             assert!(got >= seconds - 1e-6, "{seconds} -> {got}");
             assert!(
                 got <= seconds * (1.0 + 1.0 / 32.0) + 1e-6,
@@ -683,12 +919,12 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record_n(1e-3, 99);
         h.record_n(1.0, 1);
-        assert!(h.p50() < 2e-3);
-        assert!(h.p95() < 2e-3);
-        assert!(h.percentile(100.0) >= 1.0);
+        assert!(h.p50().unwrap() < 2e-3);
+        assert!(h.p95().unwrap() < 2e-3);
+        assert!(h.percentile(100.0).unwrap() >= 1.0);
         // The single 1 s outlier is exactly the 100th of 100 ranks, so
         // p99 still lands on the 99th (fast) observation.
-        assert!(h.p99() < 2e-3);
+        assert!(h.p99().unwrap() < 2e-3);
     }
 
     #[test]

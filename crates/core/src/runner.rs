@@ -11,12 +11,12 @@
 use std::fmt;
 
 use hcs_simkit::{
-    CapacityEvent, FaultRunReport, FaultTimeline, FlowLogHandle, FlowNet, FlowSpec, ResourceId,
-    SimRng,
+    CapacityEvent, FaultRunReport, FaultTimeline, FlowLogHandle, FlowNet, FlowSpec,
+    ProvenanceHandle, ResourceId, SimRng,
 };
 
 use crate::graph::{resource_of_stage, PlanOptions, StageKind};
-use crate::metrics::{LatencyHistogram, ResilienceMetrics};
+use crate::metrics::{LatencyHistogram, ProvenanceMetrics, ResilienceMetrics};
 use crate::outcome::{Bottleneck, PhaseOutcome, RepeatedOutcome};
 use crate::phase::PhaseSpec;
 use crate::scenario::{Arrival, FaultKind, FaultSpec};
@@ -586,6 +586,11 @@ pub struct OpenLoopOutcome {
     pub histogram: LatencyHistogram,
     /// The engine's stall/event accounting for the run.
     pub report: FaultRunReport,
+    /// Per-resource latency-blame attribution, present only when the
+    /// run was asked to observe provenance. The probe is a pure
+    /// listener, so every other field is bit-identical whether or not
+    /// this one is populated.
+    pub provenance: Option<ProvenanceMetrics>,
 }
 
 /// Runs one phase open loop: operations of `transfer_size` bytes are
@@ -607,6 +612,12 @@ pub struct OpenLoopOutcome {
 /// # Panics
 /// Panics on a `Closed` arrival (the executor validates specs first),
 /// an invalid rate/duration, or a window so short it injects nothing.
+///
+/// With `provenance` set, a second pure-listener probe records every
+/// op's exact latency decomposition (queueing + stall + per-resource
+/// blame + ideal) and the outcome carries the aggregated
+/// [`ProvenanceMetrics`]; every other field stays bit-identical to an
+/// unobserved run.
 pub fn run_phase_open_loop(
     system: &dyn StorageSystem,
     nodes: u32,
@@ -615,6 +626,7 @@ pub fn run_phase_open_loop(
     arrival: &Arrival,
     faults: &[FaultSpec],
     telemetry: Option<(&mut Recorder, &str)>,
+    provenance: bool,
 ) -> Result<OpenLoopOutcome, FaultPhaseError> {
     let Arrival::Open {
         rate,
@@ -632,6 +644,9 @@ pub fn run_phase_open_loop(
 
     let mut net = FlowNet::new();
     let probe = telemetry.is_some().then(|| FlowLogHandle::attach(&mut net));
+    // The provenance probe stacks beside the flow log (both are pure
+    // listeners), so --metrics and --provenance observe the same run.
+    let blame_probe = provenance.then(|| ProvenanceHandle::attach(&mut net));
     let prov = system.provision_classed(&mut net, nodes, ppn, phase, &PlanOptions::auto(faults));
     assert_eq!(
         prov.client_nodes(),
@@ -719,9 +734,17 @@ pub fn run_phase_open_loop(
             starved: e.starved,
         })?;
 
+    let blame_log = blame_probe.map(|p| p.snapshot());
     if let (Some((recorder, label)), Some(probe)) = (telemetry, probe) {
+        // Blame annotation spans share the phase's clock frame:
+        // merge_events does not advance the clock, absorb_phase does.
+        if let Some(log) = &blame_log {
+            recorder.merge_events(&crate::telemetry::blame_spans(label, log));
+        }
         recorder.absorb_phase(label, &probe.snapshot(), &prov.stage_kinds, report.end);
     }
+    let provenance = blame_log
+        .map(|log| ProvenanceMetrics::from_log(&log, histogram.p99().unwrap_or(0.0)));
     Ok(OpenLoopOutcome {
         nodes,
         ppn,
@@ -732,6 +755,7 @@ pub fn run_phase_open_loop(
         agg_bandwidth: bytes / report.end,
         histogram,
         report,
+        provenance,
     })
 }
 
@@ -1076,7 +1100,7 @@ mod tests {
             duration: 0.5,
             seed: 1,
         };
-        let out = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        let out = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, false).unwrap();
         assert!(out.ops_offered > 0);
         assert_eq!(out.ops_completed, out.ops_offered);
         assert_eq!(out.histogram.count(), out.ops_completed);
@@ -1085,13 +1109,13 @@ mod tests {
         // time (one bucket width of slack).
         let service = MIB / GIB;
         assert!(
-            out.histogram.p50() >= service * 0.9,
-            "{}",
+            out.histogram.p50().unwrap() >= service * 0.9,
+            "{:?}",
             out.histogram.p50()
         );
         assert!(
-            out.histogram.p999() < service * 3.0,
-            "{}",
+            out.histogram.p999().unwrap() < service * 3.0,
+            "{:?}",
             out.histogram.p999()
         );
         assert!((out.total_bytes - out.ops_completed as f64 * MIB).abs() < 1.0);
@@ -1109,8 +1133,8 @@ mod tests {
             duration: 0.3,
             seed: 7,
         };
-        let a = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
-        let b = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        let a = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, false).unwrap();
+        let b = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, false).unwrap();
         assert_eq!(a.histogram, b.histogram);
         assert_eq!(a.end.to_bits(), b.end.to_bits());
         let other = Arrival::Open {
@@ -1119,8 +1143,47 @@ mod tests {
             duration: 0.3,
             seed: 8,
         };
-        let c = run_phase_open_loop(&sys, 2, 4, &phase, &other, &[], None).unwrap();
+        let c = run_phase_open_loop(&sys, 2, 4, &phase, &other, &[], None, false).unwrap();
         assert_ne!(a.end.to_bits(), c.end.to_bits(), "seed matters");
+    }
+
+    #[test]
+    fn open_loop_provenance_observes_without_perturbing() {
+        use crate::scenario::Discipline;
+        let sys = UniformSystem::new("toy", 10.0 * GIB).with_stream_bw(GIB);
+        let phase = PhaseSpec::seq_write(MIB, GIB);
+        let arrival = Arrival::Open {
+            rate: 400.0,
+            discipline: Discipline::Poisson,
+            duration: 0.3,
+            seed: 5,
+        };
+        let plain = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, false).unwrap();
+        let observed = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, true).unwrap();
+        // The probe is a pure listener: every simulated value is
+        // bit-identical with it attached.
+        assert_eq!(plain.histogram, observed.histogram);
+        assert_eq!(plain.end.to_bits(), observed.end.to_bits());
+        assert_eq!(plain.report, observed.report);
+        assert!(plain.provenance.is_none());
+        let prov = observed.provenance.expect("provenance collected");
+        assert_eq!(prov.ops, observed.ops_completed);
+        // Weighted component sums reassemble total latency (per-op the
+        // chain is bitwise exact; aggregation reorders additions, so
+        // allow accumulated rounding only).
+        let reassembled =
+            prov.queueing_seconds + prov.stall_seconds + prov.blame_seconds + prov.ideal_seconds;
+        assert!(
+            (reassembled - prov.latency_seconds).abs() <= 1e-9 * prov.latency_seconds.max(1.0),
+            "{reassembled} vs {}",
+            prov.latency_seconds
+        );
+        // The tail threshold is the point's own p99.
+        assert_eq!(
+            prov.tail_threshold.to_bits(),
+            observed.histogram.p99().unwrap().to_bits()
+        );
+        assert!(prov.tail_ops > 0 || prov.tail_threshold >= 0.0);
     }
 
     #[test]
@@ -1134,16 +1197,16 @@ mod tests {
             duration: 0.5,
             seed: 3,
         };
-        let clean = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None).unwrap();
+        let clean = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &[], None, false).unwrap();
         let faults = [FaultSpec::outage(StageKind::ServerPool, 0.1, 0.3)];
-        let faulted = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &faults, None).unwrap();
+        let faulted = run_phase_open_loop(&sys, 2, 4, &phase, &arrival, &faults, None, false).unwrap();
         // Same offered schedule, so the same population completes.
         assert_eq!(faulted.ops_completed, clean.ops_completed);
         // Ops caught by the 0.2 s outage wait it out: the tail grows by
         // roughly the window, and the all-stopped stall never exceeds it.
         assert!(
-            faulted.histogram.p99() > clean.histogram.p99() + 0.1,
-            "{} vs {}",
+            faulted.histogram.p99().unwrap() > clean.histogram.p99().unwrap() + 0.1,
+            "{:?} vs {:?}",
             faulted.histogram.p99(),
             clean.histogram.p99()
         );
@@ -1157,7 +1220,7 @@ mod tests {
     fn open_loop_rejects_closed_arrival() {
         let sys = UniformSystem::new("toy", GIB);
         let phase = PhaseSpec::seq_write(MIB, GIB);
-        let _ = run_phase_open_loop(&sys, 1, 1, &phase, &Arrival::Closed, &[], None);
+        let _ = run_phase_open_loop(&sys, 1, 1, &phase, &Arrival::Closed, &[], None, false);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub const RESOURCE_PID: u32 = 1_000_000;
 /// Reserved `pid` for phase span events.
 pub const PHASE_PID: u32 = 1_000_001;
 
+/// Reserved `pid` for per-op latency-blame annotation spans (emitted
+/// only by provenance-enabled open-loop runs).
+pub const PROVENANCE_PID: u32 = 1_000_002;
+
 /// Utilization ratio at which a resource counts as saturated for
 /// bottleneck attribution — matches the phase runner's threshold.
 pub const SATURATION_RATIO: f64 = 0.99;
@@ -458,6 +462,50 @@ impl Recorder {
             bottlenecks,
         }
     }
+}
+
+/// Builds per-op blame annotation spans from a provenance log, in the
+/// run's local clock frame: one span per nonzero blame component on
+/// the reserved [`PROVENANCE_PID`] track (`tid` = blamed resource
+/// index; stall spans sit one lane past the last resource). Merge into
+/// a [`Recorder`] with [`Recorder::merge_events`] *before* the phase's
+/// `absorb_phase` so both land on the same global clock offset.
+pub fn blame_spans(label: &str, log: &hcs_simkit::ProvenanceLog) -> Tracer {
+    let mut tracer = Tracer::new();
+    let stall_lane = log.resources.len() as u32;
+    for op in &log.ops {
+        for &(r, seconds) in &op.blame {
+            if seconds <= 0.0 {
+                continue;
+            }
+            let resource = log
+                .resources
+                .get(r as usize)
+                .map(|(name, _)| name.as_str())
+                .unwrap_or("?");
+            tracer.record(TraceEvent {
+                name: format!("{label}/blame {resource}"),
+                cat: EventCategory::Other("blame".to_string()),
+                pid: PROVENANCE_PID,
+                tid: r,
+                ts: op.admitted_at,
+                dur: seconds,
+                bytes: None,
+            });
+        }
+        if op.stall > 0.0 {
+            tracer.record(TraceEvent {
+                name: format!("{label}/stall"),
+                cat: EventCategory::Other("stall".to_string()),
+                pid: PROVENANCE_PID,
+                tid: stall_lane,
+                ts: op.admitted_at,
+                dur: op.stall,
+                bytes: None,
+            });
+        }
+    }
+    tracer
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@ use hcs_core::{
 };
 use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
 use hcs_ior::{
-    run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_open_loop, run_ior_open_loop_traced,
-    run_ior_traced, IorReport,
+    run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_open_loop,
+    run_ior_open_loop_observed, run_ior_open_loop_traced, run_ior_traced, IorReport,
 };
 use hcs_mdtest::{run_mdtest, MdtestReport};
 use hcs_replay::{replay, ReplayResult};
@@ -316,6 +316,7 @@ fn run_workload_open_loop(
     arrival: &Arrival,
     faults: &[FaultSpec],
     recorder: Option<&mut Recorder>,
+    provenance: bool,
     label: &str,
 ) -> (WorkloadOutcome, OpenLoopOutcome) {
     let config = match workload {
@@ -325,9 +326,13 @@ fn run_workload_open_loop(
             other.kind()
         ),
     };
-    let result = match recorder {
-        Some(rec) => run_ior_open_loop_traced(system, config, arrival, faults, rec),
-        None => run_ior_open_loop(system, config, arrival, faults),
+    let result = if provenance {
+        run_ior_open_loop_observed(system, config, arrival, faults, recorder)
+    } else {
+        match recorder {
+            Some(rec) => run_ior_open_loop_traced(system, config, arrival, faults, rec),
+            None => run_ior_open_loop(system, config, arrival, faults),
+        }
     };
     match result {
         Ok((report, open)) => (WorkloadOutcome::Ior(report), open),
@@ -466,6 +471,7 @@ fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> Po
             &scenario.arrival,
             &scenario.faults,
             recorder,
+            false,
             &scenario.name,
         )
         .0
@@ -499,12 +505,12 @@ fn run_scenario_impl(scenario: &Scenario, recorder: Option<&mut Recorder>) -> Po
 /// outcome is bit-identical to [`run_scenario`]'s — the recorder is a
 /// pure listener and the traced twins reproduce the untraced results.
 pub fn run_scenario_metered(scenario: &Scenario) -> PointResult {
-    run_scenario_metered_impl(scenario).0
+    run_scenario_metered_impl(scenario, false).0
 }
 
 /// The metered executor's core: also returns the point's private
 /// recorder so a traced deck run can stack it onto a shared timeline.
-fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
+fn run_scenario_metered_impl(scenario: &Scenario, provenance: bool) -> (PointResult, Recorder) {
     let start = Instant::now();
     let (system, full_ppn) = build_system(scenario);
     let workload = scenario.resolved_workload(full_ppn);
@@ -512,20 +518,22 @@ fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
     let nodes = scenario.run_nodes();
     let ppn = scenario.run_ppn(full_ppn);
     let mut rec = Recorder::new();
-    let (outcome, resilience, latency) = if !scenario.arrival.is_closed() {
+    let (outcome, resilience, latency, blame) = if !scenario.arrival.is_closed() {
         let (outcome, open) = run_workload_open_loop(
             &*system,
             &workload,
             &scenario.arrival,
             &scenario.faults,
             Some(&mut rec),
+            provenance,
             &scenario.name,
         );
         let latency = open_loop_latency(&workload, &open);
-        (outcome, None, latency)
+        let blame = open.provenance;
+        (outcome, None, latency, blame)
     } else if scenario.faults.is_empty() {
         let outcome = run_workload_on_traced(&system, &workload, nodes, ppn, &mut rec);
-        (outcome, None, Vec::new())
+        (outcome, None, Vec::new(), None)
     } else {
         let (outcome, resilience) = run_workload_faulted(
             &*system,
@@ -534,12 +542,13 @@ fn run_scenario_metered_impl(scenario: &Scenario) -> (PointResult, Recorder) {
             Some(&mut rec),
             &scenario.name,
         );
-        (outcome, Some(resilience), Vec::new())
+        (outcome, Some(resilience), Vec::new(), None)
     };
     let mut metrics = collect_point_metrics(&workload, &outcome, &rec, nodes, ppn);
     metrics.wall_clock_seconds = start.elapsed().as_secs_f64();
     metrics.resilience = resilience;
     metrics.latency = latency;
+    metrics.provenance = blame;
     (
         PointResult {
             scenario: scenario.clone(),
@@ -584,6 +593,47 @@ pub fn run_deck_with_metrics(deck: &Deck) -> DeckResult {
     result
 }
 
+/// [`run_deck_with_metrics`] with latency provenance: every open-loop
+/// point additionally runs the per-op blame probe, so its
+/// [`PointMetrics`] carries a `provenance` record, knee verdicts gain
+/// `knee_blame`, and `hcs report` renders the **Tail forensics**
+/// section. The probe is a pure listener — outcomes stay bit-identical
+/// to [`run_deck_with_metrics`]'s. Call [`validate_provenance`] first:
+/// the probe rides the open-loop IOR phase runner only.
+pub fn run_deck_with_provenance(deck: &Deck) -> DeckResult {
+    let mut result = DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: parallel_sweep(deck.expand(), |s| run_scenario_metered_impl(s, true).0),
+        metrics: None,
+    };
+    result.metrics = deck_metrics_summary(&result);
+    result
+}
+
+/// Checks that every point of a deck can carry the latency-provenance
+/// probe, returning a one-line diagnostic on the first that cannot:
+/// the probe decomposes per-op submit→finish latency, so it requires
+/// the open-loop IOR phase runner on every expanded point.
+pub fn validate_provenance(deck: &Deck) -> Result<(), String> {
+    for scenario in deck.expand() {
+        if !matches!(scenario.workload, Workload::Ior(_)) {
+            return Err(format!(
+                "scenario '{}': latency provenance supports the IOR family only (got {})",
+                scenario.name,
+                scenario.workload.kind()
+            ));
+        }
+        if scenario.arrival.is_closed() {
+            return Err(format!(
+                "scenario '{}': latency provenance needs open-loop arrivals (per-op latency                  exists only under an arrival process); give the base an open arrival spec or                  sweep offered_load",
+                scenario.name
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Expands and executes a deck sequentially, feeding every point's
 /// telemetry into `recorder` (tracing shares one recorder clock, so the
 /// traced path trades parallelism for a coherent timeline).
@@ -612,7 +662,31 @@ pub fn run_deck_traced_with_metrics(deck: &Deck, recorder: &mut Recorder) -> Dec
             .expand()
             .iter()
             .map(|s| {
-                let (point, rec) = run_scenario_metered_impl(s);
+                let (point, rec) = run_scenario_metered_impl(s, false);
+                recorder.absorb_recorder(&rec);
+                point
+            })
+            .collect(),
+        metrics: None,
+    };
+    result.metrics = deck_metrics_summary(&result);
+    result
+}
+
+/// [`run_deck_traced_with_metrics`] with latency provenance: points
+/// also run the blame probe, and each op's blame windows land in the
+/// shared Chrome trace as annotation spans (pid
+/// [`hcs_core::telemetry::PROVENANCE_PID`]) alongside the PR-2 flow
+/// lanes.
+pub fn run_deck_traced_with_provenance(deck: &Deck, recorder: &mut Recorder) -> DeckResult {
+    let mut result = DeckResult {
+        name: deck.name.clone(),
+        title: deck.title.clone(),
+        points: deck
+            .expand()
+            .iter()
+            .map(|s| {
+                let (point, rec) = run_scenario_metered_impl(s, true);
                 recorder.absorb_recorder(&rec);
                 point
             })
@@ -816,7 +890,7 @@ mod tests {
                 assert_eq!(rows.len(), 1, "one op class per IOR phase");
                 assert_eq!(rows[0].op, "read");
                 assert!(!rows[0].histogram.is_empty());
-                rows[0].histogram.p99()
+                rows[0].histogram.p99().expect("non-empty")
             })
             .collect();
         assert!(
@@ -846,18 +920,70 @@ mod tests {
             .unwrap()
             .latency[0]
             .histogram
-            .p99();
+            .p99()
+            .unwrap();
         let stormy_p99 = run_deck_with_metrics(&stormy).points[0]
             .metrics
             .as_ref()
             .unwrap()
             .latency[0]
             .histogram
-            .p99();
+            .p99()
+            .unwrap();
         assert!(
             stormy_p99 > calm_p99,
             "a mid-run outage must push the tail out: {stormy_p99} vs {calm_p99}"
         );
+    }
+
+    #[test]
+    fn provenance_deck_decomposes_latency_and_blames_the_knee() {
+        let mut deck = Deck::single("sat", open_scenario("vast-lassen", 1.0));
+        deck.axes.offered_load = vec![50.0, 2000.0];
+        assert_eq!(validate_provenance(&deck), Ok(()));
+        let result = run_deck_with_provenance(&deck);
+        for p in &result.points {
+            let m = p.metrics.as_ref().expect("provenance deck is metered");
+            let prov = m.provenance.as_ref().expect("provenance deck decomposes");
+            assert!(prov.ops > 0);
+            let reassembled = prov.queueing_seconds
+                + prov.stall_seconds
+                + prov.blame_seconds
+                + prov.ideal_seconds;
+            assert!(
+                (reassembled - prov.latency_seconds).abs() <= 1e-9 * prov.latency_seconds,
+                "shares must reassemble the measured latency: {} vs {}",
+                reassembled,
+                prov.latency_seconds
+            );
+        }
+        let summary = result.metrics.as_ref().expect("provenance deck summarizes");
+        assert_eq!(summary.knees.len(), 1);
+        let knee = &summary.knees[0];
+        assert!(knee.knee_rate.is_some(), "2000 ops/s saturates the smoke rig");
+        assert!(
+            knee.knee_blame.is_some(),
+            "a provenance-backed knee names the stage whose blame grew"
+        );
+        // The probe is a pure listener: outcomes match the plain run.
+        let plain = run_deck(&deck);
+        for (p, m) in plain.points.iter().zip(&result.points) {
+            assert_eq!(p.outcome, m.outcome, "provenance must not perturb outcomes");
+        }
+    }
+
+    #[test]
+    fn validate_provenance_names_unsupported_points() {
+        let closed = Deck::single("c", smoke_scenario("vast-lassen"));
+        let err = validate_provenance(&closed).unwrap_err();
+        assert!(err.contains("open-loop arrivals"), "{err}");
+
+        let family = Deck::single(
+            "f",
+            Scenario::new("gpfs", Workload::Mdtest(MdtestConfig::new(1, 4))),
+        );
+        let err = validate_provenance(&family).unwrap_err();
+        assert!(err.contains("IOR family only"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! phase; a job's steps partition its wall time).
 
 use hcs_core::metrics::{
-    DeckMetricsSummary, KneeVerdict, LatencyHistogram, PointMetrics, Stats, SystemMetrics,
+    DeckMetricsSummary, KneeVerdict, LatencyHistogram, PointMetrics, ProvenanceMetrics, Stats,
+    SystemMetrics,
 };
 use hcs_core::{Arrival, IoOp, JobStep, Recorder, Workload};
 use hcs_dftrace::{EventCategory, IoDecomposition};
@@ -214,6 +215,7 @@ pub(crate) fn collect_point_metrics(
         wall_clock_seconds: 0.0,
         resilience: None,
         latency: Vec::new(),
+        provenance: None,
     }
 }
 
@@ -230,9 +232,15 @@ const KNEE_THRESHOLD: f64 = 2.0;
 /// the swept range). Closed-loop points carry no latency and are
 /// skipped, so fault-free closed decks produce no verdicts at all.
 fn knee_verdicts(result: &DeckResult) -> Vec<KneeVerdict> {
+    struct SeriesPoint {
+        rate: f64,
+        p99: f64,
+        name: String,
+        provenance: Option<ProvenanceMetrics>,
+    }
     let mut knees = Vec::new();
     for (label, points) in result.by_system() {
-        let mut series: Vec<(f64, f64, String)> = Vec::new();
+        let mut series: Vec<SeriesPoint> = Vec::new();
         for p in &points {
             let Some(m) = &p.metrics else { continue };
             let Arrival::Open { rate, .. } = &p.scenario.arrival else {
@@ -242,28 +250,79 @@ fn knee_verdicts(result: &DeckResult) -> Vec<KneeVerdict> {
             for row in &m.latency {
                 merged.merge(&row.histogram);
             }
-            if !merged.is_empty() {
-                series.push((*rate, merged.p99(), p.scenario.name.clone()));
+            if let Some(p99) = merged.p99() {
+                series.push(SeriesPoint {
+                    rate: *rate,
+                    p99,
+                    name: p.scenario.name.clone(),
+                    provenance: m.provenance.clone(),
+                });
             }
         }
         let Some(first) = series.first() else {
             continue;
         };
-        let (baseline_rate, baseline_p99) = (first.0, first.1);
+        let (baseline_rate, baseline_p99) = (first.rate, first.p99);
         let knee = series
             .iter()
-            .find(|(_, p99, _)| *p99 > KNEE_THRESHOLD * baseline_p99);
+            .find(|pt| pt.p99 > KNEE_THRESHOLD * baseline_p99);
         knees.push(KneeVerdict {
             system: label.clone(),
             threshold: KNEE_THRESHOLD,
             baseline_p99,
             baseline_rate,
-            knee_rate: knee.map(|(r, _, _)| *r),
-            knee_point: knee.map(|(_, _, n)| n.clone()),
-            knee_p99: knee.map(|(_, p99, _)| *p99),
+            knee_rate: knee.map(|pt| pt.rate),
+            knee_point: knee.map(|pt| pt.name.clone()),
+            knee_p99: knee.map(|pt| pt.p99),
+            knee_blame: knee
+                .and_then(|pt| knee_blame(series[0].provenance.as_ref(), pt.provenance.as_ref())),
         });
     }
     knees
+}
+
+/// Per-stage blame as a share of total measured latency — the
+/// dimensionless currency in which blame growth is compared across
+/// offered-load points.
+fn blame_shares(prov: &ProvenanceMetrics) -> Vec<(&str, f64)> {
+    if prov.latency_seconds <= 0.0 {
+        return Vec::new();
+    }
+    prov.stages
+        .iter()
+        .map(|s| (s.resource.as_str(), s.blame_seconds / prov.latency_seconds))
+        .collect()
+}
+
+/// Names the resource whose blame share grew most from the baseline
+/// point to the knee point — the stage the knee verdict indicts. None
+/// when the knee point carries no provenance record or no stage's
+/// share grew (strict first-of-max over the knee point's stage order,
+/// which is descending blame with alphabetical ties, so the pick is
+/// deterministic).
+fn knee_blame(
+    baseline: Option<&ProvenanceMetrics>,
+    knee: Option<&ProvenanceMetrics>,
+) -> Option<String> {
+    let knee = knee?;
+    if knee.latency_seconds <= 0.0 {
+        return None;
+    }
+    let before = baseline.map(blame_shares).unwrap_or_default();
+    let mut best: Option<(&str, f64)> = None;
+    for s in &knee.stages {
+        let now = s.blame_seconds / knee.latency_seconds;
+        let was = before
+            .iter()
+            .find(|(n, _)| *n == s.resource)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        let growth = now - was;
+        if growth > 0.0 && best.map_or(true, |(_, g)| growth > g) {
+            best = Some((s.resource.as_str(), growth));
+        }
+    }
+    best.map(|(n, _)| n.to_string())
 }
 
 /// The group's dominant bottleneck: the resource with the most

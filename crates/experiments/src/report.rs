@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use hcs_core::metrics::{DeckMetricsSummary, PointMetrics, Stats};
+use hcs_core::metrics::{DeckMetricsSummary, PointMetrics, ProvenanceMetrics, Stats};
 use hcs_core::ChaosReport;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,12 @@ pub mod fmt {
         }
     }
 
+    /// An optional latency: the adaptive rendering when present, an
+    /// em-dash when the histogram recorded nothing.
+    pub fn latency_opt(s: Option<f64>) -> String {
+        s.map(latency).unwrap_or_else(|| "\u{2014}".into())
+    }
+
     /// A latency in seconds, adaptive unit: "850 µs", "12.34 ms",
     /// "1.50 s".
     pub fn latency(s: f64) -> String {
@@ -97,24 +103,17 @@ pub mod fmt {
 /// Width of the decomposition bar column, characters.
 const BAR_WIDTH: usize = 12;
 
-/// Renders an application-perceived-runtime bar: `c` compute-only,
-/// `o` I/O hidden behind compute, `s` non-overlapping I/O (stall).
-/// Cells are allocated by largest remainder so the bar always has
-/// exactly [`BAR_WIDTH`] characters and the split is deterministic.
-fn decomposition_bar(m: &PointMetrics) -> String {
-    let d = &m.decomposition;
-    let segments = [
-        ('c', (d.compute_total - d.overlapping_io).max(0.0)),
-        ('o', d.overlapping_io.max(0.0)),
-        ('s', d.non_overlapping_io.max(0.0)),
-    ];
-    let total: f64 = segments.iter().map(|(_, v)| v).sum();
+/// Renders a share bar over labelled segments. Cells are allocated by
+/// largest remainder so the bar always has exactly [`BAR_WIDTH`]
+/// characters and the split is deterministic.
+fn remainder_bar(segments: &[(char, f64)]) -> String {
+    let total: f64 = segments.iter().map(|(_, v)| v.max(0.0)).sum();
     if total <= 0.0 {
         return "-".repeat(BAR_WIDTH);
     }
     let exact: Vec<f64> = segments
         .iter()
-        .map(|(_, v)| v / total * BAR_WIDTH as f64)
+        .map(|(_, v)| v.max(0.0) / total * BAR_WIDTH as f64)
         .collect();
     let mut cells: Vec<usize> = exact.iter().map(|x| x.floor() as usize).collect();
     let mut rest: usize = BAR_WIDTH - cells.iter().sum::<usize>();
@@ -137,6 +136,28 @@ fn decomposition_bar(m: &PointMetrics) -> String {
         }
     }
     bar
+}
+
+/// Renders an application-perceived-runtime bar: `c` compute-only,
+/// `o` I/O hidden behind compute, `s` non-overlapping I/O (stall).
+fn decomposition_bar(m: &PointMetrics) -> String {
+    let d = &m.decomposition;
+    remainder_bar(&[
+        ('c', (d.compute_total - d.overlapping_io).max(0.0)),
+        ('o', d.overlapping_io.max(0.0)),
+        ('s', d.non_overlapping_io.max(0.0)),
+    ])
+}
+
+/// Renders a latency-provenance bar: `q` open-loop queueing, `f`
+/// fault stall, `b` contention blame, `i` ideal service.
+fn provenance_bar(p: &ProvenanceMetrics) -> String {
+    remainder_bar(&[
+        ('q', p.queueing_seconds),
+        ('f', p.stall_seconds),
+        ('b', p.blame_seconds),
+        ('i', p.ideal_seconds),
+    ])
 }
 
 /// The top bottleneck of a metered point, as "stage name (share)".
@@ -307,10 +328,10 @@ pub fn render_markdown(result: &DeckResult) -> String {
                     row.op,
                     fmt::bytes(row.size_bytes),
                     h.count(),
-                    fmt::latency(h.p50()),
-                    fmt::latency(h.p95()),
-                    fmt::latency(h.p99()),
-                    fmt::latency(h.p999()),
+                    fmt::latency_opt(h.p50()),
+                    fmt::latency_opt(h.p95()),
+                    fmt::latency_opt(h.p99()),
+                    fmt::latency_opt(h.p999()),
                 );
             }
         }
@@ -326,10 +347,20 @@ pub fn render_markdown(result: &DeckResult) -> String {
                 for k in &summary.knees {
                     match (&k.knee_rate, &k.knee_point, &k.knee_p99) {
                         (Some(rate), Some(point), Some(p99)) => {
+                            let blame = k
+                                .knee_blame
+                                .as_deref()
+                                .map(|r| {
+                                    format!(
+                                        " Blame growth indicts `{r}` — the stage whose \
+                                         contention share grew most from the baseline."
+                                    )
+                                })
+                                .unwrap_or_default();
                             let _ = writeln!(
                                 out,
                                 "- **{}**: knee at {} ops/s (`{}`) — p99 {} vs {} baseline at \
-                                 {} ops/s ({}x threshold).",
+                                 {} ops/s ({}x threshold).{}",
                                 k.system,
                                 fmt::rate(*rate),
                                 point,
@@ -337,6 +368,7 @@ pub fn render_markdown(result: &DeckResult) -> String {
                                 fmt::latency(k.baseline_p99),
                                 fmt::rate(k.baseline_rate),
                                 k.threshold,
+                                blame,
                             );
                         }
                         _ => {
@@ -354,6 +386,92 @@ pub fn render_markdown(result: &DeckResult) -> String {
                 }
             }
         }
+    }
+
+    let with_prov: Vec<(&PointResult, &ProvenanceMetrics)> = result
+        .points
+        .iter()
+        .filter_map(|p| {
+            p.metrics
+                .as_ref()
+                .and_then(|m| m.provenance.as_ref())
+                .map(|prov| (p, prov))
+        })
+        .collect();
+    if !with_prov.is_empty() {
+        let _ = writeln!(out, "\n## Tail forensics\n");
+        let _ = writeln!(
+            out,
+            "| point | system | ops | tail ops | tail > | queueing | stall | blame | ideal | \
+             q/f/b/i |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+        for (p, prov) in &with_prov {
+            let total = prov.latency_seconds;
+            let share = |v: f64| {
+                if total > 0.0 {
+                    fmt::percent1(v / total)
+                } else {
+                    "\u{2014}".into()
+                }
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | `{}` |",
+                p.scenario.name,
+                p.system,
+                prov.ops,
+                prov.tail_ops,
+                fmt::latency(prov.tail_threshold),
+                share(prov.queueing_seconds),
+                share(prov.stall_seconds),
+                share(prov.blame_seconds),
+                share(prov.ideal_seconds),
+                provenance_bar(prov),
+            );
+        }
+        let mut wrote_tail_heading = false;
+        for (p, prov) in &with_prov {
+            let stages = prov.tail_stages();
+            if stages.is_empty() {
+                continue;
+            }
+            if !wrote_tail_heading {
+                let _ = writeln!(out, "\n### Ops above p99 \u{2014} top-blamed stages\n");
+                wrote_tail_heading = true;
+            }
+            let tail_blame: f64 = stages.iter().map(|(_, secs)| secs).sum();
+            let listed = stages
+                .iter()
+                .take(3)
+                .map(|(name, secs)| {
+                    let frac = secs / tail_blame;
+                    format!(
+                        "`{name}` {} {}",
+                        remainder_bar(&[('#', frac), (' ', 1.0 - frac)]),
+                        fmt::percent1(frac)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" \u{b7} ");
+            let _ = writeln!(
+                out,
+                "- **{}** ({}): {} ops slower than {} \u{2014} {}",
+                p.scenario.name,
+                p.system,
+                prov.tail_ops,
+                fmt::latency(prov.tail_threshold),
+                listed,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n_Per-op critical-path attribution: every op's measured latency decomposes \
+             exactly (bitwise) into open-loop queueing + fault stall + per-stage contention \
+             blame + ideal service; an epoch charges the most-saturated resource on the op's \
+             path whenever its achieved rate trails its demand. Shares are of summed \
+             latency; the tail rows cover ops above the point's open-loop p99._"
+        );
     }
 
     if let Some(summary) = &result.metrics {
@@ -591,6 +709,7 @@ mod tests {
             wall_clock_seconds: 0.0,
             resilience: None,
             latency: Vec::new(),
+            provenance: None,
         }
     }
 

@@ -31,5 +31,5 @@ pub use apps::all_apps;
 pub use config::{IorConfig, WorkloadClass};
 pub use runner::{
     run_ior, run_ior_faulted, run_ior_faulted_traced, run_ior_full, run_ior_open_loop,
-    run_ior_open_loop_traced, run_ior_traced, IorFullReport, IorReport,
+    run_ior_open_loop_observed, run_ior_open_loop_traced, run_ior_traced, IorFullReport, IorReport,
 };

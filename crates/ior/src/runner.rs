@@ -186,7 +186,22 @@ pub fn run_ior_open_loop(
     arrival: &Arrival,
     faults: &[FaultSpec],
 ) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
-    run_ior_open_loop_impl(system, config, arrival, faults, None)
+    run_ior_open_loop_impl(system, config, arrival, faults, None, false)
+}
+
+/// [`run_ior_open_loop`] with the latency-provenance probe attached:
+/// the outcome's [`OpenLoopOutcome::provenance`] carries per-resource
+/// blame attribution for every completed op. The probe is a pure
+/// listener, so every other field is bit-identical to
+/// [`run_ior_open_loop`]'s.
+pub fn run_ior_open_loop_observed(
+    system: &dyn StorageSystem,
+    config: &IorConfig,
+    arrival: &Arrival,
+    faults: &[FaultSpec],
+    recorder: Option<&mut Recorder>,
+) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
+    run_ior_open_loop_impl(system, config, arrival, faults, recorder, true)
 }
 
 /// [`run_ior_open_loop`] with telemetry: the run's flows and resource
@@ -198,7 +213,7 @@ pub fn run_ior_open_loop_traced(
     faults: &[FaultSpec],
     recorder: &mut Recorder,
 ) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
-    run_ior_open_loop_impl(system, config, arrival, faults, Some(recorder))
+    run_ior_open_loop_impl(system, config, arrival, faults, Some(recorder), false)
 }
 
 fn run_ior_open_loop_impl(
@@ -207,6 +222,7 @@ fn run_ior_open_loop_impl(
     arrival: &Arrival,
     faults: &[FaultSpec],
     recorder: Option<&mut Recorder>,
+    provenance: bool,
 ) -> Result<(IorReport, OpenLoopOutcome), FaultPhaseError> {
     config.validate();
     let phase = config.phase();
@@ -226,6 +242,7 @@ fn run_ior_open_loop_impl(
         arrival,
         faults,
         telemetry,
+        provenance,
     )?;
     let outcome = RepeatedOutcome::from_bandwidths(
         config.nodes,
@@ -357,7 +374,7 @@ mod tests {
         assert_eq!(report.outcome.bandwidths.len(), 1);
         assert_eq!(report.outcome.bandwidths[0], open.agg_bandwidth);
         assert!(open.histogram.count() > 0);
-        assert!(open.histogram.p50() > 0.0);
+        assert!(open.histogram.p50().unwrap() > 0.0);
         // Deterministic: re-running reproduces the histogram bit for bit.
         let (_, again) = run_ior_open_loop(&sys, &cfg, &arrival, &[]).unwrap();
         assert_eq!(open.histogram, again.histogram);

@@ -126,6 +126,88 @@ pub trait FlowRecorder {
     fn on_allocation(&mut self, now: f64, allocated: &[f64], capacity: &[f64]) {
         let _ = (now, allocated, capacity);
     }
+
+    /// Rates were recomputed at `now`: one [`EpochFlowSample`] per
+    /// active flow (in flow-key order) carrying its achieved and
+    /// standalone (demand) per-member rates, plus the same per-resource
+    /// allocation and capacity vectors as
+    /// [`FlowRecorder::on_allocation`]. Emitted immediately after that
+    /// hook, once per rate epoch; the samples hold from `now` until the
+    /// next epoch. This is the feed the latency-provenance probe
+    /// attributes per-op blame from.
+    fn on_epoch_rates(
+        &mut self,
+        now: f64,
+        samples: &[EpochFlowSample],
+        allocated: &[f64],
+        capacity: &[f64],
+    ) {
+        let _ = (now, samples, allocated, capacity);
+    }
+}
+
+/// One active flow's rate standing within a rate epoch, as passed to
+/// [`FlowRecorder::on_epoch_rates`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochFlowSample {
+    /// The flow being sampled.
+    pub id: FlowId,
+    /// Achieved per-member rate (bytes/s) over this epoch.
+    pub rate: f64,
+    /// The per-member rate the flow would achieve standing *alone* at
+    /// the current capacities: `min(rate_cap, min over the path of
+    /// capacity_r / share_r)`. Comparing the achieved rate against this
+    /// demand tells an observer whether the flow was contended during
+    /// the epoch without re-running the solver.
+    pub demand: f64,
+}
+
+/// Fans every [`FlowRecorder`] hook out to two recorders, first then
+/// second — the glue behind [`FlowNet::stack_recorder`] that lets a
+/// telemetry flow log and a latency-provenance probe observe one run
+/// side by side. Like any recorder it is a pure listener, so stacking
+/// cannot change a single simulated value.
+pub struct TeeRecorder {
+    first: Box<dyn FlowRecorder>,
+    second: Box<dyn FlowRecorder>,
+}
+
+impl FlowRecorder for TeeRecorder {
+    fn on_resource(&mut self, id: ResourceId, name: &str, capacity: f64) {
+        self.first.on_resource(id, name, capacity);
+        self.second.on_resource(id, name, capacity);
+    }
+
+    fn on_capacity_change(&mut self, now: f64, id: ResourceId, capacity: f64) {
+        self.first.on_capacity_change(now, id, capacity);
+        self.second.on_capacity_change(now, id, capacity);
+    }
+
+    fn on_flow_start(&mut self, now: f64, id: FlowId, spec: &FlowSpec) {
+        self.first.on_flow_start(now, id, spec);
+        self.second.on_flow_start(now, id, spec);
+    }
+
+    fn on_flow_end(&mut self, now: f64, id: FlowId, tag: u64, completed: bool) {
+        self.first.on_flow_end(now, id, tag, completed);
+        self.second.on_flow_end(now, id, tag, completed);
+    }
+
+    fn on_allocation(&mut self, now: f64, allocated: &[f64], capacity: &[f64]) {
+        self.first.on_allocation(now, allocated, capacity);
+        self.second.on_allocation(now, allocated, capacity);
+    }
+
+    fn on_epoch_rates(
+        &mut self,
+        now: f64,
+        samples: &[EpochFlowSample],
+        allocated: &[f64],
+        capacity: &[f64],
+    ) {
+        self.first.on_epoch_rates(now, samples, allocated, capacity);
+        self.second.on_epoch_rates(now, samples, allocated, capacity);
+    }
 }
 
 /// Static description of a resource.
@@ -383,6 +465,25 @@ impl FlowNet {
             recorder.on_resource(ResourceId(i as u32), &r.name, r.capacity);
         }
         self.recorder = Some(recorder);
+    }
+
+    /// Installs an *additional* [`FlowRecorder`] without disturbing one
+    /// already attached. Resources registered so far are replayed into
+    /// the new recorder only (the existing one already saw them), and
+    /// the two are combined into a [`TeeRecorder`] that forwards every
+    /// hook to both. With no recorder attached this is exactly
+    /// [`FlowNet::set_recorder`].
+    pub fn stack_recorder(&mut self, mut recorder: Box<dyn FlowRecorder>) {
+        for (i, r) in self.resources.iter().enumerate() {
+            recorder.on_resource(ResourceId(i as u32), &r.name, r.capacity);
+        }
+        self.recorder = Some(match self.recorder.take() {
+            Some(existing) => Box::new(TeeRecorder {
+                first: existing,
+                second: recorder,
+            }),
+            None => recorder,
+        });
     }
 
     /// Removes and returns the installed recorder, if any.
@@ -906,14 +1007,28 @@ impl FlowNet {
         // any simulated value.
         if self.recorder.is_some() {
             let mut alloc = vec![0.0; self.resources.len()];
-            for f in self.flows.values() {
+            let mut samples = Vec::with_capacity(self.flows.len());
+            for (k, f) in &self.flows {
                 for r in &f.path {
                     alloc[r.index()] += f.rate * self.share(f.multiplicity, r.index());
                 }
+                // Standalone rate at the *current* capacities — what the
+                // flow would get with the network to itself.
+                let mut demand = f.rate_cap.unwrap_or(f64::INFINITY);
+                for r in &f.path {
+                    demand = demand
+                        .min(self.resources[r.index()].capacity / self.share(f.multiplicity, r.index()));
+                }
+                samples.push(EpochFlowSample {
+                    id: FlowId(*k),
+                    rate: f.rate,
+                    demand,
+                });
             }
             let caps: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
             let mut rec = self.recorder.take().expect("recorder present");
             rec.on_allocation(self.now, &alloc, &caps);
+            rec.on_epoch_rates(self.now, &samples, &alloc, &caps);
             self.recorder = Some(rec);
         }
     }

@@ -39,6 +39,7 @@ pub mod faults;
 pub mod flowlog;
 pub mod flownet;
 pub mod intervals;
+pub mod provenance;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -49,9 +50,11 @@ pub use engine::{EventQueue, Simulation, World};
 pub use faults::{CapacityEvent, FaultRunReport, FaultTimeline, StallError};
 pub use flowlog::{AllocSample, FlowLog, FlowLogHandle, FlowRecord};
 pub use flownet::{
-    Completion, FlowId, FlowNet, FlowRecorder, FlowSpec, OpIdentity, ResourceId, ResourceSpec,
+    Completion, EpochFlowSample, FlowId, FlowNet, FlowRecorder, FlowSpec, OpIdentity, ResourceId,
+    ResourceSpec, TeeRecorder,
 };
 pub use intervals::IntervalSet;
+pub use provenance::{OpProvenance, ProvenanceHandle, ProvenanceLog};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::SimTime;

@@ -172,6 +172,46 @@ fn open_loop_deck_metrics_are_independent_of_worker_count() {
     }
 }
 
+#[test]
+fn provenance_blame_reports_are_independent_of_worker_count() {
+    // The blame probe attributes per-op latency in completion order
+    // and the report renderer omits wall clock, so a provenance deck
+    // pinned to one worker must render the same blame report — Tail
+    // forensics section included — as a run on several.
+    use hcs_core::{Arrival, Deck, Discipline, Scenario, Workload};
+    use hcs_experiments::{render_markdown, run_deck_with_provenance};
+    let scenario = Scenario::new(
+        "vast-lassen",
+        Workload::Ior(IorConfig::smoke(WorkloadClass::DataAnalytics, 1, 4)),
+    )
+    .with_arrival(Arrival::Open {
+        rate: 1.0,
+        discipline: Discipline::Poisson,
+        duration: 0.3,
+        seed: 11,
+    });
+    let mut deck = Deck::single("blame-parity", scenario);
+    deck.axes.offered_load = vec![100.0, 2000.0];
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_deck_with_provenance(&deck);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = run_deck_with_provenance(&deck);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        let pa = a.metrics.as_ref().unwrap().provenance.as_ref();
+        let pb = b.metrics.as_ref().unwrap().provenance.as_ref();
+        assert!(pa.is_some(), "provenance deck decomposes every point");
+        assert_eq!(
+            pa, pb,
+            "blame attribution for {} differs across pool sizes",
+            a.scenario.name
+        );
+    }
+    let (ra, rb) = (render_markdown(&serial), render_markdown(&parallel));
+    assert_eq!(ra, rb, "blame reports differ across pool sizes");
+    assert!(ra.contains("## Tail forensics"), "{ra}");
+}
+
 mod latency_histogram {
     //! The latency histogram is the other merge algebra behind
     //! worker-count independence: counts are exact integers, so merge
@@ -226,7 +266,7 @@ mod latency_histogram {
             // bucket's upper edge, which bounds the sample from above
             // within 1/32 relative error (exact below 32 µs).
             let h = from_ticks(&[ticks]);
-            let got = (h.percentile(p) * 1e6).round() as u64;
+            let got = (h.percentile(p).expect("one sample recorded") * 1e6).round() as u64;
             prop_assert!(got >= ticks, "{got} < {ticks}");
             prop_assert!(
                 got <= ticks + ticks / 32,

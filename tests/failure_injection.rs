@@ -175,10 +175,10 @@ fn open_loop_outage_lifts_the_tail_and_bounds_stall() {
     let outage = [FaultSpec::outage(StageKind::Gateway, 0.1, 0.25)];
     let (_, stormy) = run_ior_open_loop(&sys, &cfg, &arrival, &outage).expect("recovered run");
     assert!(
-        stormy.histogram.p99() > calm.histogram.p99(),
+        stormy.histogram.p99().unwrap() > calm.histogram.p99().unwrap(),
         "outage must push the tail: {} vs {}",
-        stormy.histogram.p99(),
-        calm.histogram.p99()
+        stormy.histogram.p99().unwrap(),
+        calm.histogram.p99().unwrap()
     );
     assert!(
         stormy.report.stall_seconds <= 0.15 + 1e-9,
