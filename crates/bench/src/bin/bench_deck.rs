@@ -17,12 +17,17 @@ use serde::Serialize;
 use std::time::Instant;
 
 use hcs_core::scenario::Scale;
-use hcs_experiments::{figures, run_chaos_campaign, run_deck_with_metrics, run_deck_with_provenance};
+use hcs_experiments::{
+    figures, run_chaos_campaign, run_deck_with_metrics, run_deck_with_provenance,
+};
 
 #[derive(Serialize)]
 struct PointRecord {
     deck: String,
     point: String,
+    /// Registry key of the backend ("objstore", "daos", ...), the
+    /// grouping key for `backends`.
+    backend: String,
     system: String,
     nodes: u32,
     ppn: u32,
@@ -30,6 +35,17 @@ struct PointRecord {
     wall_seconds: f64,
     solver_epochs: u64,
     flow_groups: u64,
+}
+
+/// Per-backend simulation throughput across every deck in the run —
+/// answers "which storage model is expensive to simulate" the way
+/// `decks` answers it per sweep.
+#[derive(Serialize)]
+struct BackendRecord {
+    system: String,
+    points: usize,
+    wall_seconds: f64,
+    points_per_sec: f64,
 }
 
 #[derive(Serialize)]
@@ -46,6 +62,7 @@ struct DeckRecord {
 struct BenchReport {
     scale: String,
     decks: Vec<DeckRecord>,
+    backends: Vec<BackendRecord>,
     points: Vec<PointRecord>,
     total_wall_seconds: f64,
     total_solver_epochs: u64,
@@ -102,6 +119,7 @@ fn main() {
             points.push(PointRecord {
                 deck: deck.name.clone(),
                 point: p.scenario.name.clone(),
+                backend: p.scenario.system.clone(),
                 system: p.system.clone(),
                 nodes: p.nodes,
                 ppn: p.ppn,
@@ -128,6 +146,83 @@ fn main() {
             epochs_per_sec: per_sec(epochs as f64, wall),
         });
     }
+    // Cross-protocol mini-deck: every registry backend (including the
+    // object gateway and DAOS, which no builtin figure sweeps yet) at
+    // two transfer sizes, so `backends` below covers the whole registry
+    // and a new backend's simulation cost is tracked from the commit
+    // that lands it.
+    let crossproto_deck = {
+        use hcs_core::scenario::{IorConfig, WorkloadClass};
+        use hcs_core::{Deck, Scenario, Workload};
+        let base = Scenario::new(
+            "vast-lassen",
+            Workload::Ior(IorConfig::smoke(WorkloadClass::Scientific, 2, 8)),
+        );
+        let mut deck = Deck::single("bench-crossproto", base);
+        deck.axes.systems = hcs_experiments::registry::names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        deck.axes.transfer_sizes = vec![4096.0, 1_048_576.0];
+        deck
+    };
+    let start = Instant::now();
+    let crossproto = run_deck_with_metrics(&crossproto_deck);
+    let crossproto_wall = start.elapsed().as_secs_f64();
+    let mut crossproto_epochs = 0;
+    for p in &crossproto.points {
+        let m = p.metrics.as_ref().expect("metered");
+        crossproto_epochs += m.solver_epochs;
+        points.push(PointRecord {
+            deck: crossproto_deck.name.clone(),
+            point: p.scenario.name.clone(),
+            backend: p.scenario.system.clone(),
+            system: p.system.clone(),
+            nodes: p.nodes,
+            ppn: p.ppn,
+            headline: p.outcome.headline(),
+            wall_seconds: m.wall_clock_seconds,
+            solver_epochs: m.solver_epochs,
+            flow_groups: m.flow_groups,
+        });
+    }
+    eprintln!(
+        "{:<22} {:>3} points  {:>7.3}s  {:>8} solver epochs  {:>9.1} points/sec",
+        crossproto_deck.name,
+        crossproto.points.len(),
+        crossproto_wall,
+        crossproto_epochs,
+        per_sec(crossproto.points.len() as f64, crossproto_wall),
+    );
+    decks.push(DeckRecord {
+        deck: crossproto_deck.name.clone(),
+        points: crossproto.points.len(),
+        wall_seconds: crossproto_wall,
+        solver_epochs: crossproto_epochs,
+        points_per_sec: per_sec(crossproto.points.len() as f64, crossproto_wall),
+        epochs_per_sec: per_sec(crossproto_epochs as f64, crossproto_wall),
+    });
+
+    // Per-backend totals across every deck, in first-seen order.
+    let mut backends: Vec<BackendRecord> = Vec::new();
+    for p in &points {
+        match backends.iter_mut().find(|b| b.system == p.backend) {
+            Some(b) => {
+                b.points += 1;
+                b.wall_seconds += p.wall_seconds;
+            }
+            None => backends.push(BackendRecord {
+                system: p.backend.clone(),
+                points: 1,
+                wall_seconds: p.wall_seconds,
+                points_per_sec: 0.0,
+            }),
+        }
+    }
+    for b in &mut backends {
+        b.points_per_sec = per_sec(b.points as f64, b.wall_seconds);
+    }
+
     let total_wall: f64 = decks.iter().map(|d| d.wall_seconds).sum();
     let total_epochs: u64 = decks.iter().map(|d| d.solver_epochs).sum();
     let total_points: usize = decks.iter().map(|d| d.points).sum();
@@ -217,7 +312,11 @@ fn main() {
         prov_wall,
         open_ops,
         per_sec(open_ops as f64, prov_wall),
-        if open_wall > 0.0 { prov_wall / open_wall } else { 0.0 },
+        if open_wall > 0.0 {
+            prov_wall / open_wall
+        } else {
+            0.0
+        },
     );
 
     let report = BenchReport {
@@ -240,6 +339,7 @@ fn main() {
             0.0
         },
         decks,
+        backends,
         points,
     };
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");

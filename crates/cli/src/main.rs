@@ -77,6 +77,17 @@ fn system(name: &str) -> Option<(Box<dyn StorageSystem>, u32)> {
     registry::resolve(name).map(|e| (e.build(), e.full_ppn))
 }
 
+/// Resolves a positional system argument or dies listing every valid
+/// registry key, so a typo never leaves the user guessing at names.
+fn resolve_system(cmd: &str, name: Option<&String>) -> (Box<dyn StorageSystem>, u32) {
+    let known = registry::names().join(", ");
+    match name {
+        None => die(&format!("{cmd}: missing system (known: {known})")),
+        Some(n) => system(n)
+            .unwrap_or_else(|| die(&format!("{cmd}: unknown system '{n}' (known: {known})"))),
+    }
+}
+
 fn workload(name: &str) -> Option<WorkloadClass> {
     Some(match name {
         "scientific" | "sci" | "write" => WorkloadClass::Scientific,
@@ -315,10 +326,7 @@ fn main() {
         }
         "table1" => print!("{}", hcs_experiments::figures::table1::render()),
         "ior" => {
-            let (sys, full_ppn) = args
-                .get(1)
-                .and_then(|s| system(s))
-                .unwrap_or_else(|| die("ior: unknown system"));
+            let (sys, full_ppn) = resolve_system("ior", args.get(1));
             let w = args
                 .get(2)
                 .and_then(|s| workload(s))
@@ -350,10 +358,7 @@ fn main() {
             }
         }
         "dlio" => {
-            let (sys, _) = args
-                .get(1)
-                .and_then(|s| system(s))
-                .unwrap_or_else(|| die("dlio: unknown system"));
+            let (sys, _) = resolve_system("dlio", args.get(1));
             let cfg = match args.get(2).map(String::as_str) {
                 Some("resnet50") | Some("resnet") => resnet50(),
                 Some("cosmoflow") | Some("cosmo") => cosmoflow(),
@@ -382,10 +387,7 @@ fn main() {
             }
         }
         "explain" => {
-            let (sys, full_ppn) = args
-                .get(1)
-                .and_then(|s| system(s))
-                .unwrap_or_else(|| die("explain: unknown system"));
+            let (sys, full_ppn) = resolve_system("explain", args.get(1));
             let w = args
                 .get(2)
                 .and_then(|s| workload(s))
@@ -427,10 +429,7 @@ fn main() {
             }
         }
         "mdtest" => {
-            let (sys, full_ppn) = args
-                .get(1)
-                .and_then(|s| system(s))
-                .unwrap_or_else(|| die("mdtest: unknown system"));
+            let (sys, full_ppn) = resolve_system("mdtest", args.get(1));
             let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
             let ppn: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(full_ppn);
             let r = run_mdtest(sys.as_ref(), &MdtestConfig::new(nodes, ppn));
@@ -443,10 +442,7 @@ fn main() {
             let path = args
                 .get(1)
                 .unwrap_or_else(|| die("replay: missing trace path"));
-            let (sys, _) = args
-                .get(2)
-                .and_then(|s| system(s))
-                .unwrap_or_else(|| die("replay: unknown system"));
+            let (sys, _) = resolve_system("replay", args.get(2));
             let json = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("replay: cannot read {path}: {e}")));
             let tracer = hcs_dftrace::chrome::from_json(&json)

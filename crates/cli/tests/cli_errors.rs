@@ -232,7 +232,10 @@ fn provenance_without_metrics_exits_2() {
     let path = temp_deck("prov-no-metrics", &arrival_deck("50.0", "0.2"));
     let out = hcs(&["run", path.to_str().unwrap(), "--provenance"]);
     std::fs::remove_file(&path).ok();
-    assert_dies_with(&out, "--provenance rides the metrics pipeline; add --metrics");
+    assert_dies_with(
+        &out,
+        "--provenance rides the metrics pipeline; add --metrics",
+    );
 }
 
 #[test]
@@ -270,4 +273,70 @@ fn provenance_on_non_ior_workload_exits_2() {
     let out = hcs(&["run", path.to_str().unwrap(), "--metrics", "--provenance"]);
     std::fs::remove_file(&path).ok();
     assert_dies_with(&out, "latency provenance supports the IOR family only");
+}
+
+#[test]
+fn degrade_factor_one_exits_2() {
+    // factor 1.0 multiplies capacity by 1 — a silent no-op that makes a
+    // resilience sweep lie. Rejected up front with a one-liner.
+    let deck = fault_deck(
+        r#"[{ "stage": "Media", "start": 1.0, "end": 2.0, "fault": { "Degrade": { "factor": 1.0 } } }]"#,
+    );
+    let path = temp_deck("degrade-one", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "Degrade factor must be in (0, 1)");
+    assert_dies_with(&out, "no-op");
+}
+
+#[test]
+fn unknown_system_in_deck_lists_valid_keys() {
+    // The exit-2 one-liner must name every registry key, including the
+    // cross-protocol backends, so the fix is in the message itself.
+    let deck = fault_deck("[]").replace("vast-lassen", "no-such-system");
+    let path = temp_deck("unknown-system-keys", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "unknown system 'no-such-system'");
+    assert_dies_with(&out, "objstore");
+    assert_dies_with(&out, "daos");
+}
+
+#[test]
+fn subcommand_unknown_system_lists_valid_keys() {
+    // Every positional-system subcommand resolves through the same
+    // helper: exit 2, the bad name quoted, and the full key list.
+    let invocations: &[&[&str]] = &[
+        &["ior", "no-such-system", "write"],
+        &["dlio", "no-such-system", "resnet50"],
+        &["explain", "no-such-system", "write"],
+        &["mdtest", "no-such-system"],
+        &["replay", "some-trace.json", "no-such-system"],
+    ];
+    for args in invocations {
+        let out = hcs(args);
+        assert_dies_with(&out, "unknown system 'no-such-system'");
+        assert_dies_with(&out, "known:");
+        assert_dies_with(&out, "objstore");
+        assert_dies_with(&out, "daos");
+    }
+}
+
+#[test]
+fn cross_protocol_fault_on_unplanned_kind_exits_2() {
+    // Local NVMe plans only a Media stage and DAOS's library stack has
+    // no gateway either, so a Gateway fault swept across both targets
+    // nothing anywhere: the deck-level union check calls the whole deck
+    // impossible instead of blaming the first expanded point.
+    let deck =
+        fault_deck(r#"[{ "stage": "Gateway", "start": 1.0, "end": 2.0, "fault": "Outage" }]"#)
+            .replace(
+                r#""base": {"#,
+                r#""axes": { "systems": ["nvme", "daos"] },
+  "base": {"#,
+            );
+    let path = temp_deck("crossproto-union", &deck);
+    let out = hcs(&["run", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_dies_with(&out, "fault targets no planned stage in any swept system");
 }

@@ -169,9 +169,10 @@ impl FaultBudget {
                 self.max_outage_seconds
             ));
         }
-        if !(self.min_degrade_factor > 0.0 && self.min_degrade_factor <= 1.0) {
+        if !(self.min_degrade_factor > 0.0 && self.min_degrade_factor < 1.0) {
             return Err(format!(
-                "chaos budget: min_degrade_factor must be in (0, 1] (got {})",
+                "chaos budget: min_degrade_factor must be in (0, 1) (got {}; a floor of 1 \
+                 could only generate no-op degrades)",
                 self.min_degrade_factor
             ));
         }
@@ -443,9 +444,11 @@ pub fn generate_timeline(
                 FaultSpec::outage(stage, start, start + length)
             }
             ChaosFaultKind::Degrade => {
+                // Clamp strictly below 1.0: FaultSpec::check rejects a
+                // factor of exactly 1.0 as a no-op.
                 let factor =
                     budget.min_degrade_factor + (1.0 - budget.min_degrade_factor) * rng.uniform();
-                FaultSpec::degrade(stage, start, start + length, factor.min(1.0))
+                FaultSpec::degrade(stage, start, start + length, factor.min(1.0 - 1e-9))
             }
             ChaosFaultKind::Jitter => FaultSpec {
                 stage,

@@ -401,11 +401,11 @@ impl FaultSpec {
         match self.fault {
             FaultKind::Outage => Ok(()),
             FaultKind::Degrade { factor } => {
-                if factor.is_finite() && factor > 0.0 && factor <= 1.0 {
+                if factor.is_finite() && factor > 0.0 && factor < 1.0 {
                     Ok(())
                 } else {
                     Err(format!(
-                        "fault on {} stage: Degrade factor must be in (0, 1] (got {factor})",
+                        "fault on {} stage: Degrade factor must be in (0, 1) (got {factor}; factor 1 is a no-op — drop the fault or pick a factor below 1)",
                         self.stage.label()
                     ))
                 }
@@ -1252,7 +1252,13 @@ mod tests {
         assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 1.5)
             .check()
             .is_err());
-        assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 1.0)
+        // factor == 1.0 is a silent no-op that would inflate chaos
+        // fault budgets without degrading anything: rejected.
+        let noop = FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 1.0)
+            .check()
+            .unwrap_err();
+        assert!(noop.contains("no-op"), "{noop}");
+        assert!(FaultSpec::degrade(StageKind::Media, 0.0, 1.0, 0.999)
             .check()
             .is_ok());
         let jitter = |amplitude, steps| FaultSpec {

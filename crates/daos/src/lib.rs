@@ -1,0 +1,382 @@
+//! # hcs-daos
+//!
+//! A **DAOS** model — the distributed asynchronous object storage stack
+//! the related work ("DAOS as HPC Storage: Exploring Interfaces")
+//! measures across its interface levels. Three behaviours distinguish
+//! it from every kernel-mounted file system in the registry:
+//!
+//! * **Client-side library stack** — there is no kernel mount: the
+//!   application links `libdaos` and talks to the engines over
+//!   userspace fabric endpoints. The plan has *no
+//!   [`StageKind::ClientMount`] stage* at all; the only client-side
+//!   resource is the node's fabric NIC, and per-op latency is
+//!   RPC-speed, not syscall-speed.
+//! * **Sharded SCM metadata pool + NVMe bulk pool** — metadata and
+//!   small I/O land in storage-class memory spread across the engine
+//!   targets (a *sharded* ops-rate pool, not the shared pool every
+//!   other backend plans), while bulk data streams to NVMe. SCM's
+//!   power-fail-safe persistence makes fsync effectively free.
+//! * **Interface-level delta** — the POSIX-emulation layer (`dfs` plus
+//!   interception) pays namespace bookkeeping on the metadata pool that
+//!   the native object API skips. The delta is expressed as a
+//!   [`GraphEdit`] ([`native_api_edit`]) so the PR-3 ablation machinery
+//!   sweeps POSIX-vs-native as a deck axis on the *same* deployment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{
+    Capacity, DeploymentGraph, GraphEdit, MetadataProfile, PhaseSpec, Stage, StageKind, StageScope,
+    StorageSystem,
+};
+use hcs_devices::{DeviceArray, DeviceProfile, IoOp};
+use hcs_simkit::units::gbit_per_s;
+
+/// Which API the application uses against the same deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DaosInterface {
+    /// POSIX emulation: `dfs` namespace plus syscall interception.
+    /// Every operation pays path resolution against the metadata pool.
+    PosixEmulation,
+    /// Native object API: keys address objects directly, skipping the
+    /// namespace bookkeeping.
+    NativeObject,
+}
+
+/// Metadata-pool throughput multiplier the native object API enjoys
+/// over POSIX emulation: dfs path resolution costs roughly two extra
+/// metadata-pool operations per application operation.
+pub const NATIVE_MD_SPEEDUP: f64 = 3.0;
+
+/// The POSIX-vs-native interface delta as a graph edit: applied to the
+/// POSIX-emulation plan, it reproduces the native API's metadata-pool
+/// throughput (the [`NATIVE_MD_SPEEDUP`] relief on the sharded SCM
+/// pool), so decks sweep the interface ablation without a second
+/// registry entry.
+pub fn native_api_edit() -> GraphEdit {
+    GraphEdit::ScalePool {
+        kind: StageKind::OpsPool,
+        factor: NATIVE_MD_SPEEDUP,
+    }
+}
+
+/// A DAOS deployment: engines with SCM targets and NVMe bulk storage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DaosConfig {
+    /// Deployment label.
+    pub label: String,
+    /// API level the clients use.
+    pub interface: DaosInterface,
+    /// Engine (server) count.
+    pub engines: u32,
+    /// Fabric bandwidth one engine serves, bytes/s.
+    pub per_engine_bw: f64,
+    /// SCM metadata-pool shards (engine targets) across the cluster.
+    pub scm_shards: u32,
+    /// Metadata throughput of one SCM shard under POSIX emulation,
+    /// ops/s (the native API sees [`NATIVE_MD_SPEEDUP`]× this).
+    pub per_shard_md_ops: f64,
+    /// SCM device profile (commit path for writes and small I/O).
+    pub scm: DeviceProfile,
+    /// Transfers at or below this size are served by the SCM targets;
+    /// larger transfers stream to the NVMe bulk pool, bytes.
+    pub scm_io_threshold: f64,
+    /// NVMe drives per engine (bulk pool).
+    pub drives_per_engine: u32,
+    /// Bulk NVMe profile.
+    pub drive: DeviceProfile,
+    /// Client fabric NIC bandwidth per compute node, bytes/s.
+    pub nic_bw: f64,
+    /// Peak bandwidth of one client stream, bytes/s.
+    pub per_stream_bw: f64,
+    /// Userspace RPC latency of the client library, seconds (the
+    /// POSIX interception layer adds on top).
+    pub rpc_latency: f64,
+    /// Run-to-run noise sigma (dedicated engines: quiet).
+    pub noise: f64,
+}
+
+impl DaosConfig {
+    /// The reference deployment: 16 engines on Wombat's 100 GbE fabric,
+    /// POSIX emulation by default (the registry's sweepable baseline —
+    /// [`native_api_edit`] is the other arm of the ablation).
+    pub fn on_wombat() -> Self {
+        DaosConfig {
+            label: "DAOS@Wombat (16 engines, SCM md + NVMe bulk, POSIX dfs)".into(),
+            interface: DaosInterface::PosixEmulation,
+            engines: 16,
+            per_engine_bw: gbit_per_s(100.0),
+            scm_shards: 32,
+            per_shard_md_ops: 50_000.0,
+            scm: DeviceProfile::scm_ssd(),
+            scm_io_threshold: 256.0 * 1024.0,
+            drives_per_engine: 4,
+            drive: DeviceProfile::nvme_970_pro(),
+            nic_bw: gbit_per_s(100.0),
+            per_stream_bw: 2.2e9,
+            rpc_latency: 8e-6,
+            noise: 0.03,
+        }
+    }
+
+    /// Switches the API level (builder style).
+    pub fn with_interface(mut self, interface: DaosInterface) -> Self {
+        self.interface = interface;
+        let tag = match interface {
+            DaosInterface::PosixEmulation => "POSIX dfs",
+            DaosInterface::NativeObject => "native API",
+        };
+        if let Some(idx) = self.label.rfind(", ") {
+            self.label.truncate(idx);
+            self.label.push_str(&format!(", {tag})"));
+        }
+        self
+    }
+
+    /// Metadata throughput of one SCM shard at this interface level.
+    pub fn shard_md_ops(&self) -> f64 {
+        match self.interface {
+            DaosInterface::PosixEmulation => self.per_shard_md_ops,
+            DaosInterface::NativeObject => self.per_shard_md_ops * NATIVE_MD_SPEEDUP,
+        }
+    }
+
+    /// Extra per-op latency of the POSIX interception layer, seconds.
+    pub fn interface_latency(&self) -> f64 {
+        match self.interface {
+            DaosInterface::PosixEmulation => 22e-6,
+            DaosInterface::NativeObject => 0.0,
+        }
+    }
+
+    /// The cluster-wide bulk NVMe array.
+    pub fn bulk_array(&self) -> DeviceArray {
+        DeviceArray::stripe(self.drive.clone(), self.engines * self.drives_per_engine)
+    }
+
+    /// The cluster-wide SCM target array (small-I/O path).
+    pub fn scm_array(&self) -> DeviceArray {
+        DeviceArray::stripe(self.scm.clone(), self.scm_shards)
+    }
+
+    /// Media bandwidth for a phase, bytes/s. Transfers at or below the
+    /// SCM threshold are absorbed by the targets' storage-class memory;
+    /// bulk transfers stream to NVMe. Writes commit through SCM and
+    /// destage to NVMe as full stripes, so the media never sees fsync
+    /// or small random writes.
+    pub fn media_bw(&self, phase: &PhaseSpec) -> f64 {
+        if phase.transfer_size <= self.scm_io_threshold {
+            return self.scm_array().effective_bandwidth(
+                phase.op,
+                phase.pattern,
+                phase.transfer_size,
+                false,
+            );
+        }
+        match phase.op {
+            IoOp::Write => self.bulk_array().effective_bandwidth(
+                IoOp::Write,
+                hcs_devices::AccessPattern::Sequential,
+                phase.transfer_size,
+                false,
+            ),
+            IoOp::Read => self.bulk_array().effective_bandwidth(
+                IoOp::Read,
+                phase.pattern,
+                phase.transfer_size,
+                false,
+            ),
+        }
+    }
+
+    /// Per-op latency: userspace RPC, the interface tax, and the
+    /// device on the op's path (SCM commit for writes — persistent on
+    /// arrival, so fsync adds nothing; NVMe for bulk reads).
+    pub fn op_latency(&self, phase: &PhaseSpec) -> f64 {
+        self.rpc_latency
+            + self.interface_latency()
+            + match phase.op {
+                IoOp::Write => self.scm.op_latency(IoOp::Write, false),
+                IoOp::Read => self.drive.op_latency(IoOp::Read, false),
+            }
+    }
+
+    /// Per-file metadata latency at this interface level.
+    pub fn metadata_latency(&self) -> f64 {
+        match self.interface {
+            DaosInterface::PosixEmulation => 60e-6,
+            DaosInterface::NativeObject => 15e-6,
+        }
+    }
+}
+
+impl StorageSystem for DaosConfig {
+    fn name(&self) -> &str {
+        "DAOS"
+    }
+
+    fn description(&self) -> String {
+        self.label.clone()
+    }
+
+    fn plan(&self, _nodes: u32, _ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        DeploymentGraph::new(
+            self.per_stream_bw,
+            self.op_latency(phase),
+            self.metadata_latency(),
+        )
+        // Client-side library stack: no kernel mount stage. The only
+        // client resource is the fabric NIC.
+        .stage(Stage::per_node("daos:nic", StageKind::Fabric, self.nic_bw))
+        // Sharded SCM metadata pool: one ops-rate shard per target.
+        .stage(Stage {
+            name: "daos:scm-md".into(),
+            kind: StageKind::OpsPool,
+            scope: StageScope::Sharded {
+                count: self.scm_shards.max(1),
+            },
+            capacity: Capacity::OpsRate(self.shard_md_ops()),
+        })
+        .stage(Stage::sharded(
+            "daos:engine",
+            StageKind::ServerPool,
+            self.engines,
+            self.per_engine_bw,
+        ))
+        .stage(Stage::shared(
+            "daos:media",
+            StageKind::Media,
+            self.media_bw(phase),
+        ))
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.noise
+    }
+
+    fn metadata_profile(&self) -> MetadataProfile {
+        MetadataProfile {
+            op_latency: self.metadata_latency(),
+            ops_pool: self.shard_md_ops() * self.scm_shards as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::runner::run_phase;
+    use hcs_core::Reconfigured;
+    use hcs_simkit::units::{KIB, MIB};
+
+    fn phase() -> PhaseSpec {
+        PhaseSpec::seq_write(MIB, 256.0 * MIB)
+    }
+
+    #[test]
+    fn no_kernel_mount_stage() {
+        let d = DaosConfig::on_wombat();
+        let graph = d.plan(4, 8, &phase());
+        assert!(graph
+            .stages
+            .iter()
+            .all(|s| s.kind != StageKind::ClientMount));
+        // The metadata pool is sharded, not the usual shared pool.
+        let md = graph
+            .stages
+            .iter()
+            .find(|s| s.name == "daos:scm-md")
+            .expect("scm pool planned");
+        assert_eq!(md.kind, StageKind::OpsPool);
+        assert_eq!(
+            md.scope,
+            StageScope::Sharded {
+                count: d.scm_shards
+            }
+        );
+    }
+
+    #[test]
+    fn fsync_is_effectively_free() {
+        // SCM commit is the write path either way; a consumer NVMe
+        // system pays a millisecond NAND flush for the same phase.
+        let d = DaosConfig::on_wombat();
+        let buffered = run_phase(&d, 1, 32, &phase()).agg_bandwidth;
+        let synced = run_phase(&d, 1, 32, &phase().with_fsync(true)).agg_bandwidth;
+        assert!(synced > 0.98 * buffered, "{synced} vs {buffered}");
+    }
+
+    #[test]
+    fn native_interface_beats_posix_on_small_transfers() {
+        let posix = DaosConfig::on_wombat();
+        let native = DaosConfig::on_wombat().with_interface(DaosInterface::NativeObject);
+        let small = PhaseSpec::seq_write(4.0 * KIB, 8.0 * MIB);
+        let bp = run_phase(&posix, 8, 16, &small).agg_bandwidth;
+        let bn = run_phase(&native, 8, 16, &small).agg_bandwidth;
+        assert!(bn > 1.5 * bp, "native {bn} vs posix {bp}");
+    }
+
+    #[test]
+    fn native_api_edit_reproduces_native_md_pool() {
+        // The deck-sweepable GraphEdit arm must land on the same
+        // metadata-pool capacity as the config-level interface switch.
+        let posix = DaosConfig::on_wombat();
+        let native = DaosConfig::on_wombat().with_interface(DaosInterface::NativeObject);
+        let p = phase();
+        let edited = Reconfigured::new(posix.clone(), |g: &mut DeploymentGraph| {
+            g.scale_pool(StageKind::OpsPool, NATIVE_MD_SPEEDUP)
+        });
+        let cap_of = |g: &DeploymentGraph| {
+            g.stages
+                .iter()
+                .find(|s| s.name == "daos:scm-md")
+                .map(|s| s.capacity)
+                .expect("scm pool")
+        };
+        assert_eq!(
+            cap_of(&edited.plan(4, 8, &p)),
+            cap_of(&native.plan(4, 8, &p))
+        );
+        // And the ops-pool edit is what native_api_edit() serializes.
+        match native_api_edit() {
+            GraphEdit::ScalePool { kind, factor } => {
+                assert_eq!(kind, StageKind::OpsPool);
+                assert_eq!(factor, NATIVE_MD_SPEEDUP);
+            }
+            other => panic!("unexpected edit {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_transfers_are_md_pool_bound_under_posix() {
+        let d = DaosConfig::on_wombat();
+        let small = PhaseSpec::seq_write(4.0 * KIB, 8.0 * MIB);
+        let out = run_phase(&d, 32, 32, &small);
+        let b = out.bottleneck.as_ref().expect("saturates");
+        assert!(b.name.starts_with("daos:scm-md"), "bottleneck = {b}");
+        // Pool accounting: 32 shards × 50k ops/s × 4 KiB.
+        let cap = d.scm_shards as f64 * d.per_shard_md_ops * 4.0 * KIB;
+        assert!(out.agg_bandwidth <= cap * 1.001);
+    }
+
+    #[test]
+    fn bulk_bandwidth_scales_to_the_engine_pool() {
+        let d = DaosConfig::on_wombat();
+        let p = PhaseSpec::seq_read(16.0 * MIB, 1024.0 * MIB);
+        let out = run_phase(&d, 64, 32, &p);
+        let engine_pool = d.per_engine_bw * d.engines as f64;
+        assert!(out.agg_bandwidth <= engine_pool.min(d.media_bw(&p)) * 1.001);
+        // And the pool is actually reachable: 64 nodes × 100 GbE NICs
+        // can fill 16 engines.
+        assert!(out.agg_bandwidth > 0.8 * engine_pool.min(d.media_bw(&p)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DaosConfig::on_wombat().with_interface(DaosInterface::NativeObject);
+        let back: DaosConfig = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+}

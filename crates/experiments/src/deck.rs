@@ -17,7 +17,7 @@ use std::time::Instant;
 use hcs_core::runner::OpenLoopOutcome;
 use hcs_core::{
     Arrival, Deck, DeckMetricsSummary, FaultSpec, IoOp, OpLatency, PointMetrics, Reconfigured,
-    Recorder, ResilienceMetrics, Scenario, StorageSystem, Workload,
+    Recorder, ResilienceMetrics, Scenario, StageKind, StorageSystem, Workload,
 };
 use hcs_dlio::{run_dlio, run_dlio_traced, DlioResult};
 use hcs_ior::{
@@ -367,6 +367,13 @@ fn open_loop_latency(workload: &Workload, open: &OpenLoopOutcome) -> Vec<OpLaten
 /// stage the scenario's deployment plan does not contain. `hcs run`
 /// calls this up front so bad decks exit with a message instead of a
 /// panic backtrace.
+///
+/// Fault/plan mismatches are judged at *deck* level: the planned stages
+/// of every expanded point are unioned first, so a cross-protocol deck
+/// whose fault filter names a stage kind no swept system plans (say a
+/// `ClientMount` outage swept over DAOS's mountless library stack) is
+/// called out as impossible for the whole deck, not blamed on whichever
+/// point happened to expand first.
 pub fn validate_deck(deck: &Deck) -> Result<(), String> {
     if !deck.axes.offered_load.is_empty() && deck.base.arrival.is_closed() {
         return Err(format!(
@@ -375,6 +382,11 @@ pub fn validate_deck(deck: &Deck) -> Result<(), String> {
             deck.name
         ));
     }
+    // Planned (kind, name) pairs across every expanded point, plus the
+    // first per-point fault/plan mismatch, deferred until the union is
+    // known.
+    let mut planned_union: Vec<(StageKind, String)> = Vec::new();
+    let mut unmatched: Vec<(String, FaultSpec)> = Vec::new();
     for scenario in deck.expand() {
         let entry = registry::resolve(&scenario.system).ok_or_else(|| {
             format!(
@@ -418,29 +430,60 @@ pub fn validate_deck(deck: &Deck) -> Result<(), String> {
             scenario.run_ppn(entry.full_ppn),
             &config.phase(),
         );
+        for st in &graph.stages {
+            if !planned_union
+                .iter()
+                .any(|(k, n)| *k == st.kind && *n == st.name)
+            {
+                planned_union.push((st.kind, st.name.clone()));
+            }
+        }
         for spec in &scenario.faults {
             if !graph
                 .stages
                 .iter()
                 .any(|st| spec.matches(st.kind, &st.name))
             {
-                return Err(format!(
-                    "scenario '{}': fault targets no planned stage (kind {}{}); planned stages: {}",
-                    scenario.name,
-                    spec.stage.label(),
-                    spec.name
-                        .as_deref()
-                        .map(|n| format!(", name '{n}'"))
-                        .unwrap_or_default(),
-                    graph
-                        .stages
-                        .iter()
-                        .map(|s| format!("{} '{}'", s.kind.label(), s.name))
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                unmatched.push((
+                    format!(
+                        "scenario '{}': fault targets no planned stage (kind {}{}); planned stages: {}",
+                        scenario.name,
+                        spec.stage.label(),
+                        spec.name
+                            .as_deref()
+                            .map(|n| format!(", name '{n}'"))
+                            .unwrap_or_default(),
+                        graph
+                            .stages
+                            .iter()
+                            .map(|s| format!("{} '{}'", s.kind.label(), s.name))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    spec.clone(),
                 ));
             }
         }
+    }
+    if let Some((per_point_msg, spec)) = unmatched.first() {
+        if !planned_union.iter().any(|(k, n)| spec.matches(*k, n)) {
+            return Err(format!(
+                "deck '{}': fault targets no planned stage in any swept system (kind {}{}); \
+                 planned stage kinds across the deck: {}",
+                deck.name,
+                spec.stage.label(),
+                spec.name
+                    .as_deref()
+                    .map(|n| format!(", name '{n}'"))
+                    .unwrap_or_default(),
+                planned_union
+                    .iter()
+                    .map(|(k, n)| format!("{} '{}'", k.label(), n))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        return Err(per_point_msg.clone());
     }
     Ok(())
 }
@@ -960,7 +1003,10 @@ mod tests {
         let summary = result.metrics.as_ref().expect("provenance deck summarizes");
         assert_eq!(summary.knees.len(), 1);
         let knee = &summary.knees[0];
-        assert!(knee.knee_rate.is_some(), "2000 ops/s saturates the smoke rig");
+        assert!(
+            knee.knee_rate.is_some(),
+            "2000 ops/s saturates the smoke rig"
+        );
         assert!(
             knee.knee_blame.is_some(),
             "a provenance-backed knee names the stage whose blame grew"

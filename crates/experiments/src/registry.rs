@@ -8,9 +8,11 @@
 //! everywhere.
 
 use hcs_core::StorageSystem;
+use hcs_daos::DaosConfig;
 use hcs_gpfs::GpfsConfig;
 use hcs_lustre::LustreConfig;
 use hcs_nvme::LocalNvmeConfig;
+use hcs_objstore::ObjectGatewayConfig;
 use hcs_unifyfs::UnifyFsConfig;
 use hcs_vast::{vast_on_lassen, vast_on_quartz, vast_on_ruby, vast_on_wombat};
 
@@ -35,7 +37,7 @@ impl SystemEntry {
 
 /// The registry, in the paper's presentation order.
 pub fn entries() -> &'static [SystemEntry] {
-    static ENTRIES: [SystemEntry; 9] = [
+    static ENTRIES: [SystemEntry; 11] = [
         SystemEntry {
             key: "vast-lassen",
             machine: "Lassen",
@@ -90,6 +92,18 @@ pub fn entries() -> &'static [SystemEntry] {
             full_ppn: 48,
             build: || Box::new(UnifyFsConfig::on_wombat()),
         },
+        SystemEntry {
+            key: "objstore",
+            machine: "Wombat",
+            full_ppn: 48,
+            build: || Box::new(ObjectGatewayConfig::on_wombat()),
+        },
+        SystemEntry {
+            key: "daos",
+            machine: "Wombat",
+            full_ppn: 48,
+            build: || Box::new(DaosConfig::on_wombat()),
+        },
     ];
     &ENTRIES
 }
@@ -122,6 +136,13 @@ mod tests {
         assert_eq!(resolve("vast-lassen").unwrap().full_ppn, 44);
         assert_eq!(resolve("lustre-ruby").unwrap().machine, "Ruby");
         assert!(resolve("bogus").is_none());
+    }
+
+    #[test]
+    fn cross_protocol_backends_are_registered() {
+        assert_eq!(resolve("objstore").unwrap().machine, "Wombat");
+        assert_eq!(resolve("daos").unwrap().machine, "Wombat");
+        assert_eq!(entries().len(), 11);
     }
 
     #[test]

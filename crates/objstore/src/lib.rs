@@ -1,0 +1,351 @@
+//! # hcs-objstore
+//!
+//! An S3-style **object gateway** in front of a flash backend — the
+//! protocol family the paper's POSIX-era registry stops short of, and
+//! the one multi-protocol benchmarks (sai3-bench's `file://` /
+//! `direct://` / `s3://` matrix) put next to file systems. Three
+//! behaviours distinguish an object gateway from every mounted file
+//! system in the registry:
+//!
+//! * **Per-request fixed overhead** — every GET/PUT is an HTTP request
+//!   that pays parsing, auth, and an object-index lookup before the
+//!   first byte moves. The gateway pool therefore has a *request-plane*
+//!   capacity (requests/s, an [`Capacity::OpsRate`] stage) alongside
+//!   its data-plane bandwidth; small transfers saturate requests/s long
+//!   before they touch a byte limit.
+//! * **Separate metadata path** — HEAD/LIST operations never enter the
+//!   data path; they hit the bucket-index service, modeled as a shared
+//!   ops pool with its own (much slower, listing-scan) latency.
+//! * **Multipart / range fan-out** — a transfer larger than the part
+//!   size splits into parallel part-requests that ride independent HTTP
+//!   connections through the gateway pool: per-stream bandwidth rises
+//!   with the fan-out while the request plane is charged once *per
+//!   part*, not once per transfer.
+//!
+//! The deployment compiles to the same [`DeploymentGraph`] as every
+//! other backend, so decks, fault specs, chaos campaigns, open-loop
+//! latency and provenance sweep it unchanged.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::{
+    Capacity, DeploymentGraph, MetadataProfile, PhaseSpec, Stage, StageKind, StageScope,
+    StorageSystem,
+};
+use hcs_devices::{DeviceArray, DeviceProfile, IoOp};
+use hcs_simkit::units::gbit_per_s;
+
+/// An object-gateway deployment: a sharded pool of stateless HTTP
+/// gateways over a shared flash backend.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObjectGatewayConfig {
+    /// Deployment label.
+    pub label: String,
+    /// Parallel gateway nodes (stateless; clients spread over them).
+    pub gateways: u32,
+    /// Data-plane bandwidth one gateway moves, bytes/s.
+    pub per_gateway_bw: f64,
+    /// Request-plane throughput one gateway sustains, requests/s
+    /// (HTTP parse + auth + index lookup per request).
+    pub per_gateway_rps: f64,
+    /// Fixed latency of one request round, seconds (TLS, auth, object
+    /// index) — paid before the first byte of every GET/PUT.
+    pub request_overhead: f64,
+    /// Multipart part size, bytes: transfers above this split into
+    /// parallel part-requests.
+    pub part_size: f64,
+    /// Parts in flight per transfer; more parts queue in waves.
+    pub max_parallel_parts: u32,
+    /// Peak bandwidth of one HTTP connection, bytes/s.
+    pub per_conn_bw: f64,
+    /// Client NIC bandwidth per compute node, bytes/s.
+    pub client_nic_bw: f64,
+    /// Flash drives backing the object store.
+    pub backend_drives: u32,
+    /// Backend drive profile.
+    pub drive: DeviceProfile,
+    /// Bucket-index service throughput, ops/s. Every object op touches
+    /// the index (GET/PUT consult it once, HEAD/LIST live on it), so it
+    /// is provisioned above the request plane and binds only metadata
+    /// storms, not the data path.
+    pub meta_ops_pool: f64,
+    /// Metadata-op latency (HEAD/LIST round trip with a listing scan),
+    /// seconds.
+    pub metadata_latency: f64,
+    /// Run-to-run noise sigma (shared multi-tenant front door).
+    pub noise: f64,
+}
+
+impl ObjectGatewayConfig {
+    /// The reference deployment: an 8-gateway S3 front door over a QLC
+    /// flash cluster on Wombat's 100 GbE fabric.
+    pub fn on_wombat() -> Self {
+        ObjectGatewayConfig {
+            label: "object gateway@Wombat (8 gw, S3 over QLC flash)".into(),
+            gateways: 8,
+            per_gateway_bw: gbit_per_s(100.0),
+            per_gateway_rps: 30_000.0,
+            request_overhead: 2.5e-3,
+            part_size: 8.0 * 1024.0 * 1024.0,
+            max_parallel_parts: 16,
+            per_conn_bw: 0.9e9,
+            client_nic_bw: gbit_per_s(100.0),
+            backend_drives: 48,
+            drive: DeviceProfile::qlc_ssd(),
+            meta_ops_pool: 600_000.0,
+            metadata_latency: 8e-3,
+            noise: 0.04,
+        }
+    }
+
+    /// Sets the gateway-pool width (builder style).
+    pub fn with_gateways(mut self, gateways: u32) -> Self {
+        self.gateways = gateways.max(1);
+        self
+    }
+
+    /// Sets the multipart part size (builder style).
+    pub fn with_part_size(mut self, part_size: f64) -> Self {
+        self.part_size = part_size.max(1.0);
+        self
+    }
+
+    /// Requests one transfer fans out into: 1 below the part size,
+    /// `ceil(transfer / part_size)` above it.
+    pub fn parts(&self, phase: &PhaseSpec) -> f64 {
+        (phase.transfer_size / self.part_size).ceil().max(1.0)
+    }
+
+    /// Part-requests in flight at once for one transfer.
+    pub fn parallelism(&self, phase: &PhaseSpec) -> f64 {
+        self.parts(phase).min(self.max_parallel_parts as f64)
+    }
+
+    /// Request rounds one transfer serializes through: parts beyond the
+    /// in-flight window queue in waves, each paying the request
+    /// overhead once.
+    pub fn request_waves(&self, phase: &PhaseSpec) -> f64 {
+        (self.parts(phase) / self.max_parallel_parts as f64).ceil()
+    }
+
+    /// Per-stream bandwidth of one logical transfer: the connection
+    /// rate times the multipart fan-out.
+    pub fn stream_bw(&self, phase: &PhaseSpec) -> f64 {
+        self.per_conn_bw * self.parallelism(phase)
+    }
+
+    /// Request-plane capacity of the gateway pool, expressed in the
+    /// planner's op accounting.
+    ///
+    /// The planner converts an [`Capacity::OpsRate`] stage to bytes/s
+    /// by dividing by [`PhaseSpec::ops_per_byte`] (one data op per
+    /// transfer plus metadata ops). The gateway's *actual* request cost
+    /// per byte is higher: multipart fans one transfer into
+    /// [`Self::parts`] requests, and every metadata op is itself an
+    /// HTTP request. The pool's native requests/s is rescaled by the
+    /// ratio of the two accountings so the planner's conversion lands
+    /// on exactly `rps / requests_per_byte`. Degrades and outages scale
+    /// the stored rate linearly, so fault semantics are unchanged. With
+    /// no multipart (transfer ≤ part size) the two accountings agree
+    /// and the stored rate is the pool's native requests/s.
+    pub fn request_pool_ops(&self, phase: &PhaseSpec) -> f64 {
+        let planner_opb = phase.ops_per_byte();
+        let gateway_opb = self.parts(phase) / phase.transfer_size + phase.metadata_ops_per_byte;
+        let pool = self.per_gateway_rps * self.gateways as f64;
+        pool * planner_opb / gateway_opb
+    }
+
+    /// The backend flash array.
+    pub fn backend_array(&self) -> DeviceArray {
+        DeviceArray::stripe(self.drive.clone(), self.backend_drives)
+    }
+
+    /// Backend media bandwidth for a phase, bytes/s. PUTs are
+    /// log-structured: the gateway coalesces incoming objects into
+    /// part-sized sequential segments before they reach flash, so the
+    /// media never sees a small random write and small PUTs are priced
+    /// by the request plane, not the QLC write path. GETs fetch the
+    /// stored object (capped at part granularity) under the phase's own
+    /// access pattern. Segments are committed before the gateway acks,
+    /// so fsync adds nothing the PUT did not already pay.
+    pub fn backend_bw(&self, phase: &PhaseSpec) -> f64 {
+        match phase.op {
+            IoOp::Write => self.backend_array().effective_bandwidth(
+                IoOp::Write,
+                hcs_devices::AccessPattern::Sequential,
+                self.part_size,
+                false,
+            ),
+            IoOp::Read => self.backend_array().effective_bandwidth(
+                IoOp::Read,
+                phase.pattern,
+                phase.transfer_size.min(self.part_size),
+                false,
+            ),
+        }
+    }
+
+    /// Per-op latency: one request overhead per wave of part-requests.
+    pub fn op_latency(&self, phase: &PhaseSpec) -> f64 {
+        self.request_overhead * self.request_waves(phase)
+    }
+}
+
+impl StorageSystem for ObjectGatewayConfig {
+    fn name(&self) -> &str {
+        "ObjectGW"
+    }
+
+    fn description(&self) -> String {
+        self.label.clone()
+    }
+
+    fn plan(&self, _nodes: u32, _ppn: u32, phase: &PhaseSpec) -> DeploymentGraph {
+        DeploymentGraph::new(
+            self.stream_bw(phase),
+            self.op_latency(phase),
+            self.metadata_latency,
+        )
+        // Userspace HTTP client: bytes still cross the node NIC.
+        .stage(Stage::per_node(
+            "objstore:client",
+            StageKind::ClientMount,
+            self.client_nic_bw,
+        ))
+        // Request plane: per-request fixed work, an ops-rate wall that
+        // small transfers hit long before any byte limit.
+        .stage(Stage {
+            name: "objstore:rps".into(),
+            kind: StageKind::Gateway,
+            scope: StageScope::Sharded {
+                count: self.gateways.max(1),
+            },
+            capacity: Capacity::OpsRate(self.request_pool_ops(phase) / self.gateways.max(1) as f64),
+        })
+        // Data plane of the same gateway pool.
+        .stage(Stage::sharded(
+            "objstore:gw",
+            StageKind::Gateway,
+            self.gateways,
+            self.per_gateway_bw,
+        ))
+        // Bucket-index service: HEAD/LIST never enter the data path.
+        .stage(Stage::ops_pool("objstore:meta", self.meta_ops_pool))
+        .stage(Stage::shared(
+            "objstore:flash",
+            StageKind::Media,
+            self.backend_bw(phase),
+        ))
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        self.noise
+    }
+
+    fn metadata_profile(&self) -> MetadataProfile {
+        MetadataProfile {
+            op_latency: self.metadata_latency,
+            ops_pool: self.meta_ops_pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::runner::run_phase;
+    use hcs_simkit::units::{KIB, MIB};
+
+    #[test]
+    fn small_transfers_are_request_plane_bound() {
+        // 4 KiB GETs: the pool's 240k req/s is worth ~1 GB/s; the data
+        // plane is worth 100 GB/s. The bottleneck must be the rps stage.
+        let o = ObjectGatewayConfig::on_wombat();
+        let phase = PhaseSpec::seq_read(4.0 * KIB, 16.0 * MIB);
+        let out = run_phase(&o, 48, 32, &phase);
+        let b = out.bottleneck.as_ref().expect("saturates");
+        assert!(b.name.starts_with("objstore:rps"), "bottleneck = {b}");
+        // Throughput ≈ rps × transfer size.
+        let rps_bw = o.per_gateway_rps * o.gateways as f64 * 4.0 * KIB;
+        assert!(
+            out.agg_bandwidth <= rps_bw * 1.001,
+            "{} vs {rps_bw}",
+            out.agg_bandwidth
+        );
+    }
+
+    #[test]
+    fn large_transfers_leave_the_request_plane() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let phase = PhaseSpec::seq_read(64.0 * MIB, 1024.0 * MIB);
+        let out = run_phase(&o, 16, 32, &phase);
+        if let Some(b) = &out.bottleneck {
+            assert!(!b.name.starts_with("objstore:rps"), "bottleneck = {b}");
+        }
+    }
+
+    #[test]
+    fn multipart_fans_out_per_stream_bandwidth() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let small = PhaseSpec::seq_read(MIB, 64.0 * MIB);
+        let large = PhaseSpec::seq_read(64.0 * MIB, 1024.0 * MIB);
+        assert_eq!(o.parts(&small), 1.0);
+        assert_eq!(o.parts(&large), 8.0);
+        assert_eq!(o.stream_bw(&large), 8.0 * o.per_conn_bw);
+        // One wave of parallel parts: latency is one request round.
+        assert_eq!(o.op_latency(&large), o.request_overhead);
+        // 256 parts over a 16-wide window: 16 request waves.
+        let huge = PhaseSpec::seq_read(2048.0 * MIB, 2048.0 * MIB);
+        assert_eq!(o.request_waves(&huge), 16.0);
+    }
+
+    #[test]
+    fn request_accounting_matches_native_rps_without_multipart() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let phase = PhaseSpec::seq_read(MIB, 64.0 * MIB);
+        let native = o.per_gateway_rps * o.gateways as f64;
+        assert!((o.request_pool_ops(&phase) - native).abs() < 1e-6 * native);
+        // With multipart, the planner's conversion must land on
+        // rps × part_size: 8 parts per 64 MiB transfer.
+        let large = PhaseSpec::seq_read(64.0 * MIB, 1024.0 * MIB);
+        let converted = o.request_pool_ops(&large) / large.ops_per_byte();
+        assert!((converted - native * 8.0 * MIB).abs() < 1e-3 * converted);
+    }
+
+    #[test]
+    fn single_node_throughput_is_sane() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let out = run_phase(&o, 1, 32, &PhaseSpec::seq_read(8.0 * MIB, 256.0 * MIB));
+        let gbs = out.agg_bandwidth / 1e9;
+        assert!((1.0..13.0).contains(&gbs), "seq read = {gbs} GB/s");
+    }
+
+    #[test]
+    fn gateway_pool_caps_aggregate_bandwidth() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let phase = PhaseSpec::seq_read(8.0 * MIB, 256.0 * MIB);
+        let out = run_phase(&o, 64, 32, &phase);
+        let pool = o.per_gateway_bw * o.gateways as f64;
+        let media = o.backend_bw(&phase);
+        assert!(out.agg_bandwidth <= pool.min(media) * 1.001);
+    }
+
+    #[test]
+    fn metadata_path_is_separate_and_slow() {
+        let o = ObjectGatewayConfig::on_wombat();
+        let p = o.metadata_profile();
+        assert_eq!(p.ops_pool, o.meta_ops_pool);
+        assert!(p.op_latency > 1e-3, "LIST-class latency");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let o = ObjectGatewayConfig::on_wombat().with_gateways(12);
+        let back: ObjectGatewayConfig =
+            serde_json::from_str(&serde_json::to_string(&o).unwrap()).unwrap();
+        assert_eq!(back, o);
+    }
+}

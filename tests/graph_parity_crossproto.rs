@@ -1,0 +1,241 @@
+//! Golden parity fixtures for the cross-protocol backends.
+//!
+//! The object gateway and DAOS land after the deployment-graph port, so
+//! unlike `graph_parity` these fixtures were not captured from a
+//! pre-port implementation — they pin the *initial* physics of both
+//! backends so later planner refactors (or accidental constant edits)
+//! cannot silently move a figure. Every float is stored as its exact
+//! IEEE-754 bit pattern.
+//!
+//! The second half proves the equivalence-class planner handles the two
+//! shapes these backends introduce — a *sharded ops-rate* gateway stage
+//! (objstore's request plane) and a sharded SCM metadata pool behind a
+//! mountless client (DAOS) — bit-identically to the expanded plan at
+//! datacenter scale.
+//!
+//! Regenerate (only when an *intentional* physics change lands) with:
+//!
+//! ```text
+//! HCS_BLESS_PARITY=1 cargo test -p hcs-apps --test graph_parity_crossproto
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use hcs_core::graph::with_forced_aggregation;
+use hcs_core::runner::run_phase;
+use hcs_core::{PhaseSpec, Reconfigured, StorageSystem};
+use hcs_daos::{native_api_edit, DaosConfig, DaosInterface};
+use hcs_objstore::ObjectGatewayConfig;
+use hcs_simkit::units::{KIB, MIB};
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/graph_parity_crossproto.json"
+);
+
+/// One `run_phase` call and everything numeric it produced, with floats
+/// as hex bit patterns so JSON round-trips cannot lose precision.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ParityRecord {
+    system: String,
+    phase: String,
+    nodes: u32,
+    ppn: u32,
+    total_bytes: String,
+    duration: String,
+    agg_bandwidth: String,
+    per_node_duration: Vec<String>,
+    /// `(resource name, allocated bits, capacity bits)` in provisioning
+    /// order — pins resource names, count and order too.
+    utilization: Vec<(String, String, String)>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ParityFile {
+    records: Vec<ParityRecord>,
+}
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn systems() -> Vec<(String, Box<dyn StorageSystem>)> {
+    vec![
+        (
+            "objstore-wombat".into(),
+            Box::new(ObjectGatewayConfig::on_wombat()) as Box<dyn StorageSystem>,
+        ),
+        (
+            "objstore-wide".into(),
+            Box::new(ObjectGatewayConfig::on_wombat().with_gateways(16)),
+        ),
+        ("daos-posix".into(), Box::new(DaosConfig::on_wombat())),
+        (
+            "daos-native".into(),
+            Box::new(DaosConfig::on_wombat().with_interface(DaosInterface::NativeObject)),
+        ),
+        (
+            // The deck-sweepable form of the interface ablation: the
+            // POSIX base under the native-API graph edit. Must track
+            // the md-pool capacity of daos-native (the edit is the
+            // whole point of shipping one registry entry, not two).
+            "daos-posix+edit".into(),
+            Box::new(Reconfigured::new(DaosConfig::on_wombat(), |g| {
+                native_api_edit().apply(g)
+            })),
+        ),
+    ]
+}
+
+fn phases() -> Vec<(String, PhaseSpec)> {
+    let bytes = 256.0 * MIB;
+    vec![
+        // 4 KiB ops: the object gateway's request plane and DAOS's SCM
+        // metadata pool are the binding stages.
+        ("small_write".into(), PhaseSpec::seq_write(4.0 * KIB, bytes)),
+        ("small_read".into(), PhaseSpec::seq_read(4.0 * KIB, bytes)),
+        // 1 MiB: the crossover regime.
+        ("seq_write".into(), PhaseSpec::seq_write(MIB, bytes)),
+        ("random_read".into(), PhaseSpec::random_read(MIB, bytes)),
+        // 64 MiB: multipart fan-out through the gateway pool (8 parts),
+        // NVMe bulk pool on DAOS.
+        (
+            "bulk_read".into(),
+            PhaseSpec::seq_read(64.0 * MIB, 1024.0 * MIB),
+        ),
+        // fsync lands on SCM for DAOS (effectively free) and is
+        // absorbed by the gateway's backend flash on objstore.
+        (
+            "seq_write_fsync".into(),
+            PhaseSpec::seq_write(MIB, bytes).with_fsync(true),
+        ),
+    ]
+}
+
+fn scales() -> Vec<(u32, u32)> {
+    vec![(1, 4), (2, 8), (4, 16)]
+}
+
+fn capture() -> ParityFile {
+    let mut records = Vec::new();
+    for (sys_name, sys) in systems() {
+        for (phase_name, phase) in phases() {
+            for (nodes, ppn) in scales() {
+                let out = run_phase(sys.as_ref(), nodes, ppn, &phase);
+                records.push(ParityRecord {
+                    system: sys_name.clone(),
+                    phase: phase_name.clone(),
+                    nodes,
+                    ppn,
+                    total_bytes: bits(out.total_bytes),
+                    duration: bits(out.duration),
+                    agg_bandwidth: bits(out.agg_bandwidth),
+                    per_node_duration: out.per_node_duration.iter().copied().map(bits).collect(),
+                    utilization: out
+                        .utilization
+                        .iter()
+                        .map(|(name, alloc, cap)| (name.clone(), bits(*alloc), bits(*cap)))
+                        .collect(),
+                });
+            }
+        }
+    }
+    ParityFile { records }
+}
+
+#[test]
+fn outcomes_match_blessed_fixtures() {
+    let current = capture();
+    if std::env::var_os("HCS_BLESS_PARITY").is_some() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixtures");
+        std::fs::write(FIXTURE_PATH, json + "\n").expect("write fixtures");
+        return;
+    }
+    let json = std::fs::read_to_string(FIXTURE_PATH).unwrap_or_else(|e| {
+        panic!("missing parity fixtures at {FIXTURE_PATH} ({e}); run with HCS_BLESS_PARITY=1")
+    });
+    let golden: ParityFile = serde_json::from_str(&json).expect("parse fixtures");
+    assert_eq!(
+        golden.records.len(),
+        current.records.len(),
+        "fixture record count changed"
+    );
+    for (want, got) in golden.records.iter().zip(current.records.iter()) {
+        assert_eq!(
+            want, got,
+            "bit-level outcome drift for {} / {} @ {}x{}",
+            want.system, want.phase, want.nodes, want.ppn
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation bit-parity at datacenter scale: the class planner folds
+// per-node stages above AGGREGATE_NODE_THRESHOLD (1024) nodes into one
+// multi-instance resource. The gateway's sharded OpsRate request plane
+// and DAOS's sharded SCM pool must survive that fold bit-identically.
+
+/// Runs one phase expanded and aggregated and asserts every scalar
+/// outcome is bit-equal (utilization rows differ by construction — the
+/// aggregated plan has fewer, wider resources).
+fn assert_aggregation_parity(sys: &dyn StorageSystem, nodes: u32, ppn: u32, phase: &PhaseSpec) {
+    let expanded = with_forced_aggregation(false, || run_phase(sys, nodes, ppn, phase));
+    let aggregated = with_forced_aggregation(true, || run_phase(sys, nodes, ppn, phase));
+    for (label, e, a) in [
+        ("total_bytes", expanded.total_bytes, aggregated.total_bytes),
+        ("duration", expanded.duration, aggregated.duration),
+        (
+            "agg_bandwidth",
+            expanded.agg_bandwidth,
+            aggregated.agg_bandwidth,
+        ),
+    ] {
+        assert_eq!(
+            e.to_bits(),
+            a.to_bits(),
+            "{label} drift at {nodes}x{ppn}: {e} vs {a}"
+        );
+    }
+}
+
+#[test]
+fn objstore_request_plane_is_aggregation_invariant() {
+    let sys = ObjectGatewayConfig::on_wombat();
+    // 2048 nodes crosses the aggregation threshold; 4 KiB keeps the
+    // sharded OpsRate request plane the binding stage.
+    assert_aggregation_parity(&sys, 2048, 8, &PhaseSpec::seq_write(4.0 * KIB, 16.0 * MIB));
+    assert_aggregation_parity(&sys, 2048, 8, &PhaseSpec::seq_read(8.0 * MIB, 256.0 * MIB));
+}
+
+#[test]
+fn daos_sharded_md_pool_is_aggregation_invariant() {
+    let sys = DaosConfig::on_wombat();
+    assert_aggregation_parity(&sys, 2048, 8, &PhaseSpec::seq_write(4.0 * KIB, 16.0 * MIB));
+    // And under the native-API edit, since that is how decks sweep it.
+    let native = Reconfigured::new(DaosConfig::on_wombat(), |g| native_api_edit().apply(g));
+    assert_aggregation_parity(
+        &native,
+        2048,
+        8,
+        &PhaseSpec::seq_write(4.0 * KIB, 16.0 * MIB),
+    );
+}
+
+#[test]
+fn crossproto_backends_run_at_e5_node_scale() {
+    // 100k clients: the aggregated plan must solve (quickly) and both
+    // backends must pin at their cluster-side ceilings, not at some
+    // accidental per-node fold artifact.
+    let phase = PhaseSpec::seq_write(MIB, 64.0 * MIB);
+    let o = ObjectGatewayConfig::on_wombat();
+    let out = run_phase(&o, 100_000, 1, &phase);
+    let gw_pool = o.per_gateway_bw * o.gateways as f64;
+    assert!(out.agg_bandwidth <= gw_pool.min(o.backend_bw(&phase)) * 1.001);
+    assert!(out.agg_bandwidth > 0.5 * gw_pool.min(o.backend_bw(&phase)));
+
+    let d = DaosConfig::on_wombat();
+    let out = run_phase(&d, 100_000, 1, &phase);
+    let engine_pool = d.per_engine_bw * d.engines as f64;
+    assert!(out.agg_bandwidth <= engine_pool.min(d.media_bw(&phase)) * 1.001);
+    assert!(out.agg_bandwidth > 0.5 * engine_pool.min(d.media_bw(&phase)));
+}
